@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the compiler itself: transformation,
+//! validation, candidate generation, and simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tir::builder::matmul_func;
+use tir::DataType;
+use tir_exec::cost::simulate;
+use tir_exec::machine::Machine;
+use tir_schedule::Schedule;
+use tir_tensorize::{auto_tensorize, builtin_registry};
+
+fn bench_split_fuse_reorder(c: &mut Criterion) {
+    let func = matmul_func("mm", 256, 256, 256, DataType::float32());
+    c.bench_function("schedule/split_reorder_fuse", |b| {
+        b.iter(|| {
+            let mut sch = Schedule::new(func.clone());
+            let block = sch.get_block("C").unwrap();
+            let loops = sch.get_loops(&block).unwrap();
+            let i = sch.split(&loops[0], &[16, 16]).unwrap();
+            let j = sch.split(&loops[1], &[16, 16]).unwrap();
+            sch.reorder(&[i[0].clone(), j[0].clone(), i[1].clone(), j[1].clone()])
+                .unwrap();
+            sch.fuse(&[i[0].clone(), j[0].clone()]).unwrap();
+            sch.into_func()
+        })
+    });
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let func = matmul_func("mm", 256, 256, 256, DataType::float32());
+    c.bench_function("analysis/validate_matmul", |b| {
+        b.iter(|| tir_analysis::validate(&func).is_ok())
+    });
+}
+
+fn bench_auto_tensorize(c: &mut Criterion) {
+    let func = matmul_func("mm", 256, 256, 256, DataType::float16());
+    let reg = builtin_registry();
+    let wmma = reg.get("wmma_16x16x16_f16").unwrap().clone();
+    c.bench_function("tensorize/auto_tensorize_matmul", |b| {
+        b.iter(|| auto_tensorize(&func, "C", &wmma).unwrap())
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let func = matmul_func("mm", 256, 256, 256, DataType::float16());
+    let machine = Machine::sim_gpu();
+    c.bench_function("exec/simulate_matmul", |b| {
+        b.iter(|| simulate(&func, &machine))
+    });
+}
+
+fn bench_iter_map(c: &mut Criterion) {
+    use tir::{Expr, Var};
+    let i = Var::int("i");
+    let j = Var::int("j");
+    let fused = Expr::from(&i) * 64 + Expr::from(&j);
+    let bindings = [
+        fused.clone().floor_div(16),
+        fused.clone().floor_mod(16).floor_div(4),
+        fused.floor_mod(4),
+    ];
+    let dom = [(i.clone(), 32i64), (j.clone(), 64i64)];
+    c.bench_function("arith/detect_iter_map", |b| {
+        b.iter(|| tir_arith::detect_iter_map(&bindings, &dom).unwrap())
+    });
+}
+
+fn bench_print_parse(c: &mut Criterion) {
+    let func = matmul_func("mm", 128, 128, 128, DataType::float32());
+    let text = func.to_string();
+    c.bench_function("text/print_matmul", |b| b.iter(|| func.to_string()));
+    c.bench_function("text/parse_matmul", |b| {
+        b.iter(|| tir::parser::parse_func(&text).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_split_fuse_reorder,
+    bench_validation,
+    bench_auto_tensorize,
+    bench_simulate,
+    bench_iter_map,
+    bench_print_parse
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 11: single-operator comparison against vendor libraries on GPU.
+//!
+//! Paper: TensorIR beats CUTLASS/TensorRT on C1D, C2D, DEP, T2D, DIL by up
+//! to 13.9x and reaches >= 75% of their throughput on C3D, GMM, GRP;
+//! CUTLASS has no kernels for DEP, GRP, T2D.
+
+use tensorir_bench::{
+    fmt_ms, fmt_speedup, print_table, registry, tune_case, vendor_case_time, SINGLE_OP_TRIALS,
+};
+use tir::DataType;
+use tir_autoschedule::Strategy;
+use tir_exec::machine::Machine;
+use tir_workloads::bench_suite;
+
+fn main() {
+    let machine = Machine::sim_gpu();
+    let intrins = registry();
+    let suite = bench_suite(DataType::float16());
+    println!("Figure 11 reproduction: single op vs vendor libraries ({})", machine.name);
+
+    let mut rows = Vec::new();
+    for case in &suite {
+        let tir = tune_case(case, &machine, &intrins, Strategy::TensorIr, SINGLE_OP_TRIALS);
+        let cutlass = vendor_case_time("CUTLASS", case, &machine, "wmma_16x16x16_f16");
+        let trt = vendor_case_time("TensorRT", case, &machine, "wmma_16x16x16_f16");
+        let best_vendor = [cutlass, trt].into_iter().flatten().fold(f64::INFINITY, f64::min);
+        let rel = if best_vendor.is_finite() {
+            Some(best_vendor / tir.best_time)
+        } else {
+            None
+        };
+        rows.push(vec![
+            case.kind.label().to_string(),
+            cutlass.map(fmt_ms).unwrap_or_else(|| "unsupported".into()),
+            trt.map(fmt_ms).unwrap_or_else(|| "unsupported".into()),
+            fmt_ms(tir.best_time),
+            fmt_speedup(rel),
+        ]);
+    }
+    print_table(
+        "Figure 11: single op vs vendor libraries (SimGPU)",
+        &["op", "CUTLASS ms", "TensorRT ms", "TensorIR ms", "TensorIR vs best lib"],
+        &rows,
+    );
+    println!("\npaper shape: wins on C1D/C2D/DEP/T2D/DIL (up to 13.9x), >=75% on C3D/GMM/GRP;");
+    println!("CUTLASS columns for DEP/GRP/T2D must read 'unsupported'.");
+}

@@ -1,0 +1,57 @@
+//! Figure 12: end-to-end model latency on the GPU.
+//!
+//! Paper: TensorIR outperforms PyTorch, TVM, and AMOS by 1.2-8.8x, is ~30%
+//! faster than TensorRT on MobileNetV2, reaches 88-100% of TensorRT on
+//! ResNet-50 and BERT-large, and runs ViT, which TensorRT does not
+//! support.
+
+use tensorir_bench::{fmt_ms, fmt_speedup, print_table, registry, E2E_TRIALS};
+use tir_autoschedule::{Strategy, TuneOptions};
+use tir_exec::machine::Machine;
+use tir_graph::{evaluate_model, gpu_models, Framework};
+
+fn main() {
+    let machine = Machine::sim_gpu();
+    let intrins = registry();
+    let opts = TuneOptions {
+        trials: E2E_TRIALS,
+        ..Default::default()
+    };
+    println!("Figure 12 reproduction: end-to-end GPU latency ({})", machine.name);
+    let mut rows = Vec::new();
+    for model in gpu_models() {
+        let pt = Framework::PyTorch.model_latency(&model, &machine);
+        let trt = Framework::TensorRt.model_latency(&model, &machine);
+        let tvm = evaluate_model(&model, &machine, &intrins, Strategy::Ansor, &opts);
+        let amos = evaluate_model(&model, &machine, &intrins, Strategy::Amos, &opts);
+        let tir = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts);
+        rows.push(vec![
+            model.name.clone(),
+            pt.map(fmt_ms).unwrap_or_else(|| "n/a".into()),
+            fmt_ms(tvm.latency_s),
+            fmt_ms(amos.latency_s),
+            trt.map(fmt_ms).unwrap_or_else(|| "unsupported".into()),
+            fmt_ms(tir.latency_s),
+            fmt_speedup(pt.map(|t| t / tir.latency_s)),
+            fmt_speedup(Some(tvm.latency_s / tir.latency_s)),
+            fmt_speedup(trt.map(|t| t / tir.latency_s)),
+        ]);
+    }
+    print_table(
+        "Figure 12: end-to-end latency (ms) on SimGPU, batch 1, float16",
+        &[
+            "model",
+            "PyTorch",
+            "TVM",
+            "AMOS",
+            "TensorRT",
+            "TensorIR",
+            "vs PyTorch",
+            "vs TVM",
+            "vs TensorRT",
+        ],
+        &rows,
+    );
+    println!("\npaper shape: 1.2-8.8x over PyTorch/TVM/AMOS; ~0.88-1.3x vs TensorRT;");
+    println!("TensorRT column for ViT must read 'unsupported'.");
+}

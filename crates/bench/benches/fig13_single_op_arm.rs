@@ -1,0 +1,51 @@
+//! Figure 13: single-operator evaluation on the ARM CPU (int8 `sdot`).
+//!
+//! Paper: on Graviton2, TensorIR reaches up to 12.5x over TVM thanks to
+//! the `sdot` intrinsic, and 85-105% of ArmComputeLib's hand-written
+//! kernels, on C2D and GMM.
+
+use tensorir_bench::{
+    fmt_ms, fmt_speedup, print_table, registry, tune_case, vendor_case_time, SINGLE_OP_TRIALS,
+};
+use tir::DataType;
+use tir_autoschedule::Strategy;
+use tir_exec::machine::Machine;
+use tir_workloads::{bench_suite, OpKind};
+
+fn main() {
+    let machine = Machine::sim_arm();
+    let intrins = registry();
+    let suite = bench_suite(DataType::int8());
+    println!("Figure 13 reproduction: single op on ARM CPU (int8, {})", machine.name);
+    let mut rows = Vec::new();
+    for case in suite
+        .iter()
+        .filter(|c| matches!(c.kind, OpKind::C2D | OpKind::GMM))
+    {
+        let tvm = tune_case(case, &machine, &intrins, Strategy::Ansor, SINGLE_OP_TRIALS);
+        let tir = tune_case(case, &machine, &intrins, Strategy::TensorIr, SINGLE_OP_TRIALS);
+        let acl = vendor_case_time("ArmComputeLib", case, &machine, "sdot_4x4x4_i8");
+        rows.push(vec![
+            case.kind.label().to_string(),
+            fmt_ms(tvm.best_time),
+            fmt_ms(tir.best_time),
+            acl.map(fmt_ms).unwrap_or_else(|| "n/a".into()),
+            fmt_speedup(Some(tvm.best_time / tir.best_time)),
+            acl.map(|a| format!("{:.0}%", 100.0 * a / tir.best_time))
+                .unwrap_or_else(|| "n/a".into()),
+        ]);
+    }
+    print_table(
+        "Figure 13: single op on SimARM (int8, sdot)",
+        &[
+            "op",
+            "TVM ms",
+            "TensorIR ms",
+            "ArmComputeLib ms",
+            "TensorIR vs TVM",
+            "% of ACL",
+        ],
+        &rows,
+    );
+    println!("\npaper shape: up to 12.5x over TVM; 85-105% of ArmComputeLib throughput.");
+}

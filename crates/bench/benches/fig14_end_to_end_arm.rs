@@ -1,0 +1,46 @@
+//! Figure 14: end-to-end quantized models on the ARM CPU.
+//!
+//! Paper: TensorIR outperforms PyTorch (QNNPACK, which lacks `sdot`) and
+//! TVM by 1.2-2.5x on quantized ResNet-50 and MobileNetV2.
+
+use tensorir_bench::{fmt_ms, fmt_speedup, print_table, registry, E2E_TRIALS};
+use tir_autoschedule::{Strategy, TuneOptions};
+use tir_exec::machine::Machine;
+use tir_graph::{arm_models, evaluate_model, Framework};
+
+fn main() {
+    let machine = Machine::sim_arm();
+    let intrins = registry();
+    let opts = TuneOptions {
+        trials: E2E_TRIALS,
+        ..Default::default()
+    };
+    println!("Figure 14 reproduction: end-to-end int8 on ARM ({})", machine.name);
+    let mut rows = Vec::new();
+    for model in arm_models() {
+        let pt = Framework::PyTorchQnnpack.model_latency(&model, &machine);
+        let tvm = evaluate_model(&model, &machine, &intrins, Strategy::Ansor, &opts);
+        let tir = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts);
+        rows.push(vec![
+            model.name.clone(),
+            pt.map(fmt_ms).unwrap_or_else(|| "n/a".into()),
+            fmt_ms(tvm.latency_s),
+            fmt_ms(tir.latency_s),
+            fmt_speedup(pt.map(|t| t / tir.latency_s)),
+            fmt_speedup(Some(tvm.latency_s / tir.latency_s)),
+        ]);
+    }
+    print_table(
+        "Figure 14: end-to-end latency (ms) on SimARM, batch 1, int8",
+        &[
+            "model",
+            "PyTorch(QNNPACK)",
+            "TVM",
+            "TensorIR",
+            "vs PyTorch",
+            "vs TVM",
+        ],
+        &rows,
+    );
+    println!("\npaper shape: 1.2-2.5x over PyTorch and TVM (QNNPACK has no sdot path).");
+}

@@ -1,0 +1,34 @@
+//! # tir-analysis — block-signature analyses and validation
+//!
+//! Implements the analyses the paper's scheduling and validation machinery
+//! is built on:
+//!
+//! * [`region`] — concrete and symbolic buffer access-region computation;
+//! * [`dependency`] — producer/consumer structure derived purely from block
+//!   signatures (the buffer-mediated dependency model of §3.1);
+//! * [`reduction`] — reduction-pattern detection on block bodies;
+//! * [`validate`] — the §3.3 validators: loop-nest validation via
+//!   quasi-affine iterator maps, threading validation, and
+//!   producer-covers-consumer region checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use tir::builder::matmul_func;
+//! use tir::DataType;
+//! use tir_analysis::validate::validate;
+//!
+//! let f = matmul_func("mm", 32, 32, 32, DataType::float32());
+//! assert!(validate(&f).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dependency;
+pub mod region;
+pub mod reduction;
+pub mod validate;
+
+pub use dependency::BlockScope;
+pub use reduction::{detect_block_reduction, ReduceOp, ReductionInfo};
+pub use validate::{assert_valid, validate, ValidationError};

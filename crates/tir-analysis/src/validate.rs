@@ -1,0 +1,932 @@
+//! Program validation (§3.3 of the paper).
+//!
+//! Three families of checks:
+//!
+//! * **loop-nest validation** — every block's iterator bindings must form a
+//!   quasi-affine, independent, domain-covering map from the enclosing
+//!   loops (via [`tir_arith::iter_map::detect_iter_map`]), reduction
+//!   iterators must not bind to parallel loops, and partial-tile bindings
+//!   must be guarded by a matching predicate;
+//! * **threading validation** — thread-binding consistency, launch limits,
+//!   and execution-scope requirements for tensorized blocks;
+//! * **producer-consumer validation** — writes to every intermediate buffer
+//!   must cover downstream reads (checked on concrete region boxes).
+
+use std::collections::HashMap;
+
+use tir::simplify::simplify_expr;
+use tir::structural::expr_structural_eq;
+use tir::visit::collect_vars_expr;
+use tir::{
+    BinOp, Block, BlockRealize, Buffer, Expr, ForKind, IterKind, MemScope, PrimFunc, Stmt,
+    ThreadTag, Var,
+};
+use tir_arith::iter_map::{detect_iter_map_with, CoverMode, IterMapError};
+
+use crate::region::{box_covers, collect_accesses};
+
+/// A validation failure.
+#[derive(Clone, Debug)]
+pub enum ValidationError {
+    /// A loop extent is not a compile-time constant.
+    NonConstantExtent {
+        /// The loop variable.
+        loop_var: String,
+    },
+    /// Iterator bindings of a block failed affine-map detection.
+    LoopNest {
+        /// Block name.
+        block: String,
+        /// Underlying iterator-map error.
+        cause: IterMapError,
+    },
+    /// A binding's range does not match the iterator's declared domain.
+    DomainMismatch {
+        /// Block name.
+        block: String,
+        /// Iterator variable name.
+        iter_var: String,
+        /// Declared domain extent.
+        declared: i64,
+        /// Extent implied by the binding.
+        bound: i64,
+    },
+    /// A reduction iterator is bound to a parallel or thread loop.
+    ReductionOnParallelLoop {
+        /// Block name.
+        block: String,
+        /// Iterator variable name.
+        iter_var: String,
+    },
+    /// The same thread tag is bound twice along one nesting path.
+    NestedThreadBinding {
+        /// The repeated tag.
+        tag: ThreadTag,
+    },
+    /// The thread-block launch configuration exceeds backend limits.
+    LaunchLimit {
+        /// Total threads per block requested.
+        threads: i64,
+        /// Backend maximum.
+        limit: i64,
+    },
+    /// A warp-scope block is not nested in a warp-aligned thread loop.
+    ExecScope {
+        /// Block name.
+        block: String,
+        /// Required scope.
+        required: String,
+    },
+    /// Writes to a buffer do not cover downstream reads.
+    RegionCover {
+        /// Buffer name.
+        buffer: String,
+    },
+    /// A shared-memory buffer is produced without cooperative coverage.
+    CooperativeFetch {
+        /// Producing block.
+        block: String,
+        /// Shared buffer.
+        buffer: String,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::NonConstantExtent { loop_var } => {
+                write!(f, "loop {loop_var} has a non-constant extent")
+            }
+            ValidationError::LoopNest { block, cause } => {
+                write!(f, "block {block}: {cause}")
+            }
+            ValidationError::DomainMismatch {
+                block,
+                iter_var,
+                declared,
+                bound,
+            } => write!(
+                f,
+                "block {block}: iterator {iter_var} has domain {declared} but binding covers {bound} without a guarding predicate"
+            ),
+            ValidationError::ReductionOnParallelLoop { block, iter_var } => write!(
+                f,
+                "block {block}: reduction iterator {iter_var} bound to a parallel loop"
+            ),
+            ValidationError::NestedThreadBinding { tag } => {
+                write!(f, "thread {tag} bound twice along one nesting path")
+            }
+            ValidationError::LaunchLimit { threads, limit } => {
+                write!(f, "{threads} threads per block exceeds the limit of {limit}")
+            }
+            ValidationError::ExecScope { block, required } => {
+                write!(f, "block {block} must execute at {required} scope")
+            }
+            ValidationError::RegionCover { buffer } => {
+                write!(f, "writes to buffer {buffer} do not cover downstream reads")
+            }
+            ValidationError::CooperativeFetch { block, buffer } => write!(
+                f,
+                "block {block} produces shared buffer {buffer} under thread bindings \
+                 without cooperative coverage"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Maximum threads per block enforced by threading validation.
+pub const MAX_THREADS_PER_BLOCK: i64 = 1024;
+
+struct Validator {
+    /// All loops on the current path from the root: (var, extent, kind).
+    loops: Vec<(Var, i64, ForKind)>,
+    /// Full thread-binding stack: (tag, extent).
+    threads: Vec<(ThreadTag, i64)>,
+    /// Enclosing-block iterator variables mapped to their (already
+    /// composed) binding expressions over loop variables. Nested block
+    /// bindings are validated after substituting through this map, which is
+    /// how the isolation boundary is crossed soundly.
+    bind_map: std::collections::HashMap<Var, Expr>,
+    errors: Vec<ValidationError>,
+}
+
+impl Validator {
+    fn visit(&mut self, s: &Stmt) {
+        match s {
+            Stmt::For(f) => {
+                let Some(extent) = f.extent.as_int() else {
+                    self.errors.push(ValidationError::NonConstantExtent {
+                        loop_var: f.var.name().to_string(),
+                    });
+                    return;
+                };
+                if let ForKind::ThreadBinding(tag) = f.kind {
+                    if tag != ThreadTag::Vthread
+                        && self.threads.iter().any(|(t, _)| *t == tag)
+                    {
+                        self.errors
+                            .push(ValidationError::NestedThreadBinding { tag });
+                    }
+                    self.threads.push((tag, extent));
+                    let total: i64 = self
+                        .threads
+                        .iter()
+                        .filter(|(t, _)| t.is_thread_idx())
+                        .map(|(_, e)| e)
+                        .product();
+                    if total > MAX_THREADS_PER_BLOCK {
+                        self.errors.push(ValidationError::LaunchLimit {
+                            threads: total,
+                            limit: MAX_THREADS_PER_BLOCK,
+                        });
+                    }
+                }
+                self.loops.push((f.var.clone(), extent, f.kind));
+                self.visit(&f.body);
+                self.loops.pop();
+                if matches!(f.kind, ForKind::ThreadBinding(_)) {
+                    self.threads.pop();
+                }
+            }
+            Stmt::Seq(v) => {
+                for st in v {
+                    self.visit(st);
+                }
+            }
+            Stmt::IfThenElse {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.visit(then_branch);
+                if let Some(e) = else_branch {
+                    self.visit(e);
+                }
+            }
+            Stmt::BlockRealize(br) => {
+                let composed = self.check_block_realize(br);
+                // Record the composed bindings so nested blocks validate
+                // against real loop variables.
+                let mut saved = Vec::new();
+                for (iv, value) in br.block.iter_vars.iter().zip(composed) {
+                    saved.push((
+                        iv.var.clone(),
+                        self.bind_map.insert(iv.var.clone(), value),
+                    ));
+                }
+                if let Some(init) = &br.block.init {
+                    self.visit(init);
+                }
+                self.visit(&br.block.body);
+                for (var, prev) in saved {
+                    match prev {
+                        Some(v) => {
+                            self.bind_map.insert(var, v);
+                        }
+                        None => {
+                            self.bind_map.remove(&var);
+                        }
+                    }
+                }
+            }
+            Stmt::Store { .. } | Stmt::Eval(_) => {}
+        }
+    }
+
+    /// Validates one realize and returns the composed binding expressions
+    /// (over loop variables only).
+    fn check_block_realize(&mut self, br: &BlockRealize) -> Vec<Expr> {
+        let block = &br.block;
+        // Compose bindings through enclosing block boundaries.
+        let composed: Vec<Expr> = br
+            .iter_values
+            .iter()
+            .map(|v| simplify_expr(&tir::visit::subst_expr(v, &self.bind_map)))
+            .collect();
+        let dom: Vec<(Var, i64)> = self
+            .loops
+            .iter()
+            .map(|(v, e, _)| (v.clone(), *e))
+            .collect();
+        // Re-executing a block instance is sound (idempotent) unless it is
+        // a reduction without an init to reset the accumulator — only then
+        // do we demand the bindings fully consume every enclosing loop.
+        let mode = if block.is_reduction() && block.init.is_none() {
+            CoverMode::Full
+        } else {
+            CoverMode::OverlapOnly
+        };
+        // Re-executing a whole reduction sweep (init included) is
+        // idempotent, but repeating *part* of a sweep is not: any loop not
+        // consumed by the bindings must sit outside every loop a reduction
+        // binding uses.
+        if block.is_reduction() && block.init.is_some() {
+            let used: Vec<Var> = composed.iter().flat_map(collect_vars_expr).collect();
+            let reduce_used: Vec<Var> = block
+                .iter_vars
+                .iter()
+                .zip(&composed)
+                .filter(|(iv, _)| iv.kind == IterKind::Reduce)
+                .flat_map(|(_, v)| collect_vars_expr(v))
+                .collect();
+            let first_reduce_pos = self
+                .loops
+                .iter()
+                .position(|(v, _, _)| reduce_used.contains(v));
+            if let Some(rpos) = first_reduce_pos {
+                for (pos, (v, extent, _)) in self.loops.iter().enumerate() {
+                    if *extent > 1 && pos > rpos && !used.contains(v) {
+                        self.errors.push(ValidationError::LoopNest {
+                            block: block.name.clone(),
+                            cause: IterMapError::NotIndependent(format!(
+                                "loop {} repeats a partial reduction sweep",
+                                v.name()
+                            )),
+                        });
+                    }
+                }
+            }
+        }
+        // Generated copy blocks (annotated `tir.copy`) are idempotent by
+        // construction and may carry overlapping halo bindings; only the
+        // region-cover and threading checks apply to them.
+        let relaxed_copy = block.annotations.contains_key("tir.copy");
+        match detect_iter_map_with(&composed, &dom, mode) {
+            Ok(map) => {
+                for ((iv, bound), value) in
+                    block.iter_vars.iter().zip(&map.extents).zip(&composed)
+                {
+                    if *bound > iv.extent && !predicate_guards(&br.predicate, value, iv.extent)
+                    {
+                        self.errors.push(ValidationError::DomainMismatch {
+                            block: block.name.clone(),
+                            iter_var: iv.var.name().to_string(),
+                            declared: iv.extent,
+                            bound: *bound,
+                        });
+                    }
+                    if *bound < iv.extent && mode == CoverMode::Full {
+                        self.errors.push(ValidationError::DomainMismatch {
+                            block: block.name.clone(),
+                            iter_var: iv.var.name().to_string(),
+                            declared: iv.extent,
+                            bound: *bound,
+                        });
+                    }
+                }
+            }
+            Err(cause) => {
+                if !relaxed_copy {
+                    self.errors.push(ValidationError::LoopNest {
+                        block: block.name.clone(),
+                        cause,
+                    });
+                }
+            }
+        }
+        // Reduction iterators must not bind to parallel loops — the update
+        // would race — "unless the reduction is atomic" (§3.1), which a
+        // block declares with the `tir.atomic` annotation.
+        let atomic = block.annotations.contains_key("tir.atomic");
+        let parallel_vars: Vec<&Var> = self
+            .loops
+            .iter()
+            .filter(|(_, _, k)| k.is_parallel())
+            .map(|(v, _, _)| v)
+            .collect();
+        for (iv, value) in block.iter_vars.iter().zip(&composed) {
+            if iv.kind == IterKind::Reduce && !atomic {
+                let used = collect_vars_expr(value);
+                if used.iter().any(|v| parallel_vars.contains(&v)) {
+                    self.errors.push(ValidationError::ReductionOnParallelLoop {
+                        block: block.name.clone(),
+                        iter_var: iv.var.name().to_string(),
+                    });
+                }
+            }
+        }
+        self.check_exec_scope(block);
+        self.check_cooperative_fetch(block, &composed);
+        composed
+    }
+
+    /// Cooperative-memory-access validation (§3.3): a block that writes a
+    /// shared-scope buffer while nested under `threadIdx` bindings must
+    /// either consume those thread loops in its bindings (each thread
+    /// writes its own slice) or carry a `tir.cooperative` annotation (the
+    /// copy is replicated idempotently and modeled as distributed across
+    /// the group). Otherwise threads race to produce the buffer without a
+    /// coverage guarantee for downstream consumers.
+    fn check_cooperative_fetch(&mut self, block: &Block, composed: &[Expr]) {
+        let writes_shared: Vec<&Buffer> = block
+            .writes
+            .iter()
+            .map(|w| &w.buffer)
+            .filter(|b| is_cooperative_scope(b.scope()))
+            .collect();
+        if writes_shared.is_empty() || self.threads.is_empty() {
+            return;
+        }
+        if block.annotations.contains_key("tir.cooperative")
+            || block.annotations.contains_key("tir.copy")
+        {
+            return;
+        }
+        // Thread loops consumed by the bindings are fine.
+        let used: Vec<Var> = composed.iter().flat_map(collect_vars_expr).collect();
+        let thread_vars: Vec<&Var> = self
+            .loops
+            .iter()
+            .filter(|(_, _, k)| {
+                matches!(k, ForKind::ThreadBinding(t) if t.is_thread_idx())
+            })
+            .map(|(v, _, _)| v)
+            .collect();
+        if thread_vars.iter().all(|v| used.contains(v)) {
+            return;
+        }
+        for b in writes_shared {
+            self.errors.push(ValidationError::CooperativeFetch {
+                block: block.name.clone(),
+                buffer: b.name().to_string(),
+            });
+        }
+    }
+
+    fn check_exec_scope(&mut self, block: &Block) {
+        let Some(tir::AnnValue::Str(scope)) = block.annotations.get("tir.exec_scope") else {
+            return;
+        };
+        match scope.as_str() {
+            "warp" => {
+                // Warp-level intrinsics (e.g. Tensor Core mma_sync) must run
+                // with a warp-aligned threadIdx.x binding in scope — or with
+                // no threadIdx.x at all, in which case the 32 lanes are
+                // implicit (warp-cooperative execution, as in pre-lowering
+                // TVM Tensor Core programs).
+                let tx = self
+                    .threads
+                    .iter()
+                    .find(|(t, _)| *t == ThreadTag::ThreadIdxX);
+                let ok = match tx {
+                    Some((_, e)) => *e % 32 == 0,
+                    None => true,
+                };
+                if !ok {
+                    self.errors.push(ValidationError::ExecScope {
+                        block: block.name.clone(),
+                        required: "warp".to_string(),
+                    });
+                }
+            }
+            "block" => {
+                let ok = self.threads.iter().any(|(t, _)| t.is_thread_idx());
+                if !ok {
+                    self.errors.push(ValidationError::ExecScope {
+                        block: block.name.clone(),
+                        required: "block".to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether the realize predicate contains a conjunct `value < limit`.
+fn predicate_guards(predicate: &Expr, value: &Expr, limit: i64) -> bool {
+    let mut conjuncts = Vec::new();
+    split_and(predicate, &mut conjuncts);
+    let value = simplify_expr(value);
+    conjuncts.iter().any(|c| {
+        if let Expr::Cmp(tir::CmpOp::Lt, lhs, rhs) = c {
+            rhs.as_int() == Some(limit) && expr_structural_eq(&simplify_expr(lhs), &value)
+        } else {
+            false
+        }
+    })
+}
+
+fn split_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Bin(BinOp::And, a, b) = e {
+        split_and(a, out);
+        split_and(b, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Checks that writes to every intermediate buffer cover all reads.
+///
+/// Function parameters are exempt (their contents come from the caller).
+pub fn check_region_cover(func: &PrimFunc) -> Vec<ValidationError> {
+    let set = collect_accesses(&func.body, &HashMap::new());
+    let params: Vec<&Buffer> = func.params.iter().collect();
+    let mut errors = Vec::new();
+    for (buffer, read_box) in &set.reads {
+        if params.contains(&buffer) {
+            continue;
+        }
+        match set.write_box(buffer) {
+            Some(write_box) if box_covers(write_box, read_box) => {}
+            _ => errors.push(ValidationError::RegionCover {
+                buffer: buffer.name().to_string(),
+            }),
+        }
+    }
+    errors
+}
+
+/// Runs loop-nest validation and threading validation on a function.
+pub fn check_loop_nests(func: &PrimFunc) -> Vec<ValidationError> {
+    let mut v = Validator {
+        loops: Vec::new(),
+        threads: Vec::new(),
+        bind_map: Default::default(),
+        errors: Vec::new(),
+    };
+    v.visit(&func.body);
+    v.errors
+}
+
+/// Runs the full validation suite on a function.
+///
+/// # Errors
+///
+/// Returns every violation found; an empty `Ok(())` means the program
+/// passed loop-nest, threading, and region-cover validation.
+pub fn validate(func: &PrimFunc) -> Result<(), Vec<ValidationError>> {
+    let mut errors = check_loop_nests(func);
+    errors.extend(check_region_cover(func));
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Convenience: validates and panics with a readable message on failure.
+/// Intended for tests and examples.
+///
+/// # Panics
+///
+/// Panics if validation fails.
+pub fn assert_valid(func: &PrimFunc) {
+    if let Err(errors) = validate(func) {
+        let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        panic!(
+            "validation of {} failed:\n  {}\nprogram:\n{}",
+            func.name,
+            msgs.join("\n  "),
+            func
+        );
+    }
+}
+
+/// Returns true when the buffer lives in a scope that is shared across the
+/// threads of one GPU thread block — writes to it must be cooperative.
+pub fn is_cooperative_scope(scope: &MemScope) -> bool {
+    matches!(scope, MemScope::Shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::builder::matmul_func;
+    use tir::{Buffer, DataType, IterVar};
+
+    #[test]
+    fn matmul_validates() {
+        let f = matmul_func("mm", 16, 16, 16, DataType::float32());
+        assert_valid(&f);
+    }
+
+    fn block_with_bindings(bindings: Vec<Expr>, kinds: Vec<(i64, IterKind)>) -> PrimFunc {
+        // Builds: for i in 0..N: block with given bindings.
+        let out = Buffer::new("O", DataType::float32(), vec![16]);
+        let vars: Vec<Var> = (0..kinds.len())
+            .map(|k| Var::int(format!("v{k}")))
+            .collect();
+        let iter_vars = vars
+            .iter()
+            .zip(&kinds)
+            .map(|(v, (e, k))| match k {
+                IterKind::Spatial => IterVar::spatial(v.clone(), *e),
+                IterKind::Reduce => IterVar::reduce(v.clone(), *e),
+            })
+            .collect();
+        let body = Stmt::store(out.clone(), vec![Expr::from(&vars[0])], Expr::f32(0.0));
+        let block = Block::new("b", iter_vars, vec![], vec![out.full_region()], body);
+        let i = Var::int("i");
+        let realize = tir::BlockRealize::new(bindings, block);
+        let stmt = Stmt::BlockRealize(Box::new(realize)).in_loop(i.clone(), 16);
+        // Substitute `i` placeholder: caller builds bindings over this var.
+        PrimFunc::new("f", vec![out], stmt)
+    }
+
+    #[test]
+    fn rejects_dependent_bindings() {
+        // v1 = i, v2 = i * 2: the paper's invalid example.
+        let i = Var::int("i");
+        let out = Buffer::new("O", DataType::float32(), vec![16]);
+        let (v1, v2) = (Var::int("v1"), Var::int("v2"));
+        let body = Stmt::store(out.clone(), vec![Expr::from(&v1)], Expr::f32(0.0));
+        let block = Block::new(
+            "b",
+            vec![IterVar::spatial(v1, 16), IterVar::spatial(v2, 32)],
+            vec![],
+            vec![out.full_region()],
+            body,
+        );
+        let realize =
+            tir::BlockRealize::new(vec![Expr::from(&i), Expr::from(&i) * 2], block);
+        let f = PrimFunc::new(
+            "f",
+            vec![out],
+            Stmt::BlockRealize(Box::new(realize)).in_loop(i, 16),
+        );
+        let errors = check_loop_nests(&f);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::LoopNest { .. })),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn accepts_split_bindings() {
+        // v1 = i // 4, v2 = i % 4: the paper's legal example.
+        let i = Var::int("i");
+        let out = Buffer::new("O", DataType::float32(), vec![16]);
+        let (v1, v2) = (Var::int("v1"), Var::int("v2"));
+        let body = Stmt::store(
+            out.clone(),
+            vec![Expr::from(&v1) * 4 + Expr::from(&v2)],
+            Expr::f32(0.0),
+        );
+        let block = Block::new(
+            "b",
+            vec![IterVar::spatial(v1, 4), IterVar::spatial(v2, 4)],
+            vec![],
+            vec![out.full_region()],
+            body,
+        );
+        let realize = tir::BlockRealize::new(
+            vec![Expr::from(&i).floor_div(4), Expr::from(&i).floor_mod(4)],
+            block,
+        );
+        let f = PrimFunc::new(
+            "f",
+            vec![out],
+            Stmt::BlockRealize(Box::new(realize)).in_loop(i, 16),
+        );
+        assert!(check_loop_nests(&f).is_empty());
+    }
+
+    #[test]
+    fn domain_mismatch_without_predicate() {
+        let f = block_with_bindings(
+            vec![Expr::from(&Var::int("unbound"))],
+            vec![(16, IterKind::Spatial)],
+        );
+        // The binding references a var that is not the loop var.
+        let errors = check_loop_nests(&f);
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn reduction_on_parallel_loop_rejected() {
+        let out = Buffer::new("O", DataType::float32(), vec![1]);
+        let k = Var::int("k");
+        let vk = Var::int("vk");
+        let body = Stmt::store(
+            out.clone(),
+            vec![Expr::int(0)],
+            out.load(vec![Expr::int(0)]) + Expr::f32(1.0),
+        );
+        let block = Block::new(
+            "b",
+            vec![IterVar::reduce(vk, 8)],
+            vec![],
+            vec![out.full_region()],
+            body,
+        );
+        let realize = tir::BlockRealize::new(vec![Expr::from(&k)], block);
+        let loop_ = Stmt::For(Box::new(tir::For::with_kind(
+            k,
+            8,
+            ForKind::Parallel,
+            Stmt::BlockRealize(Box::new(realize)),
+        )));
+        let f = PrimFunc::new("f", vec![out], loop_);
+        let errors = check_loop_nests(&f);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::ReductionOnParallelLoop { .. })),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn nested_same_thread_tag_rejected() {
+        let out = Buffer::new("O", DataType::float32(), vec![4]);
+        let (t0, t1) = (Var::int("t0"), Var::int("t1"));
+        let v = Var::int("v");
+        let body = Stmt::store(out.clone(), vec![Expr::from(&v)], Expr::f32(0.0));
+        let block = Block::new(
+            "b",
+            vec![IterVar::spatial(v, 4)],
+            vec![],
+            vec![out.full_region()],
+            body,
+        );
+        let realize = tir::BlockRealize::new(vec![Expr::from(&t0) * 2 + Expr::from(&t1)], block);
+        let inner = Stmt::For(Box::new(tir::For::with_kind(
+            t1,
+            2,
+            ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
+            Stmt::BlockRealize(Box::new(realize)),
+        )));
+        let outer = Stmt::For(Box::new(tir::For::with_kind(
+            t0,
+            2,
+            ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
+            inner,
+        )));
+        let f = PrimFunc::new("f", vec![out], outer);
+        let errors = check_loop_nests(&f);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::NestedThreadBinding { .. })),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn launch_limit_enforced() {
+        let out = Buffer::new("O", DataType::float32(), vec![2048]);
+        let t = Var::int("t");
+        let v = Var::int("v");
+        let body = Stmt::store(out.clone(), vec![Expr::from(&v)], Expr::f32(0.0));
+        let block = Block::new(
+            "b",
+            vec![IterVar::spatial(v, 2048)],
+            vec![],
+            vec![out.full_region()],
+            body,
+        );
+        let realize = tir::BlockRealize::new(vec![Expr::from(&t)], block);
+        let loop_ = Stmt::For(Box::new(tir::For::with_kind(
+            t,
+            2048,
+            ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
+            Stmt::BlockRealize(Box::new(realize)),
+        )));
+        let f = PrimFunc::new("f", vec![out], loop_);
+        let errors = check_loop_nests(&f);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::LaunchLimit { .. })),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn predicate_guard_accepts_partial_tiles() {
+        // i0 in 0..4, i1 in 0..8, binding v = i0*8 + i1 over domain 30 with
+        // predicate i0*8 + i1 < 30.
+        let out = Buffer::new("O", DataType::float32(), vec![30]);
+        let (i0, i1) = (Var::int("i0"), Var::int("i1"));
+        let v = Var::int("v");
+        let body = Stmt::store(out.clone(), vec![Expr::from(&v)], Expr::f32(0.0));
+        let block = Block::new(
+            "b",
+            vec![IterVar::spatial(v, 30)],
+            vec![],
+            vec![out.full_region()],
+            body,
+        );
+        let binding = Expr::from(&i0) * 8 + Expr::from(&i1);
+        let realize = tir::BlockRealize::with_predicate(
+            vec![binding.clone()],
+            binding.lt(30),
+            block,
+        );
+        let f = PrimFunc::new(
+            "f",
+            vec![out],
+            Stmt::BlockRealize(Box::new(realize)).in_loops(vec![(i0, 4), (i1, 8)]),
+        );
+        assert!(check_loop_nests(&f).is_empty());
+    }
+
+    #[test]
+    fn region_cover_detects_partial_producer() {
+        // B written only on [0, 4) but read on [0, 8).
+        let a = Buffer::new("A", DataType::float32(), vec![8]);
+        let b = Buffer::new("B", DataType::float32(), vec![8]);
+        let c = Buffer::new("C", DataType::float32(), vec![8]);
+        let i = Var::int("i");
+        let vi = Var::int("vi");
+        let w = Stmt::store(
+            b.clone(),
+            vec![Expr::from(&vi)],
+            a.load(vec![Expr::from(&vi)]),
+        );
+        let wb = Block::new(
+            "B",
+            vec![IterVar::spatial(vi.clone(), 4)],
+            vec![tir::BufferRegion::point(a.clone(), vec![Expr::from(&vi)])],
+            vec![tir::BufferRegion::point(b.clone(), vec![Expr::from(&vi)])],
+            w,
+        );
+        let producer = Stmt::BlockRealize(Box::new(tir::BlockRealize::new(
+            vec![Expr::from(&i)],
+            wb,
+        )))
+        .in_loop(i, 4);
+        let consumer =
+            tir::builder::compute("C", &c, |iv| b.load(vec![Expr::from(&iv[0])]));
+        let f = PrimFunc::new("f", vec![a, c], Stmt::seq(vec![producer, consumer]));
+        let errors = check_region_cover(&f);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::RegionCover { .. })),
+            "{errors:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod cooperative_tests {
+    use super::*;
+    use tir::{Buffer, DataType, IterVar};
+
+    /// A shared-buffer producer racing under threadIdx without cooperative
+    /// annotation is flagged; with the annotation it passes.
+    #[test]
+    fn cooperative_fetch_check() {
+        let shared = Buffer::with_scope(
+            "S",
+            DataType::float32(),
+            vec![8],
+            MemScope::Shared,
+        );
+        let a = Buffer::new("A", DataType::float32(), vec![8]);
+        let (t, ax) = (Var::int("t"), Var::int("ax"));
+        let v = Var::int("v");
+        let body = Stmt::store(
+            shared.clone(),
+            vec![Expr::from(&v)],
+            a.load(vec![Expr::from(&v)]),
+        );
+        let mk = |annotated: bool| {
+            let mut block = Block::new(
+                "S_copy",
+                vec![IterVar::spatial(v.clone(), 8)],
+                vec![tir::BufferRegion::point(a.clone(), vec![Expr::from(&v)])],
+                vec![tir::BufferRegion::point(
+                    shared.clone(),
+                    vec![Expr::from(&v)],
+                )],
+                body.clone(),
+            );
+            if annotated {
+                block
+                    .annotations
+                    .insert("tir.cooperative".into(), tir::AnnValue::Int(32));
+            }
+            // The copy loops over ax inside a threadIdx loop it does not
+            // consume.
+            let realize = BlockRealize::new(vec![Expr::from(&ax)], block);
+            let inner = Stmt::BlockRealize(Box::new(realize)).in_loop(ax.clone(), 8);
+            let thread_loop = Stmt::For(Box::new(tir::For::with_kind(
+                t.clone(),
+                32,
+                ForKind::ThreadBinding(ThreadTag::ThreadIdxX),
+                inner,
+            )));
+            PrimFunc::new("f", vec![a.clone()], thread_loop)
+        };
+        let errors = check_loop_nests(&mk(false));
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::CooperativeFetch { .. })),
+            "{errors:?}"
+        );
+        let errors = check_loop_nests(&mk(true));
+        assert!(
+            !errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::CooperativeFetch { .. })),
+            "{errors:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod atomic_tests {
+    use super::*;
+    use tir::builder::matmul_func;
+    use tir::DataType;
+
+    #[test]
+    fn atomic_annotation_permits_parallel_reduction() {
+        let mut func = matmul_func("mm", 8, 8, 8, DataType::float32());
+        // Parallelize the reduction loop (k is innermost).
+        fn parallelize_innermost(s: &mut Stmt) {
+            match s {
+                Stmt::For(f) => {
+                    if matches!(&f.body, Stmt::BlockRealize(_)) {
+                        f.kind = ForKind::Parallel;
+                    } else {
+                        parallelize_innermost(&mut f.body);
+                    }
+                }
+                Stmt::BlockRealize(br) => parallelize_innermost(&mut br.block.body),
+                Stmt::Seq(v) => v.iter_mut().for_each(parallelize_innermost),
+                _ => {}
+            }
+        }
+        parallelize_innermost(&mut func.body);
+        let errors = check_loop_nests(&func);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::ReductionOnParallelLoop { .. })),
+            "{errors:?}"
+        );
+        // Mark the block atomic: the same program now validates.
+        fn annotate(s: &mut Stmt) {
+            match s {
+                Stmt::BlockRealize(br) => {
+                    if br.block.name == "C" {
+                        br.block
+                            .annotations
+                            .insert("tir.atomic".into(), tir::AnnValue::Int(1));
+                    }
+                    annotate(&mut br.block.body);
+                }
+                Stmt::For(f) => annotate(&mut f.body),
+                Stmt::Seq(v) => v.iter_mut().for_each(annotate),
+                _ => {}
+            }
+        }
+        annotate(&mut func.body);
+        let errors = check_loop_nests(&func);
+        assert!(
+            !errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::ReductionOnParallelLoop { .. })),
+            "{errors:?}"
+        );
+    }
+}

@@ -1,0 +1,672 @@
+//! Quasi-affine iterator-map detection.
+//!
+//! This is the pattern matcher of §3.3 of the paper: given block-iterator
+//! binding expressions over a set of loop variables, detect whether each
+//! binding is a *quasi-affine* combination of independent splits of the
+//! loops (built from `+`, `-`, `* const`, `// const`, `% const`), and
+//! whether the bindings are jointly **bijective** — every loop assignment
+//! maps to a distinct binding tuple and the tuples exactly tile the block's
+//! iteration domain.
+//!
+//! The representation follows TVM's `IterMapExpr` family: an [`IterSplit`]
+//! denotes `((var / lower_factor) % extent) * scale` and an [`IterSum`] is
+//! a sum of splits plus a constant base. Division and modulo distribute
+//! over a *compact* sum (one whose scales form a mixed-radix positional
+//! encoding), which is how fuse-then-split expressions like
+//! `(i * 16 + j) // 4` are recognized.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tir::{BinOp, Expr, Var};
+
+/// One split piece of a loop variable:
+/// `((var // lower_factor) % extent) * scale`.
+#[derive(Clone, Debug)]
+pub struct IterSplit {
+    /// Source loop variable.
+    pub var: Var,
+    /// Full domain extent of the source variable.
+    pub var_extent: i64,
+    /// Divisor applied before the modulo.
+    pub lower_factor: i64,
+    /// Extent of this piece.
+    pub extent: i64,
+    /// Multiplier applied to the piece.
+    pub scale: i64,
+}
+
+impl IterSplit {
+    fn same_piece(&self, other: &IterSplit) -> bool {
+        self.var == other.var
+            && self.lower_factor == other.lower_factor
+            && self.extent == other.extent
+    }
+}
+
+/// A normalized quasi-affine expression: a sum of splits plus a base.
+#[derive(Clone, Debug, Default)]
+pub struct IterSum {
+    /// Component splits.
+    pub terms: Vec<IterSplit>,
+    /// Constant offset.
+    pub base: i64,
+}
+
+impl IterSum {
+    fn constant(base: i64) -> Self {
+        IterSum {
+            terms: Vec::new(),
+            base,
+        }
+    }
+
+    /// Merges equal pieces and drops zero-scale or extent-1 terms.
+    fn canonicalize(mut self) -> Self {
+        let mut out: Vec<IterSplit> = Vec::with_capacity(self.terms.len());
+        for t in self.terms.drain(..) {
+            if let Some(existing) = out.iter_mut().find(|e| e.same_piece(&t)) {
+                existing.scale += t.scale;
+            } else {
+                out.push(t);
+            }
+        }
+        out.retain(|t| t.scale != 0 && t.extent != 1);
+        self.terms = out;
+        self
+    }
+
+    /// Sorts the terms into compact positional order (highest scale first)
+    /// and verifies `scale[k] == scale[k+1] * extent[k+1]`. Returns `None`
+    /// when the sum is not compact or a scale is non-positive.
+    pub fn sorted_compact(&self) -> Option<Vec<IterSplit>> {
+        if self.terms.iter().any(|t| t.scale <= 0) {
+            return None;
+        }
+        let mut sorted = self.terms.clone();
+        sorted.sort_by(|a, b| b.scale.cmp(&a.scale));
+        for w in sorted.windows(2) {
+            if w[0].scale != w[1].scale * w[1].extent {
+                return None;
+            }
+        }
+        Some(sorted)
+    }
+
+    /// If the sum is compact with unit scale 1 and zero base, returns the
+    /// number of distinct values: the sum then bijectively covers
+    /// `[0, extent)`.
+    pub fn strict_extent(&self) -> Option<i64> {
+        if self.base != 0 {
+            return None;
+        }
+        if self.terms.is_empty() {
+            return Some(1);
+        }
+        let sorted = self.sorted_compact()?;
+        let last = sorted.last().expect("nonempty");
+        if last.scale != 1 {
+            return None;
+        }
+        let first = sorted.first().expect("nonempty");
+        Some(first.scale * first.extent)
+    }
+}
+
+impl fmt::Display for IterSplit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(({} // {}) % {}) * {}",
+            self.var.name(),
+            self.lower_factor,
+            self.extent,
+            self.scale
+        )
+    }
+}
+
+impl fmt::Display for IterSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if self.base != 0 || self.terms.is_empty() {
+            if !self.terms.is_empty() {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.base)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why iterator-map detection failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IterMapError {
+    /// The expression uses an operation outside the quasi-affine fragment.
+    NonAffine(String),
+    /// A variable without a known domain appears in a binding.
+    UnknownVar(String),
+    /// The bindings reuse an iterator piece (e.g. `v1 = i, v2 = i * 2`).
+    NotIndependent(String),
+    /// The splits of a loop do not tile its full domain.
+    IncompleteCover(String),
+    /// A binding is not a zero-based compact combination.
+    NotStrict(String),
+}
+
+impl fmt::Display for IterMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IterMapError::NonAffine(s) => write!(f, "non-affine binding: {s}"),
+            IterMapError::UnknownVar(s) => write!(f, "unknown variable in binding: {s}"),
+            IterMapError::NotIndependent(s) => write!(f, "bindings are not independent: {s}"),
+            IterMapError::IncompleteCover(s) => {
+                write!(f, "loop domain not fully covered: {s}")
+            }
+            IterMapError::NotStrict(s) => write!(f, "binding is not surjective: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IterMapError {}
+
+type Result<T> = std::result::Result<T, IterMapError>;
+
+/// Distributes `sum // c` (when `div` is true) or `sum % c` over a compact
+/// sum by walking its mixed-radix parts from the lowest scale upward.
+///
+/// Each part either falls entirely below the cut (`scale * extent <= c`,
+/// goes to the modulo side), entirely above it (`scale % c == 0`, goes to
+/// the quotient side with scale divided by `c`), or straddles the cut and
+/// is split into two sub-pieces at `d = c / scale` (requiring
+/// `d | extent`).
+fn split_at(sum: IterSum, c: i64, div: bool) -> Result<IterSum> {
+    if c <= 0 {
+        return Err(IterMapError::NonAffine(format!(
+            "division by non-positive constant {c}"
+        )));
+    }
+    if sum.base % c != 0 {
+        return Err(IterMapError::NonAffine(format!(
+            "division base {} not divisible by {c}",
+            sum.base
+        )));
+    }
+    if sum.terms.is_empty() {
+        return Ok(IterSum::constant(if div { sum.base / c } else { 0 }));
+    }
+    let sorted = sum.sorted_compact().ok_or_else(|| {
+        IterMapError::NonAffine(format!("division of non-compact sum: {sum}"))
+    })?;
+    let mut quot: Vec<IterSplit> = Vec::new();
+    let mut rem: Vec<IterSplit> = Vec::new();
+    for part in sorted {
+        if part.scale % c == 0 {
+            quot.push(IterSplit {
+                scale: part.scale / c,
+                ..part
+            });
+        } else if part.scale * part.extent <= c {
+            // Compactness guarantees the joint value of all below-cut parts
+            // stays under `c`, so the part contributes only to the modulo.
+            rem.push(part);
+        } else if c % part.scale == 0 {
+            let d = c / part.scale;
+            if part.extent % d != 0 {
+                return Err(IterMapError::NonAffine(format!(
+                    "cannot split extent {} at {d}",
+                    part.extent
+                )));
+            }
+            rem.push(IterSplit {
+                extent: d,
+                ..part.clone()
+            });
+            quot.push(IterSplit {
+                lower_factor: part.lower_factor * d,
+                extent: part.extent / d,
+                scale: 1,
+                ..part
+            });
+        } else {
+            return Err(IterMapError::NonAffine(format!(
+                "part {part} misaligned with divisor {c}"
+            )));
+        }
+    }
+    let result = IterSum {
+        terms: if div { quot } else { rem },
+        base: if div { sum.base / c } else { 0 },
+    }
+    .canonicalize();
+    // The result must itself be compact, otherwise the decomposition above
+    // is unsound (parts could carry into each other).
+    if !result.terms.is_empty() && result.sorted_compact().is_none() {
+        return Err(IterMapError::NonAffine(format!(
+            "division result is non-compact: {result}"
+        )));
+    }
+    Ok(result)
+}
+
+/// Normalizes an expression into an [`IterSum`] over the given loop domains.
+pub fn normalize(expr: &Expr, dom: &HashMap<Var, i64>) -> Result<IterSum> {
+    match expr {
+        Expr::Int(v, _) => Ok(IterSum::constant(*v)),
+        Expr::Var(v) => {
+            let extent = *dom
+                .get(v)
+                .ok_or_else(|| IterMapError::UnknownVar(v.name().to_string()))?;
+            Ok(IterSum {
+                terms: vec![IterSplit {
+                    var: v.clone(),
+                    var_extent: extent,
+                    lower_factor: 1,
+                    extent,
+                    scale: 1,
+                }],
+                base: 0,
+            }
+            .canonicalize())
+        }
+        Expr::Cast(_, v) => normalize(v, dom),
+        Expr::Bin(op, a, b) => match op {
+            BinOp::Add => {
+                let (mut x, y) = (normalize(a, dom)?, normalize(b, dom)?);
+                x.terms.extend(y.terms);
+                x.base += y.base;
+                Ok(x.canonicalize())
+            }
+            BinOp::Sub => {
+                let (mut x, mut y) = (normalize(a, dom)?, normalize(b, dom)?);
+                for t in &mut y.terms {
+                    t.scale = -t.scale;
+                }
+                x.terms.extend(y.terms);
+                x.base -= y.base;
+                Ok(x.canonicalize())
+            }
+            BinOp::Mul => {
+                let (x, y) = (normalize(a, dom)?, normalize(b, dom)?);
+                let (mut sum, c) = if x.terms.is_empty() {
+                    (y, x.base)
+                } else if y.terms.is_empty() {
+                    (x, y.base)
+                } else {
+                    return Err(IterMapError::NonAffine(format!(
+                        "product of two iterators: {expr}"
+                    )));
+                };
+                for t in &mut sum.terms {
+                    t.scale *= c;
+                }
+                sum.base *= c;
+                Ok(sum.canonicalize())
+            }
+            BinOp::FloorDiv | BinOp::FloorMod => {
+                let rhs = normalize(b, dom)?;
+                if !rhs.terms.is_empty() {
+                    return Err(IterMapError::NonAffine(format!(
+                        "division by non-constant: {expr}"
+                    )));
+                }
+                split_at(normalize(a, dom)?, rhs.base, *op == BinOp::FloorDiv)
+            }
+            _ => Err(IterMapError::NonAffine(format!("{expr}"))),
+        },
+        other => Err(IterMapError::NonAffine(format!("{other}"))),
+    }
+}
+
+/// A successfully detected iterator map.
+#[derive(Debug)]
+pub struct IterMap {
+    /// Normalized form of each binding, in input order.
+    pub sums: Vec<IterSum>,
+    /// Extent of each binding: binding `i` surjectively covers
+    /// `[0, extents[i])`.
+    pub extents: Vec<i64>,
+}
+
+/// Detects a bijective quasi-affine iterator map.
+///
+/// `bindings` are the block-iterator binding expressions; `dom` gives each
+/// loop variable with its extent (loops iterate over `[0, extent)`).
+///
+/// On success: every binding is quasi-affine and surjective onto
+/// `[0, extent_i)`, the bindings are mutually independent, and every loop
+/// with extent > 1 is fully consumed.
+///
+/// # Examples
+///
+/// ```
+/// use tir::{Expr, Var};
+/// use tir_arith::iter_map::detect_iter_map;
+/// let i = Var::int("i");
+/// // v0 = i // 4, v1 = i % 4 over i in [0, 16): a legal re-split.
+/// let map = detect_iter_map(
+///     &[Expr::from(&i).floor_div(4), Expr::from(&i).floor_mod(4)],
+///     &[(i.clone(), 16)],
+/// ).unwrap();
+/// assert_eq!(map.extents, vec![4, 4]);
+/// // v0 = i, v1 = i * 2 is rejected (the paper's example of dependence).
+/// assert!(detect_iter_map(
+///     &[Expr::from(&i), Expr::from(&i) * 2],
+///     &[(i.clone(), 16)],
+/// ).is_err());
+/// ```
+pub fn detect_iter_map(bindings: &[Expr], dom: &[(Var, i64)]) -> Result<IterMap> {
+    detect_iter_map_with(bindings, dom, CoverMode::Full)
+}
+
+/// How strictly [`detect_iter_map_with`] checks loop-domain coverage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoverMode {
+    /// Every loop with extent > 1 must be fully consumed (bijective map).
+    Full,
+    /// Pieces must not overlap, but gaps and unused loops are allowed —
+    /// the map is injective on the covered digits; uncovered digits mean
+    /// the block re-executes identically (sound for idempotent blocks).
+    OverlapOnly,
+}
+
+/// [`detect_iter_map`] with a configurable coverage requirement.
+///
+/// # Errors
+///
+/// As [`detect_iter_map`]; with [`CoverMode::OverlapOnly`] the
+/// `IncompleteCover` family of errors is suppressed.
+pub fn detect_iter_map_with(
+    bindings: &[Expr],
+    dom: &[(Var, i64)],
+    mode: CoverMode,
+) -> Result<IterMap> {
+    let env: HashMap<Var, i64> = dom.iter().cloned().collect();
+    let mut sums = Vec::with_capacity(bindings.len());
+    let mut extents = Vec::with_capacity(bindings.len());
+    let mut pieces_by_var: HashMap<Var, Vec<(i64, i64)>> = HashMap::new();
+
+    for b in bindings {
+        let simplified = tir::simplify::simplify_expr(b);
+        let sum = normalize(&simplified, &env)?;
+        let extent = sum
+            .strict_extent()
+            .ok_or_else(|| IterMapError::NotStrict(format!("{simplified}")))?;
+        for t in &sum.terms {
+            pieces_by_var
+                .entry(t.var.clone())
+                .or_default()
+                .push((t.lower_factor, t.extent));
+        }
+        sums.push(sum);
+        extents.push(extent);
+    }
+
+    // Independence + coverage: the pieces of each loop variable must tile
+    // its domain [1, extent) in digit space exactly once.
+    for (v, extent) in dom {
+        let mut pieces = pieces_by_var.remove(v).unwrap_or_default();
+        if pieces.is_empty() {
+            if *extent > 1 && mode == CoverMode::Full {
+                return Err(IterMapError::IncompleteCover(format!(
+                    "loop {} (extent {extent}) is unused",
+                    v.name()
+                )));
+            }
+            continue;
+        }
+        pieces.sort_unstable();
+        let mut expected = 1i64;
+        for (lf, ext) in &pieces {
+            if *lf < expected {
+                return Err(IterMapError::NotIndependent(format!(
+                    "loop {} split at factor {lf} overlaps a previous split",
+                    v.name()
+                )));
+            }
+            if *lf > expected && mode == CoverMode::Full {
+                return Err(IterMapError::IncompleteCover(format!(
+                    "loop {} digits [{expected}, {lf}) are unused",
+                    v.name()
+                )));
+            }
+            expected = lf
+                .checked_mul(*ext)
+                .ok_or_else(|| IterMapError::NonAffine("extent overflow".into()))?;
+        }
+        if expected != *extent && mode == CoverMode::Full {
+            return Err(IterMapError::IncompleteCover(format!(
+                "loop {} covered up to {expected} of extent {extent}",
+                v.name()
+            )));
+        }
+    }
+
+    Ok(IterMap { sums, extents })
+}
+
+/// Evaluates an [`IterSum`] on concrete loop values — the reference
+/// semantics used by the property tests.
+pub fn eval_iter_sum(sum: &IterSum, values: &HashMap<Var, i64>) -> i64 {
+    let mut acc = sum.base;
+    for t in &sum.terms {
+        let v = values[&t.var];
+        acc += ((v / t.lower_factor) % t.extent) * t.scale;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Var {
+        Var::int(name)
+    }
+
+    #[test]
+    fn identity_bindings() {
+        let (i, j) = (v("i"), v("j"));
+        let map = detect_iter_map(
+            &[Expr::from(&i), Expr::from(&j)],
+            &[(i.clone(), 8), (j.clone(), 16)],
+        )
+        .expect("identity map");
+        assert_eq!(map.extents, vec![8, 16]);
+    }
+
+    #[test]
+    fn split_bindings() {
+        let i = v("i");
+        let map = detect_iter_map(
+            &[Expr::from(&i).floor_div(4), Expr::from(&i).floor_mod(4)],
+            &[(i.clone(), 32)],
+        )
+        .expect("split map");
+        assert_eq!(map.extents, vec![8, 4]);
+    }
+
+    #[test]
+    fn fuse_binding() {
+        let (i, j) = (v("i"), v("j"));
+        let map = detect_iter_map(
+            &[Expr::from(&i) * 16 + Expr::from(&j)],
+            &[(i.clone(), 8), (j.clone(), 16)],
+        )
+        .expect("fuse map");
+        assert_eq!(map.extents, vec![128]);
+    }
+
+    #[test]
+    fn fuse_then_split() {
+        let (i, j) = (v("i"), v("j"));
+        // fused = i * 16 + j over [0, 128); bind v0 = fused // 4, v1 = fused % 4
+        let fused = Expr::from(&i) * 16 + Expr::from(&j);
+        let map = detect_iter_map(
+            &[fused.clone().floor_div(4), fused.floor_mod(4)],
+            &[(i.clone(), 8), (j.clone(), 16)],
+        )
+        .expect("fuse-split map");
+        assert_eq!(map.extents, vec![32, 4]);
+    }
+
+    #[test]
+    fn three_level_split() {
+        let i = v("i");
+        let e = Expr::from(&i);
+        let map = detect_iter_map(
+            &[
+                e.clone().floor_div(16),
+                e.clone().floor_mod(16).floor_div(4),
+                e.clone().floor_mod(4),
+            ],
+            &[(i.clone(), 64)],
+        )
+        .expect("3-level split");
+        assert_eq!(map.extents, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_dependent_bindings() {
+        let i = v("i");
+        // The paper's example: v1 = i, v2 = i * 2 — not independent.
+        let err = detect_iter_map(
+            &[Expr::from(&i), Expr::from(&i) * 2],
+            &[(i.clone(), 16)],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, IterMapError::NotIndependent(_) | IterMapError::NotStrict(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_reused_split() {
+        let i = v("i");
+        let err = detect_iter_map(
+            &[Expr::from(&i), Expr::from(&i)],
+            &[(i.clone(), 16)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, IterMapError::NotIndependent(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_partial_cover() {
+        let i = v("i");
+        // Only the low 4 digits used; i // 4 discarded.
+        let err =
+            detect_iter_map(&[Expr::from(&i).floor_mod(4)], &[(i.clone(), 16)]).unwrap_err();
+        assert!(matches!(err, IterMapError::IncompleteCover(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_unused_loop() {
+        let (i, j) = (v("i"), v("j"));
+        let err = detect_iter_map(&[Expr::from(&i)], &[(i.clone(), 4), (j.clone(), 4)])
+            .unwrap_err();
+        assert!(matches!(err, IterMapError::IncompleteCover(_)), "{err}");
+        // Extent-1 loops are exempt.
+        detect_iter_map(&[Expr::from(&i)], &[(i.clone(), 4), (j.clone(), 1)])
+            .expect("extent-1 loop unused is fine");
+    }
+
+    #[test]
+    fn rejects_non_affine() {
+        let (i, j) = (v("i"), v("j"));
+        let err = detect_iter_map(
+            &[Expr::from(&i) * Expr::from(&j)],
+            &[(i.clone(), 4), (j.clone(), 4)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, IterMapError::NonAffine(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_scaled_non_surjective() {
+        let i = v("i");
+        let err = detect_iter_map(&[Expr::from(&i) * 3], &[(i.clone(), 4)]).unwrap_err();
+        assert!(matches!(err, IterMapError::NotStrict(_)), "{err}");
+    }
+
+    #[test]
+    fn accepts_sum_with_mixed_radix() {
+        // v = (i * 12) + (j * 4) + k over i:[0,2), j:[0,3), k:[0,4)
+        let (i, j, k) = (v("i"), v("j"), v("k"));
+        let e = Expr::from(&i) * 12 + Expr::from(&j) * 4 + Expr::from(&k);
+        let map = detect_iter_map(&[e], &[(i.clone(), 2), (j.clone(), 3), (k.clone(), 4)])
+            .expect("mixed radix fuse");
+        assert_eq!(map.extents, vec![24]);
+    }
+
+    #[test]
+    fn split_of_fused_respects_boundaries() {
+        let (i, j) = (v("i"), v("j"));
+        // fused = i*16 + j, i:[0,8) j:[0,16); three-way re-split at 8.
+        let fused = Expr::from(&i) * 16 + Expr::from(&j);
+        let bindings = [
+            fused.clone().floor_div(16),
+            fused.clone().floor_mod(16).floor_div(8),
+            fused.floor_mod(8),
+        ];
+        let map =
+            detect_iter_map(&bindings, &[(i.clone(), 8), (j.clone(), 16)]).expect("split");
+        assert_eq!(map.extents, vec![8, 2, 8]);
+    }
+
+    #[test]
+    fn fused_split_crossing_part_boundary() {
+        let (i, j) = (v("i"), v("j"));
+        // fused = i*4 + j with j:[0,4), i:[0,8); divide by 2 (inside part j).
+        let fused = Expr::from(&i) * 4 + Expr::from(&j);
+        let map = detect_iter_map(
+            &[fused.clone().floor_div(2), fused.floor_mod(2)],
+            &[(i.clone(), 8), (j.clone(), 4)],
+        )
+        .expect("cross-boundary split");
+        assert_eq!(map.extents, vec![16, 2]);
+    }
+
+    #[test]
+    fn constant_binding_for_unit_domain() {
+        let i = v("i");
+        let map = detect_iter_map(&[Expr::int(0), Expr::from(&i)], &[(i.clone(), 4)])
+            .expect("constant + identity");
+        assert_eq!(map.extents, vec![1, 4]);
+    }
+
+    #[test]
+    fn eval_matches_expr_semantics() {
+        let (i, j) = (v("i"), v("j"));
+        let fused = Expr::from(&i) * 16 + Expr::from(&j);
+        let dom = [(i.clone(), 8i64), (j.clone(), 16i64)];
+        let map = detect_iter_map(
+            &[fused.clone().floor_div(4), fused.floor_mod(4)],
+            &dom,
+        )
+        .expect("map");
+        for iv in 0..8 {
+            for jv in 0..16 {
+                let values: HashMap<Var, i64> =
+                    [(i.clone(), iv), (j.clone(), jv)].into_iter().collect();
+                let fused_v = iv * 16 + jv;
+                assert_eq!(eval_iter_sum(&map.sums[0], &values), fused_v / 4);
+                assert_eq!(eval_iter_sum(&map.sums[1], &values), fused_v % 4);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_display() {
+        let i = v("i");
+        let dom: HashMap<Var, i64> = [(i.clone(), 16)].into_iter().collect();
+        let s = normalize(&Expr::from(&i).floor_div(4), &dom).expect("normalize");
+        assert!(s.to_string().contains("// 4"), "{s}");
+    }
+}

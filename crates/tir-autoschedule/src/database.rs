@@ -1,0 +1,212 @@
+//! Tuning database: cached search records keyed by workload fingerprint.
+//!
+//! §5.2 of the paper: "TensorIR can eliminate search time further by
+//! caching historical cost models and search records. So no search is
+//! needed to build a model for an operator already tuned." A database
+//! lookup replaces the whole evolutionary search when an identical
+//! workload (same computation, shapes, and dtypes — names and variable
+//! identities ignored) has been tuned before.
+
+use std::collections::HashMap;
+
+use tir::PrimFunc;
+use tir_exec::machine::Machine;
+use tir_tensorize::IntrinRegistry;
+
+use crate::baseline::{tune_workload, Strategy};
+use crate::search::{TuneOptions, TuneResult};
+
+/// Computes a structural fingerprint of a workload: the printed program
+/// with variable/buffer *names* replaced by first-occurrence indices, so
+/// alpha-equivalent workloads share a key.
+pub fn workload_key(func: &PrimFunc) -> String {
+    let text = func.to_string();
+    // Tokenize identifiers and renumber them in order of first occurrence.
+    let mut map: HashMap<String, String> = HashMap::new();
+    let mut out = String::with_capacity(text.len());
+    let mut ident = String::new();
+    let flush = |ident: &mut String, out: &mut String, map: &mut HashMap<String, String>| {
+        if ident.is_empty() {
+            return;
+        }
+        // Keep dialect keywords stable; rename everything else.
+        const KEYWORDS: &[&str] = &[
+            "def", "for", "in", "if", "else", "with", "range", "pass", "and", "or", "not",
+            "thread", "true", "false", "True", "False",
+        ];
+        let is_dialect = ident.starts_with("T.") || KEYWORDS.contains(&ident.as_str());
+        if is_dialect {
+            out.push_str(ident);
+        } else {
+            let n = map.len();
+            let id = map
+                .entry(ident.clone())
+                .or_insert_with(|| format!("x{n}"));
+            out.push_str(id);
+        }
+        ident.clear();
+    };
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+            ident.push(c);
+        } else {
+            flush(&mut ident, &mut out, &mut map);
+            out.push(c);
+        }
+    }
+    flush(&mut ident, &mut out, &mut map);
+    out
+}
+
+/// One cached tuning outcome.
+#[derive(Clone, Debug)]
+pub struct TuningRecord {
+    /// The best program found.
+    pub best: PrimFunc,
+    /// Its simulated time.
+    pub best_time: f64,
+    /// Trials spent when it was first tuned.
+    pub trials: usize,
+    /// Tuning cost paid when it was first tuned (seconds).
+    pub tuning_cost_s: f64,
+}
+
+/// An in-memory database of tuning records, keyed by
+/// `(machine, strategy, workload fingerprint)`.
+#[derive(Default, Debug)]
+pub struct TuningDatabase {
+    records: HashMap<(String, &'static str, String), TuningRecord>,
+    hits: usize,
+    misses: usize,
+}
+
+impl TuningDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cache hits served so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of workloads actually tuned.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Tunes `func` unless an alpha-equivalent workload was tuned before,
+    /// in which case the cached record is returned with zero tuning cost
+    /// (the paper's "no search is needed for an operator already tuned").
+    pub fn tune_cached(
+        &mut self,
+        func: &PrimFunc,
+        machine: &Machine,
+        intrins: &IntrinRegistry,
+        strategy: Strategy,
+        opts: &TuneOptions,
+    ) -> TuneResult {
+        let key = (
+            machine.name.clone(),
+            strategy.label(),
+            workload_key(func),
+        );
+        if let Some(rec) = self.records.get(&key) {
+            self.hits += 1;
+            return TuneResult {
+                best: Some(rec.best.clone()),
+                best_time: rec.best_time,
+                trials_measured: 0,
+                invalid_filtered: 0,
+                wasted_measurements: 0,
+                tuning_cost_s: 0.0,
+                history: vec![rec.best_time],
+            };
+        }
+        self.misses += 1;
+        let result = tune_workload(func, machine, intrins, strategy, opts);
+        if let Some(best) = &result.best {
+            self.records.insert(
+                key,
+                TuningRecord {
+                    best: best.clone(),
+                    best_time: result.best_time,
+                    trials: result.trials_measured,
+                    tuning_cost_s: result.tuning_cost_s,
+                },
+            );
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::DataType;
+    use tir_tensorize::builtin_registry;
+
+    #[test]
+    fn alpha_equivalent_workloads_share_a_key() {
+        // Two independently constructed matmuls (different Var/Buffer
+        // identities) must collide; a different shape must not.
+        let a = tir::builder::matmul_func("mm", 64, 64, 64, DataType::float16());
+        let b = tir::builder::matmul_func("other_name", 64, 64, 64, DataType::float16());
+        let c = tir::builder::matmul_func("mm", 64, 64, 32, DataType::float16());
+        let d = tir::builder::matmul_func("mm", 64, 64, 64, DataType::float32());
+        assert_eq!(workload_key(&a), workload_key(&b));
+        assert_ne!(workload_key(&a), workload_key(&c));
+        assert_ne!(workload_key(&a), workload_key(&d));
+    }
+
+    #[test]
+    fn second_tuning_is_free() {
+        let mut db = TuningDatabase::new();
+        let machine = Machine::sim_gpu();
+        let reg = builtin_registry();
+        let opts = TuneOptions {
+            trials: 12,
+            ..Default::default()
+        };
+        let f1 = tir::builder::matmul_func("mm", 128, 128, 128, DataType::float16());
+        let first = db.tune_cached(&f1, &machine, &reg, Strategy::TensorIr, &opts);
+        assert!(first.tuning_cost_s > 0.0);
+        assert_eq!(db.misses(), 1);
+
+        // A fresh, alpha-equivalent function: cache hit, zero cost, same
+        // result.
+        let f2 = tir::builder::matmul_func("mm2", 128, 128, 128, DataType::float16());
+        let second = db.tune_cached(&f2, &machine, &reg, Strategy::TensorIr, &opts);
+        assert_eq!(db.hits(), 1);
+        assert_eq!(second.tuning_cost_s, 0.0);
+        assert_eq!(second.trials_measured, 0);
+        assert_eq!(second.best_time, first.best_time);
+    }
+
+    #[test]
+    fn different_machines_do_not_share_records() {
+        let mut db = TuningDatabase::new();
+        let reg = builtin_registry();
+        let opts = TuneOptions {
+            trials: 8,
+            ..Default::default()
+        };
+        let f = tir_workloads::gmm(64, 64, 64, DataType::int8(), DataType::int32());
+        db.tune_cached(&f, &Machine::sim_arm(), &reg, Strategy::TensorIr, &opts);
+        db.tune_cached(&f, &Machine::sim_gpu(), &reg, Strategy::TensorIr, &opts);
+        assert_eq!(db.misses(), 2);
+        assert_eq!(db.hits(), 0);
+        assert_eq!(db.len(), 2);
+    }
+}

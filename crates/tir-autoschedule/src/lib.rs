@@ -1,0 +1,32 @@
+//! # tir-autoschedule — the tensorization-aware auto-scheduler
+//!
+//! Implements §4.3–4.4 of the paper:
+//!
+//! * [`sketch`] / [`sketch_gpu`] / [`sketch_cpu`] — sketch generation rules
+//!   that fix program structure (auto-tensorization, multi-level tiling,
+//!   thread binding, AutoCopy data-movement blocks) while leaving decisions
+//!   (tile sizes, widths) to the search;
+//! * [`search`] — evolutionary search with validation filtering;
+//! * [`cost_model`] — a from-scratch gradient-boosted-tree cost model
+//!   trained online from simulator measurements;
+//! * [`feature`] — program feature extraction;
+//! * [`baseline`] — the comparison strategies: Ansor-like scalar search
+//!   ("TVM"), AMOS-like tensorization without first-class data movement,
+//!   and roofline oracles for vendor libraries.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cost_model;
+pub mod database;
+pub mod feature;
+pub mod search;
+pub mod sketch;
+pub mod sketch_cpu;
+pub mod sketch_gpu;
+
+pub use baseline::{build_sketches, oracle_time, tune_workload, Strategy};
+pub use cost_model::CostModel;
+pub use database::{workload_key, TuningDatabase};
+pub use search::{tune, tune_multi, TuneOptions, TuneResult};
+pub use sketch::{Decision, DecisionKind, SketchRule};

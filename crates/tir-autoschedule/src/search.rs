@@ -1,0 +1,342 @@
+//! Evolutionary search with a learned cost model and validation filtering
+//! (§4.4).
+//!
+//! The search samples random decision vectors for a sketch, evolves them by
+//! mutation and crossover, ranks unmeasured candidates with the GBDT cost
+//! model, "measures" the most promising ones on the hardware simulator, and
+//! feeds the measurements back into the model. Invalid candidates (failed
+//! primitives or §3.3 validation) are filtered *before* measurement; the
+//! `validate_before_measure` flag exists so the ablation benchmark can show
+//! what happens without the filter (wasted measurement budget).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tir::PrimFunc;
+use tir_exec::cost::{estimate_time, summarize};
+use tir_exec::machine::Machine;
+
+use crate::cost_model::CostModel;
+use crate::feature::features_of_summary;
+use crate::sketch::{Decision, SketchRule};
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Measurement (hardware-profile) budget.
+    pub trials: usize,
+    /// Candidates generated per generation.
+    pub population: usize,
+    /// Measurements per generation (top-ranked by the cost model).
+    pub measure_per_generation: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Rank candidates with the learned cost model (vs. measuring in
+    /// sample order).
+    pub use_cost_model: bool,
+    /// Filter invalid candidates before measurement; when false, invalid
+    /// candidates consume measurement budget (the ablation case).
+    pub validate_before_measure: bool,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            trials: 64,
+            population: 32,
+            measure_per_generation: 8,
+            seed: 42,
+            use_cost_model: true,
+            validate_before_measure: true,
+        }
+    }
+}
+
+/// Outcome of a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// The fastest program found (if any candidate was valid).
+    pub best: Option<PrimFunc>,
+    /// Simulated execution time of the best program, seconds.
+    pub best_time: f64,
+    /// Measurements actually performed.
+    pub trials_measured: usize,
+    /// Candidates rejected by construction/validation before measuring.
+    pub invalid_filtered: usize,
+    /// Measurement budget wasted on invalid candidates (only when
+    /// `validate_before_measure` is off).
+    pub wasted_measurements: usize,
+    /// Simulated wall-clock cost of tuning: profiling time plus per-trial
+    /// compilation overhead (the quantity Table 1 reports).
+    pub tuning_cost_s: f64,
+    /// Best-so-far after each measurement.
+    pub history: Vec<f64>,
+}
+
+/// Simulated repetitions per hardware measurement (profilers average).
+const PROFILE_REPEATS: f64 = 300.0;
+/// Simulated per-candidate compile + launch overhead, seconds.
+const COMPILE_OVERHEAD_S: f64 = 0.1;
+
+/// Runs evolutionary search over one sketch.
+pub fn tune(sketch: &dyn SketchRule, machine: &Machine, opts: &TuneOptions) -> TuneResult {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut model = CostModel::new();
+    let mut result = TuneResult {
+        best: None,
+        best_time: f64::INFINITY,
+        trials_measured: 0,
+        invalid_filtered: 0,
+        wasted_measurements: 0,
+        tuning_cost_s: 0.0,
+        history: Vec::new(),
+    };
+    let mut seen: HashSet<Vec<Decision>> = HashSet::new();
+    // Elite pool of (decisions, measured time).
+    let mut elites: Vec<(Vec<Decision>, f64)> = Vec::new();
+
+    while result.trials_measured + result.wasted_measurements < opts.trials {
+        // Generate a population: half evolved from elites, half random.
+        let mut population: Vec<Vec<Decision>> = Vec::new();
+        for i in 0..opts.population {
+            let d = if elites.len() >= 2 && i % 2 == 0 {
+                let a = &elites[i % elites.len()].0;
+                let b = &elites[(i + 1) % elites.len()].0;
+                let crossed = sketch.crossover(a, b, &mut rng);
+                sketch.mutate(&crossed, &mut rng)
+            } else if !elites.is_empty() && i % 4 == 1 {
+                sketch.mutate(&elites[i % elites.len()].0, &mut rng)
+            } else {
+                sketch.sample(&mut rng)
+            };
+            if seen.insert(d.clone()) {
+                population.push(d);
+            }
+        }
+        if population.is_empty() {
+            // Search space exhausted.
+            break;
+        }
+
+        // Materialize programs; validation filter.
+        let mut candidates: Vec<(Vec<Decision>, Option<PrimFunc>)> = Vec::new();
+        for d in population {
+            match sketch.apply(&d) {
+                Ok(f) => candidates.push((d, Some(f))),
+                Err(_) => {
+                    result.invalid_filtered += 1;
+                    if !opts.validate_before_measure {
+                        // Without the filter this candidate would have been
+                        // sent to the hardware and failed there.
+                        candidates.push((d, None));
+                    }
+                }
+            }
+        }
+
+        // Rank with the cost model and pick the measurement batch.
+        let mut scored: Vec<(f64, usize)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, (_, f))| {
+                let score = match f {
+                    Some(f) if opts.use_cost_model && model.num_samples() >= 4 => {
+                        let s = summarize(f);
+                        model.predict(&features_of_summary(f, &s))
+                    }
+                    // Without the validation filter, an invalid candidate is
+                    // indistinguishable from a promising one until it fails
+                    // on the device: rank it like any unscored candidate.
+                    None => f64::MAX / 2.0,
+                    _ => 0.0,
+                };
+                (score, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let budget_left = opts.trials - result.trials_measured - result.wasted_measurements;
+        let batch = scored
+            .into_iter()
+            .take(opts.measure_per_generation.min(budget_left));
+        let mut new_samples = Vec::new();
+        for (_, i) in batch {
+            let (d, f) = &candidates[i];
+            match f {
+                Some(f) => {
+                    let s = summarize(f);
+                    let t = estimate_time(&s, machine);
+                    result.trials_measured += 1;
+                    result.tuning_cost_s += t * PROFILE_REPEATS + COMPILE_OVERHEAD_S;
+                    new_samples.push((features_of_summary(f, &s), -(t.max(1e-12)).ln()));
+                    if t < result.best_time {
+                        result.best_time = t;
+                        result.best = Some(f.clone());
+                    }
+                    result.history.push(result.best_time);
+                    elites.push((d.clone(), t));
+                }
+                None => {
+                    result.wasted_measurements += 1;
+                    result.tuning_cost_s += COMPILE_OVERHEAD_S;
+                    result.history.push(result.best_time);
+                }
+            }
+        }
+        if opts.use_cost_model && !new_samples.is_empty() {
+            model.update(new_samples);
+        }
+        elites.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        elites.truncate(8);
+    }
+    result
+}
+
+/// Tunes several alternative sketches and returns the best result, merging
+/// the accounting (the paper's TensorIR searches tensorized and
+/// non-tensorized structures jointly).
+pub fn tune_multi(
+    sketches: &[&dyn SketchRule],
+    machine: &Machine,
+    opts: &TuneOptions,
+) -> TuneResult {
+    let mut merged: Option<TuneResult> = None;
+    // Budget split across sketches.
+    let per_sketch = TuneOptions {
+        trials: (opts.trials / sketches.len().max(1)).max(1),
+        ..opts.clone()
+    };
+    for (i, sketch) in sketches.iter().enumerate() {
+        let o = TuneOptions {
+            seed: opts.seed.wrapping_add(i as u64 * 101),
+            ..per_sketch.clone()
+        };
+        let r = tune(*sketch, machine, &o);
+        merged = Some(match merged.take() {
+            None => r,
+            Some(mut m) => {
+                if r.best_time < m.best_time {
+                    m.best = r.best;
+                    m.best_time = r.best_time;
+                }
+                m.trials_measured += r.trials_measured;
+                m.invalid_filtered += r.invalid_filtered;
+                m.wasted_measurements += r.wasted_measurements;
+                m.tuning_cost_s += r.tuning_cost_s;
+                m.history.extend(r.history);
+                m
+            }
+        });
+    }
+    merged.unwrap_or(TuneResult {
+        best: None,
+        best_time: f64::INFINITY,
+        trials_measured: 0,
+        invalid_filtered: 0,
+        wasted_measurements: 0,
+        tuning_cost_s: 0.0,
+        history: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch_gpu::GpuTensorSketch;
+    use tir::DataType;
+    use tir_tensorize::builtin_registry;
+
+    fn sketch() -> GpuTensorSketch {
+        let func = tir::builder::matmul_func("mm", 128, 128, 128, DataType::float16());
+        let reg = builtin_registry();
+        let wmma = reg.get("wmma_16x16x16_f16").unwrap();
+        GpuTensorSketch::new(&func, "C", wmma, true).expect("sketch")
+    }
+
+    #[test]
+    fn search_finds_valid_program_and_improves() {
+        let s = sketch();
+        let machine = Machine::sim_gpu();
+        let opts = TuneOptions {
+            trials: 24,
+            population: 16,
+            measure_per_generation: 6,
+            ..Default::default()
+        };
+        let r = tune(&s, &machine, &opts);
+        assert!(r.best.is_some(), "no valid candidate found");
+        assert!(r.best_time.is_finite());
+        assert!(r.trials_measured > 0 && r.trials_measured <= 24);
+        // Best-so-far is monotone non-increasing.
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        // Searching longer cannot be worse.
+        let r_long = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                trials: 48,
+                ..opts
+            },
+        );
+        assert!(r_long.best_time <= r.best_time * 1.0001);
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_seed() {
+        let s = sketch();
+        let machine = Machine::sim_gpu();
+        let opts = TuneOptions {
+            trials: 16,
+            ..Default::default()
+        };
+        let a = tune(&s, &machine, &opts);
+        let b = tune(&s, &machine, &opts);
+        assert_eq!(a.best_time, b.best_time);
+        assert_eq!(a.trials_measured, b.trials_measured);
+    }
+
+    #[test]
+    fn validation_filter_saves_measurements() {
+        // A larger tile space so warp-budget violations are common.
+        let func = tir::builder::matmul_func("mm", 512, 512, 512, DataType::float16());
+        let reg = builtin_registry();
+        let wmma = reg.get("wmma_16x16x16_f16").unwrap();
+        let s = GpuTensorSketch::new(&func, "C", wmma, true).expect("sketch");
+        let machine = Machine::sim_gpu();
+        let with_filter = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                trials: 24,
+                validate_before_measure: true,
+                ..Default::default()
+            },
+        );
+        let without_filter = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                trials: 24,
+                validate_before_measure: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(with_filter.wasted_measurements, 0);
+        // Invalid candidates exist in this space (warp-budget violations);
+        // the filter catches them before measurement.
+        assert!(
+            with_filter.invalid_filtered > 0,
+            "expected some invalid candidates to be generated"
+        );
+        // Without the filter the search can never do better, and the trial
+        // accounting includes any wasted measurements.
+        assert!(without_filter.best_time >= with_filter.best_time * 0.999);
+        assert!(
+            without_filter.trials_measured + without_filter.wasted_measurements <= 24
+        );
+    }
+}

@@ -1,0 +1,534 @@
+//! GPU sketch generation rules (§4.3).
+//!
+//! Two structural templates:
+//!
+//! * [`GpuTensorSketch`] — the paper's tensorized sketch: auto-tensorize,
+//!   multi-level tile the outer loops, bind grid/warp axes, stage operands
+//!   through shared memory and tensor-core fragments via AutoCopy blocks,
+//!   and inline the ReIndex stages into the copies. With `staged = false`
+//!   it degrades into the AMOS-like baseline (tensor cores without
+//!   first-class data movement: no shared staging, ReIndex stages remain
+//!   materialized in global memory, copies are not cooperative).
+//! * [`GpuScalarSketch`] — the Ansor/TVM-like scalar sketch: fuse spatial
+//!   loops and bind them flat to the grid, leaving reductions serial; no
+//!   tensor intrinsics.
+
+use tir::{AnnValue, MemScope, PrimFunc, ThreadTag};
+use tir_schedule::{BlockRef, LoopRef, Schedule, ScheduleError};
+use tir_tensorize::{auto_tensorize, TensorIntrin};
+
+use crate::sketch::{Decision, DecisionKind, SketchRule};
+
+/// Largest *radix-aligned* cut of a fused loop that is `<= cap`.
+///
+/// Splitting a loop fused from extents `e_0 x .. x e_n` at factor `t`
+/// keeps the re-derived bindings quasi-affine only when `t = r_k * d`
+/// where `r_k` is a suffix product of the extents and `d` divides the next
+/// extent (the digit boundary condition of the iterator-map algebra).
+pub(crate) fn aligned_cut(extents: &[i64], cap: i64) -> i64 {
+    aligned_cuts(extents, cap)
+        .into_iter()
+        .max()
+        .unwrap_or(1)
+}
+
+/// All radix-aligned cuts of a fused loop up to `cap`.
+pub(crate) fn aligned_cuts(extents: &[i64], cap: i64) -> Vec<i64> {
+    let mut cuts = vec![1i64];
+    let mut radix = 1i64;
+    for &e in extents.iter().rev() {
+        let mut d = 1;
+        while d <= e {
+            if e % d == 0 {
+                let cut = radix * d;
+                if cut <= cap && !cuts.contains(&cut) {
+                    cuts.push(cut);
+                }
+            }
+            d += 1;
+        }
+        radix *= e;
+        if radix > cap {
+            break;
+        }
+    }
+    cuts
+}
+
+/// Binds a standalone (data-movement or epilogue) block's loops flat to
+/// `blockIdx.x`/`threadIdx.x` with the given thread count.
+pub(crate) fn gpu_flat_bind(
+    sch: &mut Schedule,
+    block: &BlockRef,
+    threads: i64,
+) -> Result<(), ScheduleError> {
+    let loops = sch.get_loops(block)?;
+    if loops.is_empty() {
+        return Ok(());
+    }
+    let extents: Vec<i64> = loops
+        .iter()
+        .map(|l| sch.loop_extent(l))
+        .collect::<Result<_, _>>()?;
+    let fused = if loops.len() > 1 {
+        sch.fuse(&loops)?
+    } else {
+        loops[0].clone()
+    };
+    let t = aligned_cut(&extents, threads);
+    let parts = sch.split(&fused, &[-1, t])?;
+    sch.bind(&parts[0], ThreadTag::BlockIdxX)?;
+    sch.bind(&parts[1], ThreadTag::ThreadIdxX)?;
+    Ok(())
+}
+
+/// The tensorized GPU sketch.
+pub struct GpuTensorSketch {
+    name: String,
+    base: Schedule,
+    outer_block: BlockRef,
+    inner_block: BlockRef,
+    dm_blocks: Vec<String>,
+    input_staging: Vec<String>,
+    /// Other leaf blocks of the function (e.g. fused epilogues, padding
+    /// stages of T2D) that the tensorized part does not cover.
+    other_blocks: Vec<String>,
+    has_batch: bool,
+    tile_extents: Vec<i64>,
+    /// Stage operands through shared memory (TensorIR) or not (AMOS-like).
+    staged: bool,
+}
+
+impl GpuTensorSketch {
+    /// Builds the sketch by auto-tensorizing `func`'s block `block_name`
+    /// with `intrin`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when auto-tensorization fails.
+    pub fn new(
+        func: &PrimFunc,
+        block_name: &str,
+        intrin: &TensorIntrin,
+        staged: bool,
+    ) -> Result<Self, ScheduleError> {
+        let t = auto_tensorize(func, block_name, intrin)?;
+        let loops = t.schedule.get_loops(&t.outer_block)?;
+        let tile_extents: Vec<i64> = loops
+            .iter()
+            .map(|l| t.schedule.loop_extent(l))
+            .collect::<Result<_, _>>()?;
+        let has_batch = tile_extents.len() == intrin.iters.len() + 1;
+        let mut known: Vec<String> = t.data_movement_blocks.clone();
+        known.push(t.outer_block.name().to_string());
+        known.push(t.inner_block.name().to_string());
+        known.push("root".to_string());
+        let other_blocks: Vec<String> = tir::visit::block_names(&t.schedule.func().body)
+            .into_iter()
+            .filter(|n| !known.contains(n))
+            .collect();
+        Ok(GpuTensorSketch {
+            name: if staged {
+                format!("gpu-tensor[{}]", intrin.name)
+            } else {
+                format!("gpu-tensor-nostage[{}]", intrin.name)
+            },
+            base: t.schedule,
+            outer_block: t.outer_block,
+            inner_block: t.inner_block,
+            dm_blocks: t.data_movement_blocks,
+            input_staging: t.input_staging,
+            other_blocks,
+            has_batch,
+            tile_extents,
+            staged,
+        })
+    }
+}
+
+impl SketchRule for GpuTensorSketch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn space(&self) -> Vec<DecisionKind> {
+        let skip = usize::from(self.has_batch);
+        // x and y tiles in 3 parts (grid / warps / serial), k in 2 parts.
+        vec![
+            DecisionKind::PerfectTile {
+                extent: self.tile_extents[skip],
+                parts: 3,
+            },
+            DecisionKind::PerfectTile {
+                extent: self.tile_extents[skip + 1],
+                parts: 3,
+            },
+            DecisionKind::PerfectTile {
+                extent: self.tile_extents[skip + 2],
+                parts: 2,
+            },
+        ]
+    }
+
+    fn apply(&self, decisions: &[Decision]) -> Result<PrimFunc, ScheduleError> {
+        let mut sch = self.base.clone();
+        let loops = sch.get_loops(&self.outer_block)?;
+        let skip = usize::from(self.has_batch);
+        let (xd, yd, kd) = (&decisions[0], &decisions[1], &decisions[2]);
+        // Warp count must stay within launch limits.
+        let warps = xd[1] * yd[1];
+        if warps > 32 {
+            return Err(ScheduleError::Precondition(format!(
+                "{warps} warps exceed the launch budget"
+            )));
+        }
+        let xs = sch.split(&loops[skip], xd)?;
+        let ys = sch.split(&loops[skip + 1], yd)?;
+        let ks = sch.split(&loops[skip + 2], kd)?;
+        // Order: [b?] x0 y0 | x1 y1 | k0 k1 | x2 y2.
+        let mut order: Vec<LoopRef> = Vec::new();
+        order.extend(loops[..skip].iter().cloned());
+        order.extend([xs[0].clone(), ys[0].clone()]);
+        order.extend([xs[1].clone(), ys[1].clone()]);
+        order.extend([ks[0].clone(), ks[1].clone()]);
+        order.extend([xs[2].clone(), ys[2].clone()]);
+        sch.reorder(&order)?;
+        // Grid binding: fuse [b?, x0, y0] -> blockIdx.x.
+        let mut grid_loops: Vec<LoopRef> = loops[..skip].to_vec();
+        grid_loops.extend([xs[0].clone(), ys[0].clone()]);
+        let bid = if grid_loops.len() > 1 {
+            sch.fuse(&grid_loops)?
+        } else {
+            grid_loops[0].clone()
+        };
+        sch.bind(&bid, ThreadTag::BlockIdxX)?;
+        // Warp binding: fuse [x1, y1] -> threadIdx.y.
+        let wid = sch.fuse(&[xs[1].clone(), ys[1].clone()])?;
+        sch.bind(&wid, ThreadTag::ThreadIdxY)?;
+
+        // Accumulator fragment, written back after the k loops.
+        let wb = sch.cache_write(&self.inner_block, MemScope::WmmaAccumulator, Some(&wid))?;
+        sch.annotate_block(&wb, "auto_copy", AnnValue::Int(1))?;
+        sch.annotate_block(&wb, "tir.cooperative", AnnValue::Int(32))?;
+
+        // Operand staging.
+        for (pos, input) in self.input_staging.iter().enumerate() {
+            let buf = sch.find_buffer(input).ok_or_else(|| {
+                ScheduleError::Precondition(format!("staging buffer {input} missing"))
+            })?;
+            let frag_scope = if pos == 0 {
+                MemScope::WmmaMatrixA
+            } else {
+                MemScope::WmmaMatrixB
+            };
+            if self.staged {
+                let sh = sch.cache_read(&self.inner_block, &buf, MemScope::Shared, Some(&ks[0]))?;
+                sch.annotate_block(&sh, "auto_copy", AnnValue::Int(1))?;
+                sch.annotate_block(&sh, "tir.cooperative", AnnValue::Int(warps * 32))?;
+                let sh_buf = sch
+                    .find_buffer(&format!("{input}_shared"))
+                    .ok_or_else(|| {
+                        ScheduleError::Precondition("shared staging buffer missing".into())
+                    })?;
+                let frag =
+                    sch.cache_read(&self.inner_block, &sh_buf, frag_scope, Some(&ks[1]))?;
+                sch.annotate_block(&frag, "auto_copy", AnnValue::Int(1))?;
+                sch.annotate_block(&frag, "tir.cooperative", AnnValue::Int(32))?;
+            } else {
+                let frag = sch.cache_read(&self.inner_block, &buf, frag_scope, Some(&ks[1]))?;
+                sch.annotate_block(&frag, "tir.cooperative", AnnValue::Int(32))?;
+            }
+        }
+
+        // Data-movement blocks at function scope: ReIndex stages and the
+        // write-back. TensorIR inlines the input ReIndex stages into their
+        // consumers (§4.2: "they will be inlined into consumers"); the
+        // AMOS-like variant keeps them as separate global passes.
+        for name in &self.dm_blocks {
+            if name.ends_with("_reindex") {
+                let block = sch.get_block(name)?;
+                if self.staged {
+                    sch.compute_inline(&block)?;
+                } else {
+                    gpu_flat_bind(&mut sch, &block, 128)?;
+                }
+            } else {
+                // The write-back of the valid output region.
+                let block = sch.get_block(name)?;
+                gpu_flat_bind(&mut sch, &block, 128)?;
+            }
+        }
+
+        // Flat-bind any remaining leaf blocks (fused epilogues, padding
+        // stages) so no part of the function runs serially on the host.
+        for name in &self.other_blocks {
+            if let Ok(block) = sch.get_block(name) {
+                let _ = gpu_flat_bind(&mut sch, &block, 128);
+            }
+        }
+        tir_analysis::validate(sch.func())
+            .map_err(|e| ScheduleError::Invalid(format!("{}", e[0])))?;
+        Ok(sch.into_func())
+    }
+}
+
+/// The scalar (Ansor/TVM-like) GPU sketch.
+pub struct GpuScalarSketch {
+    name: String,
+    base: Schedule,
+    /// Leaf blocks to schedule: (name, spatial loops, reduce loops).
+    blocks: Vec<(String, usize, usize)>,
+}
+
+impl GpuScalarSketch {
+    /// Builds the sketch for every leaf block of `func`.
+    pub fn new(func: &PrimFunc) -> Self {
+        let mut blocks = Vec::new();
+        tir::visit::for_each_block_realize(&func.body, &mut |br| {
+            if br.block.name == "root" {
+                return;
+            }
+            let spatial = br
+                .block
+                .iter_vars
+                .iter()
+                .filter(|iv| iv.kind == tir::IterKind::Spatial)
+                .count();
+            let reduce = br.block.iter_vars.len() - spatial;
+            blocks.push((br.block.name.clone(), spatial, reduce));
+        });
+        GpuScalarSketch {
+            name: "gpu-scalar".to_string(),
+            base: Schedule::new(func.clone()),
+            blocks,
+        }
+    }
+}
+
+impl SketchRule for GpuScalarSketch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn space(&self) -> Vec<DecisionKind> {
+        // Per block: thread count, serial step, and reduction split — the
+        // flat scalar space is much larger than the tensorized one, which
+        // is exactly the paper's divide-and-conquer argument (§5.2).
+        self.blocks
+            .iter()
+            .flat_map(|_| {
+                [
+                    DecisionKind::Choice {
+                        options: vec![32, 64, 128, 256],
+                    },
+                    DecisionKind::Choice {
+                        options: vec![1, 2, 4, 8],
+                    },
+                    DecisionKind::Choice {
+                        options: vec![1, 2, 4, 8],
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    fn apply(&self, decisions: &[Decision]) -> Result<PrimFunc, ScheduleError> {
+        let mut sch = self.base.clone();
+        let per_block: Vec<&[Decision]> = decisions.chunks(3).collect();
+        for ((name, n_spatial, n_reduce), d) in self.blocks.iter().zip(per_block) {
+            let block = sch.get_block(name)?;
+            let loops = sch.get_loops(&block)?;
+            let spatial: Vec<LoopRef> = loops[..(*n_spatial).min(loops.len())].to_vec();
+            if spatial.is_empty() {
+                continue;
+            }
+            let reduce_loops: Vec<LoopRef> = loops
+                .get(*n_spatial..(*n_spatial + *n_reduce).min(loops.len()))
+                .map(<[LoopRef]>::to_vec)
+                .unwrap_or_default();
+            let extents: Vec<i64> = spatial
+                .iter()
+                .map(|l| sch.loop_extent(l))
+                .collect::<Result<_, _>>()?;
+            let fused = if spatial.len() > 1 {
+                sch.fuse(&spatial)?
+            } else {
+                spatial[0].clone()
+            };
+            // Serial register-tiling step below the thread loop: both cut
+            // points of the three-way split must be radix-aligned.
+            let step = aligned_cut(&extents, d[1][0]);
+            let outer_cut = aligned_cuts(&extents, step * d[0][0])
+                .into_iter()
+                .filter(|c| c % step == 0)
+                .max()
+                .unwrap_or(step);
+            let threads = (outer_cut / step).max(1);
+            let parts = if step > 1 {
+                let p = sch.split(&fused, &[-1, threads, step])?;
+                vec![p[0].clone(), p[1].clone()]
+            } else {
+                sch.split(&fused, &[-1, threads])?
+            };
+            sch.bind(&parts[0], ThreadTag::BlockIdxX)?;
+            sch.bind(&parts[1], ThreadTag::ThreadIdxX)?;
+            // Ansor-style register accumulation and cooperative shared
+            // staging of the inputs around the reduction loops.
+            if !reduce_loops.is_empty() {
+                let read_bufs: Vec<tir::Buffer> = {
+                    let br = tir::visit::find_block(&sch.func().body, name)
+                        .ok_or_else(|| ScheduleError::BlockNotFound(name.clone()))?;
+                    br.block.reads.iter().map(|r| r.buffer.clone()).collect()
+                };
+                // Each staging step is speculative: accesses with negative
+                // index coefficients (e.g. T2D's flipped kernel) cannot be
+                // staged soundly, so keep a step only if the program still
+                // validates.
+                let attempt = |sch: &mut Schedule, f: &dyn Fn(&mut Schedule) -> bool| {
+                    let backup = sch.clone();
+                    if !f(sch) || tir_analysis::validate(sch.func()).is_err() {
+                        *sch = backup;
+                    }
+                };
+                attempt(&mut sch, &|s| {
+                    s.cache_write(&block, MemScope::Local, Some(&parts[1])).is_ok()
+                });
+                for buf in read_bufs {
+                    attempt(&mut sch, &|s| {
+                        match s.cache_read(&block, &buf, MemScope::Shared, Some(&reduce_loops[0]))
+                        {
+                            Ok(copy) => {
+                                let _ = s.annotate_block(&copy, "auto_copy", AnnValue::Int(1));
+                                let _ = s.annotate_block(
+                                    &copy,
+                                    "tir.cooperative",
+                                    AnnValue::Int(threads),
+                                );
+                                true
+                            }
+                            Err(_) => false,
+                        }
+                    });
+                }
+                // Optional serial two-level reduction split (after staging
+                // so the staging loop reference stays valid).
+                let k_factor = d[2][0];
+                let extent = sch.loop_extent(&reduce_loops[0])?;
+                if k_factor > 1 && extent % k_factor == 0 && extent > k_factor {
+                    let _ = sch.split(&reduce_loops[0], &[-1, k_factor]);
+                }
+            }
+        }
+        tir_analysis::validate(sch.func())
+            .map_err(|e| ScheduleError::Invalid(format!("{}", e[0])))?;
+        Ok(sch.into_func())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::decisions_well_formed;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tir::DataType;
+    use tir_exec::{assert_same_semantics, simulate, Machine};
+    use tir_tensorize::builtin_registry;
+
+    fn mm16(n: i64) -> PrimFunc {
+        tir::builder::matmul_func("mm", n, n, n, DataType::float16())
+    }
+
+    #[test]
+    fn tensor_sketch_produces_valid_fast_programs() {
+        let func = mm16(64);
+        let reg = builtin_registry();
+        let wmma = reg.get("wmma_16x16x16_f16").unwrap();
+        let sketch = GpuTensorSketch::new(&func, "C", wmma, true).expect("sketch");
+        let mut rng = StdRng::seed_from_u64(1);
+        let machine = Machine::sim_gpu();
+        let mut ok = 0;
+        for _ in 0..10 {
+            let d = sketch.sample(&mut rng);
+            assert!(decisions_well_formed(&sketch.space(), &d));
+            match sketch.apply(&d) {
+                Ok(f) => {
+                    ok += 1;
+                    assert_same_semantics(&func, &f, 1, 0.0);
+                    let t = simulate(&f, &machine);
+                    assert!(t.is_finite() && t > 0.0);
+                }
+                Err(ScheduleError::Precondition(_)) | Err(ScheduleError::Invalid(_)) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(ok >= 3, "too few valid candidates: {ok}/10");
+    }
+
+    #[test]
+    fn tensor_sketch_beats_scalar_sketch_on_matmul() {
+        let func = mm16(128);
+        let reg = builtin_registry();
+        let wmma = reg.get("wmma_16x16x16_f16").unwrap();
+        let tensor = GpuTensorSketch::new(&func, "C", wmma, true).expect("sketch");
+        let scalar = GpuScalarSketch::new(&func);
+        let mut rng = StdRng::seed_from_u64(2);
+        let machine = Machine::sim_gpu();
+        let best = |sketch: &dyn SketchRule, rng: &mut StdRng| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..20 {
+                let d = sketch.sample(rng);
+                if let Ok(f) = sketch.apply(&d) {
+                    best = best.min(simulate(&f, &machine));
+                }
+            }
+            best
+        };
+        let t_tensor = best(&tensor, &mut rng);
+        let t_scalar = best(&scalar, &mut rng);
+        assert!(
+            t_tensor < t_scalar,
+            "tensorized {t_tensor} should beat scalar {t_scalar}"
+        );
+    }
+
+    #[test]
+    fn unstaged_amos_like_is_slower_than_staged() {
+        // A conv workload: its im2col ReIndex stage is a real data-movement
+        // pass, so the AMOS-like variant (no shared staging, materialized
+        // layout rewrite) pays measurably more than the staged pipeline.
+        let func = tir_workloads::c2d(8, 58, 58, 128, 128, 3, 3, 1, DataType::float16());
+        let reg = builtin_registry();
+        let wmma = reg.get("wmma_16x16x16_f16").unwrap();
+        let staged = GpuTensorSketch::new(&func, "C", wmma, true).expect("staged");
+        let unstaged = GpuTensorSketch::new(&func, "C", wmma, false).expect("unstaged");
+        let machine = Machine::sim_gpu();
+        let mut rng = StdRng::seed_from_u64(3);
+        let best = |sketch: &GpuTensorSketch, rng: &mut StdRng| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..20 {
+                let d = sketch.sample(rng);
+                if let Ok(f) = sketch.apply(&d) {
+                    best = best.min(simulate(&f, &machine));
+                }
+            }
+            best
+        };
+        let t_staged = best(&staged, &mut rng);
+        let t_unstaged = best(&unstaged, &mut rng);
+        assert!(
+            t_staged < t_unstaged,
+            "staged {t_staged} should beat unstaged {t_unstaged}"
+        );
+    }
+
+    #[test]
+    fn scalar_sketch_handles_multi_block_funcs() {
+        let func = tir_workloads::t2d(1, 4, 4, 2, 4, 3, 3, 2, DataType::float16());
+        let sketch = GpuScalarSketch::new(&func);
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = sketch.sample(&mut rng);
+        let f = sketch.apply(&d).expect("apply");
+        assert_same_semantics(&func, &f, 1, 0.0);
+    }
+}

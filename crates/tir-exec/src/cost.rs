@@ -1,0 +1,538 @@
+//! Analytic cost simulation of TensorIR programs.
+//!
+//! [`summarize`] statically walks a program, accumulating executed scalar
+//! and vector operations, tensor-intrinsic invocations (from opaque blocks
+//! annotated by `tensorize`), and per-scope memory traffic — every count
+//! scaled by the product of enclosing loop extents. [`estimate_time`]
+//! combines the summary with a [`Machine`] as a roofline:
+//! `max(compute_time, memory_time) + launch_overhead`, with compute
+//! throughput derated by the exposed parallelism.
+
+use std::collections::HashMap;
+
+use tir::visit::ExprVisitor;
+use tir::{AnnValue, Expr, ForKind, MemScope, PrimFunc, Stmt, ThreadTag};
+
+use crate::machine::{Machine, MachineKind};
+
+/// Static execution summary of a program.
+#[derive(Clone, Debug, Default)]
+pub struct CostSummary {
+    /// Scalar arithmetic operations executed outside vectorized loops.
+    pub scalar_ops: f64,
+    /// Arithmetic operations executed inside vectorized loops.
+    pub vector_ops: f64,
+    /// Tensor-intrinsic MACs by intrinsic name.
+    pub tensor_macs: HashMap<String, f64>,
+    /// Bytes moved (loads + stores) per memory scope.
+    pub traffic: HashMap<MemScope, f64>,
+    /// Product of `blockIdx` extents (GPU grid size); 1 if none.
+    pub grid_size: f64,
+    /// Product of `threadIdx` extents (threads per block); 1 if none.
+    pub block_threads: f64,
+    /// Maximum extent product of CPU `parallel` loops; 1 if none.
+    pub cpu_parallelism: f64,
+}
+
+impl CostSummary {
+    /// Total multiply-accumulate work, counting tensor MACs.
+    pub fn total_macs(&self) -> f64 {
+        // Arithmetic ops approximate 2 ops per MAC.
+        (self.scalar_ops + self.vector_ops) / 2.0
+            + self.tensor_macs.values().sum::<f64>()
+    }
+}
+
+struct Walker {
+    summary: CostSummary,
+    /// Whether any warp-scope tensor intrinsic was seen (implicit lanes).
+    warp_intrin: bool,
+    /// Product of all enclosing loop extents.
+    mult: f64,
+    /// Whether we are inside a vectorized loop.
+    vectorized: bool,
+    /// Running products of thread-binding extents on this path.
+    grid: f64,
+    threads: f64,
+    parallel: f64,
+}
+
+/// Counts arithmetic operation nodes in an expression (loads also charge
+/// traffic).
+struct ExprCost<'a> {
+    ops: f64,
+    traffic: &'a mut HashMap<MemScope, f64>,
+    mult: f64,
+}
+
+impl ExprVisitor for ExprCost<'_> {
+    fn visit_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Bin(..) | Expr::Cmp(..) | Expr::Not(_) | Expr::Select { .. } => {
+                self.ops += 1.0;
+            }
+            Expr::Call { .. } => self.ops += 4.0, // transcendental-ish
+            Expr::Cast(..) => self.ops += 0.5,
+            Expr::Load { buffer, indices } => {
+                *self.traffic.entry(buffer.scope().clone()).or_default() +=
+                    buffer.dtype().bytes() as f64 * self.mult;
+                // Index arithmetic inside the load is addressing, not ALU
+                // work; still visit it for nested loads.
+                let saved = self.ops;
+                for i in indices {
+                    self.visit_expr(i);
+                }
+                self.ops = saved;
+                return;
+            }
+            _ => {}
+        }
+        self.walk_expr(e);
+    }
+}
+
+impl Walker {
+    fn charge_exprs(&mut self, exprs: &[&Expr]) {
+        let mut c = ExprCost {
+            ops: 0.0,
+            traffic: &mut self.summary.traffic,
+            mult: self.mult,
+        };
+        for e in exprs {
+            c.visit_expr(e);
+        }
+        let ops = c.ops * self.mult;
+        if self.vectorized {
+            self.summary.vector_ops += ops;
+        } else {
+            self.summary.scalar_ops += ops;
+        }
+    }
+
+    fn charge_traffic_only(&mut self, exprs: &[Expr]) {
+        let mut c = ExprCost {
+            ops: 0.0,
+            traffic: &mut self.summary.traffic,
+            mult: self.mult,
+        };
+        for e in exprs {
+            c.visit_expr(e);
+        }
+    }
+
+    fn charge_store(&mut self, buffer: &tir::Buffer) {
+        *self
+            .summary
+            .traffic
+            .entry(buffer.scope().clone())
+            .or_default() += buffer.dtype().bytes() as f64 * self.mult;
+    }
+
+    fn walk(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => {
+                // Index arithmetic is hidden by addressing modes / strength
+                // reduction on real hardware: charge traffic for any loads
+                // inside indices, but no ALU ops.
+                self.charge_traffic_only(indices);
+                self.charge_exprs(&[value]);
+                self.charge_store(buffer);
+            }
+            Stmt::Eval(e) => self.charge_exprs(&[e]),
+            Stmt::Seq(v) => {
+                for st in v {
+                    self.walk(st);
+                }
+            }
+            Stmt::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.charge_exprs(&[cond]);
+                self.walk(then_branch);
+                if let Some(e) = else_branch {
+                    self.walk(e);
+                }
+            }
+            Stmt::For(f) => {
+                let extent = f.extent.as_int().unwrap_or(1).max(1) as f64;
+                let saved = (self.mult, self.vectorized, self.grid, self.threads, self.parallel);
+                self.mult *= extent;
+                match f.kind {
+                    ForKind::Vectorized => self.vectorized = true,
+                    ForKind::Parallel => self.parallel *= extent,
+                    ForKind::ThreadBinding(tag) => match tag {
+                        t if t.is_block_idx() => self.grid *= extent,
+                        t if t.is_thread_idx() => self.threads *= extent,
+                        ThreadTag::Vthread => {}
+                        _ => {}
+                    },
+                    _ => {}
+                }
+                self.summary.grid_size = self.summary.grid_size.max(self.grid);
+                self.summary.block_threads = self.summary.block_threads.max(self.threads);
+                self.summary.cpu_parallelism = self.summary.cpu_parallelism.max(self.parallel);
+                self.walk(&f.body);
+                (self.mult, self.vectorized, self.grid, self.threads, self.parallel) = saved;
+            }
+            Stmt::BlockRealize(br) => {
+                // Pure-reshape staging blocks are strided views in a real
+                // backend (see tir-tensorize): free.
+                if br.block.annotations.contains_key("tir.reshape_view") {
+                    return;
+                }
+                // Cooperative blocks (AutoCopy data movement) distribute
+                // their work across the annotated thread-group size even
+                // though the IR replicates them idempotently per thread.
+                let coop = match br.block.annotations.get("tir.cooperative") {
+                    Some(AnnValue::Int(n)) => (*n).max(1) as f64,
+                    _ => 1.0,
+                };
+                let saved_mult = self.mult;
+                self.mult /= coop;
+                let result = self.walk_block_realize(br);
+                self.mult = saved_mult;
+                if result {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Returns true when the realize was fully handled (opaque intrinsic).
+    fn walk_block_realize(&mut self, br: &tir::BlockRealize) -> bool {
+        {
+            {
+                // Binding expressions are index arithmetic: cheap, ignored.
+                if let Some(AnnValue::Str(intrin)) =
+                    br.block.annotations.get("tir.tensor_intrin")
+                {
+                    // One intrinsic invocation per block instance; traffic
+                    // charged from the block signature regions.
+                    let macs: f64 = br
+                        .block
+                        .iter_vars
+                        .iter()
+                        .map(|_| 1.0)
+                        .product::<f64>()
+                        * tile_macs(br);
+                    *self
+                        .summary
+                        .tensor_macs
+                        .entry(intrin.clone())
+                        .or_default() += macs * self.mult;
+                    for region in br.block.reads.iter().chain(&br.block.writes) {
+                        let elems: f64 = region
+                            .region
+                            .iter()
+                            .map(|r| r.extent.as_int().unwrap_or(1).max(1) as f64)
+                            .product();
+                        *self
+                            .summary
+                            .traffic
+                            .entry(region.buffer.scope().clone())
+                            .or_default() +=
+                            elems * region.buffer.dtype().bytes() as f64 * self.mult;
+                    }
+                    if matches!(
+                        br.block.annotations.get("tir.exec_scope"),
+                        Some(AnnValue::Str(s)) if s == "warp"
+                    ) {
+                        self.warp_intrin = true;
+                    }
+                    return true; // opaque: do not descend
+                }
+                if let Some(init) = &br.block.init {
+                    let init = init;
+                    // Init runs once per reduction sweep: approximate by
+                    // dividing out the reduction loop extents is complex;
+                    // charge it at 1/reduce_extent of the full multiplier.
+                    let reduce_extent: f64 = br
+                        .block
+                        .iter_vars
+                        .iter()
+                        .filter(|iv| iv.kind == tir::IterKind::Reduce)
+                        .map(|iv| iv.extent.max(1) as f64)
+                        .product();
+                    let saved = self.mult;
+                    self.mult /= reduce_extent.max(1.0);
+                    self.walk(init);
+                    self.mult = saved;
+                }
+                self.walk(&br.block.body);
+            }
+        }
+        false
+    }
+}
+
+/// MACs per instance of a tensorized block: the product of its per-tile
+/// iteration extents, derived from the write region times reduction depth.
+fn tile_macs(br: &tir::BlockRealize) -> f64 {
+    // For a tensorized block, the signature's read regions describe the
+    // tile: MACs = |write tile| * reduction depth. We approximate the
+    // reduction depth as the extent product of read regions divided by the
+    // write region (exact for matmul-family intrinsics).
+    let write_elems: f64 = br
+        .block
+        .writes
+        .iter()
+        .flat_map(|w| w.region.iter())
+        .map(|r| r.extent.as_int().unwrap_or(1).max(1) as f64)
+        .product();
+    let a_elems: f64 = br
+        .block
+        .reads
+        .first()
+        .map(|r| {
+            r.region
+                .iter()
+                .map(|rr| rr.extent.as_int().unwrap_or(1).max(1) as f64)
+                .product()
+        })
+        .unwrap_or(1.0);
+    // matmul tile: |A| = x*k, |C| = x*y -> depth k = |A|*|C| / (x^2*y*k)...
+    // Use depth = |A| / x where x = |C| / y; with square-ish intrinsic
+    // tiles the simple estimate depth = |A| * |C| / (|C| * x) reduces to
+    // |A| / x. To stay robust we use sqrt-free exact matmul algebra:
+    // macs = sqrt(|A| * |B| * |C|) when all three regions exist.
+    let b_elems: f64 = br
+        .block
+        .reads
+        .get(1)
+        .map(|r| {
+            r.region
+                .iter()
+                .map(|rr| rr.extent.as_int().unwrap_or(1).max(1) as f64)
+                .product()
+        })
+        .unwrap_or(a_elems);
+    (a_elems * b_elems * write_elems).sqrt()
+}
+
+/// Statically summarizes the work a program performs.
+pub fn summarize(func: &PrimFunc) -> CostSummary {
+    let mut w = Walker {
+        summary: CostSummary {
+            grid_size: 1.0,
+            block_threads: 1.0,
+            cpu_parallelism: 1.0,
+            ..Default::default()
+        },
+        warp_intrin: false,
+        mult: 1.0,
+        vectorized: false,
+        grid: 1.0,
+        threads: 1.0,
+        parallel: 1.0,
+    };
+    w.walk(&func.body);
+    if w.warp_intrin {
+        // Warp lanes are implicit around warp-scope tensor intrinsics.
+        w.summary.block_threads *= 32.0;
+    }
+    w.summary
+}
+
+/// Estimated execution time (seconds) of a summarized program on a machine.
+pub fn estimate_time(summary: &CostSummary, machine: &Machine) -> f64 {
+    // Effective parallelism.
+    let (cores_used, rate_scale) = match machine.kind {
+        MachineKind::Gpu => {
+            let cores = summary.grid_size.min(machine.num_cores as f64).max(1.0);
+            let occupancy = (summary.block_threads / machine.full_rate_threads as f64)
+                .min(1.0)
+                .max(1.0 / machine.full_rate_threads as f64);
+            (cores, occupancy)
+        }
+        MachineKind::Cpu => {
+            let cores = summary
+                .cpu_parallelism
+                .min(machine.num_cores as f64)
+                .max(1.0);
+            (cores, 1.0)
+        }
+    };
+    let cycles_per_sec = machine.clock_ghz * 1e9;
+    let scalar_rate =
+        machine.scalar_macs_per_cycle * 2.0 * cores_used * rate_scale * cycles_per_sec;
+    let vector_rate = scalar_rate * machine.vector_lanes as f64;
+
+    let mut compute_time =
+        summary.scalar_ops / scalar_rate + summary.vector_ops / vector_rate;
+    for (intrin, macs) in &summary.tensor_macs {
+        let per_core = machine
+            .tensor_units
+            .get(intrin)
+            .map(|t| t.macs_per_cycle_per_core)
+            // Unknown intrinsic on this machine: it executes as scalar code.
+            .unwrap_or(machine.scalar_macs_per_cycle);
+        let rate = per_core * cores_used * rate_scale * cycles_per_sec;
+        compute_time += macs / rate;
+    }
+
+    let mut memory_time = 0.0;
+    for (scope, bytes) in &summary.traffic {
+        let bw = match scope {
+            MemScope::Global => machine.global_bw_gbps * 1e9,
+            MemScope::Shared | MemScope::Custom(_) => machine.shared_bw_gbps * 1e9,
+            // Registers / fragments: effectively free.
+            _ => f64::INFINITY,
+        };
+        memory_time += bytes / bw;
+    }
+
+    compute_time.max(memory_time) + machine.launch_overhead_us * 1e-6
+}
+
+/// Convenience: summarize + estimate in one call.
+pub fn simulate(func: &PrimFunc, machine: &Machine) -> f64 {
+    estimate_time(&summarize(func), machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::builder::matmul_func;
+    use tir::DataType;
+
+    #[test]
+    fn matmul_summary_counts_work() {
+        let f = matmul_func("mm", 64, 64, 64, DataType::float32());
+        let s = summarize(&f);
+        // 64^3 iterations, ~2 arithmetic ops each (mul + add).
+        assert!(s.scalar_ops >= 2.0 * 64.0 * 64.0 * 64.0 * 0.9, "{}", s.scalar_ops);
+        // A and B loads dominate global traffic: >= 2 * 64^3 * 4 bytes.
+        let global = s.traffic[&MemScope::Global];
+        assert!(global >= 2.0 * 262_144.0 * 4.0 * 0.9, "{global}");
+        assert_eq!(s.grid_size, 1.0);
+    }
+
+    #[test]
+    fn parallelism_speeds_up_cpu() {
+        let f = matmul_func("mm", 64, 64, 64, DataType::float32());
+        let m = Machine::sim_arm();
+        let serial = simulate(&f, &m);
+        // Parallelize the outer loop.
+        let mut sch_like = f.clone();
+        if let Stmt::BlockRealize(root) = &mut sch_like.body {
+            if let Stmt::For(fr) = root.block.body.as_mut() {
+                fr.kind = ForKind::Parallel;
+            }
+        }
+        let parallel = simulate(&sch_like, &m);
+        assert!(
+            parallel < serial,
+            "parallel {parallel} should beat serial {serial}"
+        );
+    }
+
+    #[test]
+    fn monotone_in_problem_size() {
+        let m = Machine::sim_gpu();
+        let small = simulate(&matmul_func("a", 32, 32, 32, DataType::float16()), &m);
+        let big = simulate(&matmul_func("b", 128, 128, 128, DataType::float16()), &m);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn launch_overhead_floors_time() {
+        let m = Machine::sim_gpu();
+        let tiny = simulate(&matmul_func("t", 2, 2, 2, DataType::float16()), &m);
+        assert!(tiny >= m.launch_overhead_us * 1e-6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = matmul_func("mm", 64, 64, 64, DataType::float16());
+        let m = Machine::sim_gpu();
+        assert_eq!(simulate(&f, &m), simulate(&f, &m));
+    }
+}
+
+#[cfg(test)]
+mod annotation_tests {
+    use super::*;
+    use tir::builder::matmul_func;
+    use tir::DataType;
+
+    fn annotate_first_block(func: &mut tir::PrimFunc, key: &str, value: tir::AnnValue) {
+        // Annotate the first non-root block.
+        fn walk(s: &mut Stmt, key: &str, value: &tir::AnnValue, done: &mut bool) {
+            if *done {
+                return;
+            }
+            match s {
+                Stmt::BlockRealize(br) => {
+                    if br.block.name != "root" {
+                        br.block
+                            .annotations
+                            .insert(key.to_string(), value.clone());
+                        *done = true;
+                    } else {
+                        walk(&mut br.block.body, key, value, done);
+                    }
+                }
+                Stmt::For(f) => walk(&mut f.body, key, value, done),
+                Stmt::Seq(v) => v.iter_mut().for_each(|st| walk(st, key, value, done)),
+                _ => {}
+            }
+        }
+        let mut done = false;
+        walk(&mut func.body, key, &value, &mut done);
+    }
+
+    #[test]
+    fn cooperative_annotation_divides_cost() {
+        let base = matmul_func("mm", 32, 32, 32, DataType::float32());
+        let plain = summarize(&base);
+        let mut coop = base.clone();
+        annotate_first_block(&mut coop, "tir.cooperative", tir::AnnValue::Int(8));
+        let divided = summarize(&coop);
+        let ratio = plain.scalar_ops / divided.scalar_ops;
+        assert!((ratio - 8.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reshape_view_annotation_is_free() {
+        let base = matmul_func("mm", 32, 32, 32, DataType::float32());
+        let mut viewed = base.clone();
+        annotate_first_block(&mut viewed, "tir.reshape_view", tir::AnnValue::Int(1));
+        let s = summarize(&viewed);
+        assert_eq!(s.scalar_ops, 0.0);
+        assert!(s.traffic.is_empty() || s.traffic.values().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn tensor_intrin_annotation_moves_work_to_tensor_units() {
+        // Annotating a block with an intrinsic name makes the walker credit
+        // tensor MACs from the signature instead of scalar ops.
+        let mut f = matmul_func("mm", 16, 16, 16, DataType::float16());
+        annotate_first_block(
+            &mut f,
+            "tir.tensor_intrin",
+            tir::AnnValue::Str("wmma_16x16x16_f16".into()),
+        );
+        let s = summarize(&f);
+        assert_eq!(s.scalar_ops, 0.0, "opaque block not descended");
+        assert!(s.tensor_macs.contains_key("wmma_16x16x16_f16"));
+    }
+
+    #[test]
+    fn unknown_intrinsic_runs_at_scalar_rate() {
+        let mut f = matmul_func("mm", 64, 64, 64, DataType::float16());
+        annotate_first_block(
+            &mut f,
+            "tir.tensor_intrin",
+            tir::AnnValue::Str("nonexistent_unit".into()),
+        );
+        let m = Machine::sim_gpu();
+        let t = estimate_time(&summarize(&f), &m);
+        assert!(t.is_finite() && t > 0.0);
+    }
+}

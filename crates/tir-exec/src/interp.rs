@@ -1,0 +1,579 @@
+//! A complete interpreter for TensorIR programs.
+//!
+//! The interpreter executes programs exactly as written — loops (of every
+//! kind, including thread bindings) run sequentially, block predicates are
+//! honoured, reduction `init` statements fire on the first reduction
+//! iteration, and stores quantize through the destination buffer's dtype.
+//! It is the correctness oracle of this repository: every scheduling
+//! transformation must leave interpreter output unchanged.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tir::simplify::{floor_div_i64, floor_mod_i64};
+use tir::{BinOp, BlockRealize, Buffer, Expr, IterKind, PrimFunc, Stmt, Var};
+
+use crate::tensor::{quantize, Tensor};
+
+/// An execution failure.
+#[derive(Clone, Debug)]
+pub enum ExecError {
+    /// Argument count or shape/dtype mismatch against the function params.
+    BadArguments(String),
+    /// A call to an intrinsic the interpreter does not know.
+    UnknownIntrinsic(String),
+    /// An unbound variable was referenced.
+    UnboundVar(String),
+    /// Division by zero in index arithmetic.
+    DivisionByZero,
+    /// The step budget was exhausted (runaway program guard).
+    OutOfFuel,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BadArguments(s) => write!(f, "bad arguments: {s}"),
+            ExecError::UnknownIntrinsic(s) => write!(f, "unknown intrinsic: {s}"),
+            ExecError::UnboundVar(s) => write!(f, "unbound variable: {s}"),
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::OutOfFuel => write!(f, "execution step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+type Result<T> = std::result::Result<T, ExecError>;
+
+/// Evaluates a pure math intrinsic by name.
+pub fn eval_math_intrinsic(name: &str, args: &[f64]) -> Option<f64> {
+    let a = |i: usize| args.get(i).copied().unwrap_or(0.0);
+    Some(match name {
+        "exp" => a(0).exp(),
+        "log" => a(0).ln(),
+        "sqrt" => a(0).sqrt(),
+        "rsqrt" => 1.0 / a(0).sqrt(),
+        "tanh" => a(0).tanh(),
+        "sigmoid" => 1.0 / (1.0 + (-a(0)).exp()),
+        "erf" => erf(a(0)),
+        "abs" => a(0).abs(),
+        "floor" => a(0).floor(),
+        "ceil" => a(0).ceil(),
+        "round" => a(0).round(),
+        "pow" => a(0).powf(a(1)),
+        "fma" => a(0) * a(1) + a(2),
+        _ => return None,
+    })
+}
+
+/// Abramowitz–Stegun rational approximation of erf (max error ~1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// The interpreter state: buffer storage plus the variable environment.
+pub struct Interpreter {
+    /// Tensor storage, keyed by buffer identity.
+    pub buffers: HashMap<Buffer, Tensor>,
+    env: HashMap<Var, f64>,
+    fuel: u64,
+    steps: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the default step budget.
+    pub fn new() -> Self {
+        Interpreter {
+            buffers: HashMap::new(),
+            env: HashMap::new(),
+            fuel: 2_000_000_000,
+            steps: 0,
+        }
+    }
+
+    /// Sets the execution step budget (one step per store/eval executed).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Number of store/eval steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            Err(ExecError::OutOfFuel)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn eval(&self, e: &Expr) -> Result<f64> {
+        Ok(match e {
+            Expr::Int(v, _) => *v as f64,
+            Expr::Float(v, _) => *v,
+            Expr::Str(_) => 0.0,
+            Expr::Var(v) => *self
+                .env
+                .get(v)
+                .ok_or_else(|| ExecError::UnboundVar(v.name().to_string()))?,
+            Expr::Cast(dt, v) => {
+                let x = self.eval(v)?;
+                if dt.is_int() || dt.is_bool() {
+                    quantize(x.trunc(), *dt)
+                } else {
+                    quantize(x, *dt)
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                let int_op = a.dtype().is_int() && b.dtype().is_int();
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => {
+                        if int_op {
+                            if y == 0.0 {
+                                return Err(ExecError::DivisionByZero);
+                            }
+                            (x as i64 / y as i64) as f64
+                        } else {
+                            x / y
+                        }
+                    }
+                    BinOp::FloorDiv => {
+                        if y == 0.0 {
+                            return Err(ExecError::DivisionByZero);
+                        }
+                        if int_op {
+                            floor_div_i64(x as i64, y as i64) as f64
+                        } else {
+                            (x / y).floor()
+                        }
+                    }
+                    BinOp::FloorMod => {
+                        if y == 0.0 {
+                            return Err(ExecError::DivisionByZero);
+                        }
+                        if int_op {
+                            floor_mod_i64(x as i64, y as i64) as f64
+                        } else {
+                            x - (x / y).floor() * y
+                        }
+                    }
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::And => ((x != 0.0) && (y != 0.0)) as i64 as f64,
+                    BinOp::Or => ((x != 0.0) || (y != 0.0)) as i64 as f64,
+                }
+            }
+            Expr::Cmp(op, a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                op.apply(x, y) as i64 as f64
+            }
+            Expr::Not(v) => (self.eval(v)? == 0.0) as i64 as f64,
+            Expr::Select { cond, then, other } => {
+                if self.eval(cond)? != 0.0 {
+                    self.eval(then)?
+                } else {
+                    self.eval(other)?
+                }
+            }
+            Expr::Load { buffer, indices } => {
+                let idx = self.eval_indices(indices)?;
+                self.buffers
+                    .get(buffer)
+                    .map(|t| t.get(&idx))
+                    .unwrap_or(0.0)
+            }
+            Expr::Call { name, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                eval_math_intrinsic(name, &vals)
+                    .ok_or_else(|| ExecError::UnknownIntrinsic(name.clone()))?
+            }
+        })
+    }
+
+    fn eval_indices(&self, indices: &[Expr]) -> Result<Vec<i64>> {
+        indices
+            .iter()
+            .map(|i| Ok(self.eval(i)?.round() as i64))
+            .collect()
+    }
+
+    fn ensure_alloc(&mut self, buffer: &Buffer) {
+        self.buffers
+            .entry(buffer.clone())
+            .or_insert_with(|| Tensor::zeros(buffer.dtype(), buffer.shape()));
+    }
+
+    /// Executes one statement.
+    pub fn exec(&mut self, s: &Stmt) -> Result<()> {
+        match s {
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => {
+                self.tick()?;
+                let idx = self.eval_indices(indices)?;
+                let v = self.eval(value)?;
+                self.ensure_alloc(buffer);
+                self.buffers
+                    .get_mut(buffer)
+                    .expect("just allocated")
+                    .set(&idx, v);
+                Ok(())
+            }
+            Stmt::Eval(e) => {
+                self.tick()?;
+                let _ = self.eval(e)?;
+                Ok(())
+            }
+            Stmt::Seq(v) => {
+                for st in v {
+                    self.exec(st)?;
+                }
+                Ok(())
+            }
+            Stmt::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(cond)? != 0.0 {
+                    self.exec(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.exec(e)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::For(f) => {
+                let extent = self.eval(&f.extent)?.round() as i64;
+                for i in 0..extent {
+                    self.env.insert(f.var.clone(), i as f64);
+                    self.exec(&f.body)?;
+                }
+                self.env.remove(&f.var);
+                Ok(())
+            }
+            Stmt::BlockRealize(br) => self.exec_block_realize(br),
+        }
+    }
+
+    fn exec_block_realize(&mut self, br: &BlockRealize) -> Result<()> {
+        if self.eval(&br.predicate)? == 0.0 {
+            return Ok(());
+        }
+        let block = &br.block;
+        // Bind block iterators to their realized values.
+        let mut saved = Vec::with_capacity(block.iter_vars.len());
+        let mut reduce_at_start = true;
+        for (iv, value) in block.iter_vars.iter().zip(&br.iter_values) {
+            let v = self.eval(value)?;
+            if iv.kind == IterKind::Reduce && v != 0.0 {
+                reduce_at_start = false;
+            }
+            saved.push((iv.var.clone(), self.env.insert(iv.var.clone(), v)));
+        }
+        for b in &block.alloc_buffers {
+            // A fresh allocation per entry of the allocating block.
+            self.buffers
+                .insert(b.clone(), Tensor::zeros(b.dtype(), b.shape()));
+        }
+        if let (Some(init), true) = (&block.init, reduce_at_start) {
+            self.exec(init)?;
+        }
+        self.exec(&block.body)?;
+        for (var, prev) in saved {
+            match prev {
+                Some(v) => {
+                    self.env.insert(var, v);
+                }
+                None => {
+                    self.env.remove(&var);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_arg(buffer: &Buffer, t: &Tensor) -> Result<()> {
+        if t.shape() != buffer.shape() || t.dtype() != buffer.dtype() {
+            return Err(ExecError::BadArguments(format!(
+                "param {} expects {:?} {}, got {:?} {}",
+                buffer.name(),
+                buffer.shape(),
+                buffer.dtype(),
+                t.shape(),
+                t.dtype()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs a function on positional tensor arguments (one per parameter,
+    /// including outputs) and returns the final value of every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadArguments`] on arity/shape/dtype mismatch and
+    /// propagates any execution failure.
+    pub fn run(func: &PrimFunc, args: Vec<Tensor>) -> Result<Vec<Tensor>> {
+        if args.len() != func.params.len() {
+            return Err(ExecError::BadArguments(format!(
+                "{} expects {} arguments, got {}",
+                func.name,
+                func.params.len(),
+                args.len()
+            )));
+        }
+        let mut interp = Interpreter::new();
+        for (p, t) in func.params.iter().zip(args) {
+            Self::check_arg(p, &t)?;
+            interp.buffers.insert(p.clone(), t);
+        }
+        interp.exec(&func.body)?;
+        Ok(func
+            .params
+            .iter()
+            .map(|p| interp.buffers.remove(p).expect("param bound"))
+            .collect())
+    }
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs `func` on deterministic random inputs (zeros for the last
+/// `num_outputs` parameters) and returns all parameter tensors after
+/// execution. The standard harness for semantic-equivalence tests.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run_on_random_inputs(
+    func: &PrimFunc,
+    num_outputs: usize,
+    seed: u64,
+) -> Result<Vec<Tensor>> {
+    let n = func.params.len();
+    let args: Vec<Tensor> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i + num_outputs >= n {
+                Tensor::zeros(p.dtype(), p.shape())
+            } else {
+                Tensor::random(p.dtype(), p.shape(), seed.wrapping_add(i as u64))
+            }
+        })
+        .collect();
+    Interpreter::run(func, args)
+}
+
+/// Asserts that two functions with identical signatures produce identical
+/// outputs on deterministic random inputs. Panics with a diff summary
+/// otherwise. The workhorse assertion for schedule-correctness tests.
+///
+/// # Panics
+///
+/// Panics if execution fails or outputs differ beyond `tol`.
+pub fn assert_same_semantics(a: &PrimFunc, b: &PrimFunc, num_outputs: usize, tol: f64) {
+    let run = |f: &PrimFunc, inputs: &[Tensor]| -> Vec<Tensor> {
+        Interpreter::run(f, inputs.to_vec())
+            .unwrap_or_else(|e| panic!("execution of {} failed: {e}\n{f}", f.name))
+    };
+    assert_eq!(
+        a.params.len(),
+        b.params.len(),
+        "parameter count mismatch between {} and {}",
+        a.name,
+        b.name
+    );
+    let n = a.params.len();
+    let inputs: Vec<Tensor> = a
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i + num_outputs >= n {
+                Tensor::zeros(p.dtype(), p.shape())
+            } else {
+                Tensor::random(p.dtype(), p.shape(), 1234 + i as u64)
+            }
+        })
+        .collect();
+    let out_a = run(a, &inputs);
+    let out_b = run(b, &inputs);
+    for (i, (x, y)) in out_a.iter().zip(&out_b).enumerate() {
+        assert!(
+            x.allclose(y, tol),
+            "output {} of {} and {} differ (max abs diff {}):\n--- a ---\n{}\n--- b ---\n{}",
+            i,
+            a.name,
+            b.name,
+            x.max_abs_diff(y),
+            a,
+            b
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::builder::{compute, matmul_func};
+    use tir::DataType;
+
+    #[test]
+    fn runs_matmul() {
+        let f = matmul_func("mm", 4, 4, 4, DataType::float32());
+        let a = Tensor::from_fn(DataType::float32(), &[4, 4], |i| i as f64);
+        let b = Tensor::from_fn(DataType::float32(), &[4, 4], |i| (i % 3) as f64);
+        let c = Tensor::zeros(DataType::float32(), &[4, 4]);
+        let out = Interpreter::run(&f, vec![a.clone(), b.clone(), c]).expect("run");
+        // Reference computation.
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += a.get(&[i, k]) * b.get(&[k, j]);
+                }
+                assert_eq!(out[2].get(&[i, j]), acc);
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_with_intrinsic() {
+        let a = Buffer::new("A", DataType::float32(), vec![8]);
+        let b = Buffer::new("B", DataType::float32(), vec![8]);
+        let body = compute("B", &b, |iv| Expr::Call {
+            name: "exp".into(),
+            args: vec![a.load(vec![Expr::from(&iv[0])])],
+            dtype: DataType::float32(),
+        });
+        let f = PrimFunc::new("f", vec![a, b], body);
+        let input = Tensor::from_fn(DataType::float32(), &[8], |i| i as f64 * 0.1);
+        let zero = Tensor::zeros(DataType::float32(), &[8]);
+        let out = Interpreter::run(&f, vec![input.clone(), zero]).expect("run");
+        for i in 0..8 {
+            let expect = quantize((input.get(&[i]) as f64).exp(), DataType::float32());
+            assert!((out[1].get(&[i]) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn predicate_skips_instances() {
+        // Store only where v < 3 via the realize predicate.
+        let b = Buffer::new("B", DataType::float32(), vec![8]);
+        let i = Var::int("i");
+        let v = Var::int("v");
+        let body = Stmt::store(b.clone(), vec![Expr::from(&v)], Expr::f32(1.0));
+        let block = Block::new(
+            "B",
+            vec![tir::IterVar::spatial(v.clone(), 8)],
+            vec![],
+            vec![b.full_region()],
+            body,
+        );
+        let realize = BlockRealize::with_predicate(
+            vec![Expr::from(&i)],
+            Expr::from(&i).lt(3),
+            block,
+        );
+        let f = PrimFunc::new(
+            "f",
+            vec![b],
+            Stmt::BlockRealize(Box::new(realize)).in_loop(i, 8),
+        );
+        let out = Interpreter::run(&f, vec![Tensor::zeros(DataType::float32(), &[8])])
+            .expect("run");
+        let written: f64 = out[0].data().iter().sum();
+        assert_eq!(written, 3.0);
+    }
+
+    #[test]
+    fn init_fires_on_first_reduction_iteration() {
+        // C starts pre-filled with garbage; init must reset it.
+        let f = matmul_func("mm", 2, 2, 2, DataType::float32());
+        let a = Tensor::from_fn(DataType::float32(), &[2, 2], |_| 1.0);
+        let b = Tensor::from_fn(DataType::float32(), &[2, 2], |_| 1.0);
+        let garbage = Tensor::from_fn(DataType::float32(), &[2, 2], |_| 999.0);
+        let out = Interpreter::run(&f, vec![a, b, garbage]).expect("run");
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(out[2].get(&[i, j]), 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_guard() {
+        let f = matmul_func("mm", 8, 8, 8, DataType::float32());
+        let args: Vec<Tensor> = f
+            .params
+            .iter()
+            .map(|p| Tensor::zeros(p.dtype(), p.shape()))
+            .collect();
+        let mut interp = Interpreter::new().with_fuel(10);
+        for (p, t) in f.params.iter().zip(args) {
+            interp.buffers.insert(p.clone(), t);
+        }
+        let err = interp.exec(&f.body).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfFuel));
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let f = matmul_func("mm", 4, 4, 4, DataType::float32());
+        let err = Interpreter::run(&f, vec![]).unwrap_err();
+        assert!(matches!(err, ExecError::BadArguments(_)));
+        let wrong = Tensor::zeros(DataType::float32(), &[3, 3]);
+        let ok = Tensor::zeros(DataType::float32(), &[4, 4]);
+        let err =
+            Interpreter::run(&f, vec![wrong, ok.clone(), ok.clone()]).unwrap_err();
+        assert!(matches!(err, ExecError::BadArguments(_)));
+    }
+
+    #[test]
+    fn f16_matmul_quantizes() {
+        let f = matmul_func("mm16", 4, 4, 4, DataType::float16());
+        let out = run_on_random_inputs(&f, 1, 7).expect("run");
+        // All outputs must be f16-representable.
+        for v in out[2].data() {
+            assert_eq!(quantize(*v, DataType::float16()), *v);
+        }
+    }
+
+    #[test]
+    fn same_semantics_passes_on_identical_funcs() {
+        let f = matmul_func("mm", 4, 4, 4, DataType::float32());
+        let g = matmul_func("mm2", 4, 4, 4, DataType::float32());
+        assert_same_semantics(&f, &g, 1, 1e-12);
+    }
+
+    use tir::{Block, BlockRealize, Buffer};
+}

@@ -1,0 +1,25 @@
+//! # tir-exec — execution substrates for TensorIR
+//!
+//! Two back ends stand in for the paper's real hardware:
+//!
+//! * [`interp`] — a complete interpreter used as the *correctness oracle*:
+//!   schedules must leave its output unchanged;
+//! * [`machine`] / [`cost`] — an analytic roofline simulator of the paper's
+//!   evaluation platforms (an RTX-3080-class GPU with Tensor Cores, a
+//!   Graviton2-class ARM CPU with `sdot`), used as the *performance oracle*
+//!   for the auto-scheduler and the benchmark harness.
+//!
+//! See `DESIGN.md` §1 for why these substitutions preserve the shape of the
+//! paper's results.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod interp;
+pub mod machine;
+pub mod tensor;
+
+pub use cost::{estimate_time, simulate, summarize, CostSummary};
+pub use interp::{assert_same_semantics, run_on_random_inputs, ExecError, Interpreter};
+pub use machine::{Machine, MachineKind};
+pub use tensor::Tensor;

@@ -1,0 +1,355 @@
+//! Runtime tensors for the interpreter.
+//!
+//! Values are stored as `f64` regardless of the IR data type; stores
+//! *quantize* through the destination type (f32/f16 rounding, integer
+//! wrapping), so reduced-precision behaviour — e.g. the paper's float16
+//! Tensor Core pipelines — is observable without a separate storage type
+//! per dtype.
+
+use tir::{DataType, TypeCode};
+
+/// Converts an `f64` to the nearest representable value of `dtype`.
+pub fn quantize(value: f64, dtype: DataType) -> f64 {
+    match dtype.code() {
+        TypeCode::Float => match dtype.bits() {
+            16 => f16_round(value),
+            32 => value as f32 as f64,
+            _ => value,
+        },
+        TypeCode::BFloat => bf16_round(value),
+        TypeCode::Int => {
+            let bits = dtype.bits() as u32;
+            let v = value.round() as i64;
+            if bits >= 64 {
+                v as f64
+            } else {
+                let m = 1i64 << bits;
+                let half = 1i64 << (bits - 1);
+                (((v % m + m) % m + half) % m - half) as f64
+            }
+        }
+        TypeCode::UInt => {
+            let bits = dtype.bits() as u32;
+            let v = value.round() as i64;
+            if bits >= 64 {
+                v as f64
+            } else {
+                let m = 1i64 << bits;
+                ((v % m + m) % m) as f64
+            }
+        }
+        TypeCode::Bool => {
+            if value != 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        TypeCode::Handle => value,
+    }
+}
+
+/// Rounds through IEEE binary16.
+fn f16_round(v: f64) -> f64 {
+    let f = v as f32;
+    let bits = f.to_bits();
+    let sign = (bits >> 16) & 0x8000;
+    let mut exp = ((bits >> 23) & 0xff) as i32;
+    let mut frac = bits & 0x7f_ffff;
+    if exp == 0xff {
+        // Inf/NaN
+        let h = sign | 0x7c00 | if frac != 0 { 0x200 } else { 0 };
+        return half_to_f64(h as u16);
+    }
+    exp -= 127 - 15;
+    if exp >= 0x1f {
+        return half_to_f64((sign | 0x7c00) as u16); // overflow -> inf
+    }
+    if exp <= 0 {
+        if exp < -10 {
+            return half_to_f64(sign as u16); // underflow -> signed zero
+        }
+        frac |= 0x80_0000;
+        let shift = (14 - exp) as u32;
+        let sub = frac >> shift;
+        // round to nearest even
+        let rem = frac & ((1 << shift) - 1);
+        let halfway = 1 << (shift - 1);
+        let sub = if rem > halfway || (rem == halfway && sub & 1 == 1) {
+            sub + 1
+        } else {
+            sub
+        };
+        return half_to_f64((sign | sub) as u16);
+    }
+    let mut h = sign | ((exp as u32) << 10) | (frac >> 13);
+    let rem = frac & 0x1fff;
+    if rem > 0x1000 || (rem == 0x1000 && h & 1 == 1) {
+        h += 1;
+    }
+    half_to_f64(h as u16)
+}
+
+fn half_to_f64(h: u16) -> f64 {
+    let sign = ((h >> 15) & 1) as u32;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let frac = (h & 0x3ff) as u32;
+    let f = if exp == 0 {
+        if frac == 0 {
+            if sign == 1 {
+                -0.0f32
+            } else {
+                0.0f32
+            }
+        } else {
+            let v = (frac as f32) * (2.0f32).powi(-24);
+            if sign == 1 {
+                -v
+            } else {
+                v
+            }
+        }
+    } else if exp == 0x1f {
+        if frac == 0 {
+            if sign == 1 {
+                f32::NEG_INFINITY
+            } else {
+                f32::INFINITY
+            }
+        } else {
+            f32::NAN
+        }
+    } else {
+        f32::from_bits((sign << 31) | ((exp + 127 - 15) << 23) | (frac << 13))
+    };
+    f as f64
+}
+
+/// Rounds through bfloat16 (round-to-nearest-even on the f32 mantissa).
+fn bf16_round(v: f64) -> f64 {
+    let bits = (v as f32).to_bits();
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7fff + lsb) & 0xffff_0000;
+    f32::from_bits(rounded) as f64
+}
+
+/// A dense multi-dimensional runtime tensor in row-major layout.
+///
+/// # Examples
+///
+/// ```
+/// use tir::DataType;
+/// use tir_exec::tensor::Tensor;
+/// let mut t = Tensor::zeros(DataType::float32(), &[2, 3]);
+/// t.set(&[1, 2], 5.0);
+/// assert_eq!(t.get(&[1, 2]), 5.0);
+/// assert_eq!(t.get(&[0, 0]), 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    dtype: DataType,
+    shape: Vec<i64>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor.
+    pub fn zeros(dtype: DataType, shape: &[i64]) -> Self {
+        let len: i64 = shape.iter().product();
+        Tensor {
+            dtype,
+            shape: shape.to_vec(),
+            data: vec![0.0; len.max(0) as usize],
+        }
+    }
+
+    /// A tensor filled from a function of the flat index.
+    pub fn from_fn(dtype: DataType, shape: &[i64], mut f: impl FnMut(usize) -> f64) -> Self {
+        let len: i64 = shape.iter().product();
+        let data = (0..len.max(0) as usize)
+            .map(|i| quantize(f(i), dtype))
+            .collect();
+        Tensor {
+            dtype,
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A deterministic pseudo-random tensor in `[-1, 1)` (or `[-8, 8)` for
+    /// integer types), seeded by `seed`.
+    pub fn random(dtype: DataType, shape: &[i64], seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        Self::from_fn(dtype, shape, |_| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            let unit = (r >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            if dtype.is_int() {
+                (unit * 16.0).floor() - 8.0
+            } else {
+                unit * 2.0 - 1.0
+            }
+        })
+    }
+
+    /// Element data type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Shape.
+    pub fn shape(&self) -> &[i64] {
+        &self.shape
+    }
+
+    /// Raw data in row-major order.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn offset(&self, indices: &[i64]) -> usize {
+        debug_assert_eq!(indices.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0i64;
+        for (i, (&idx, &dim)) in indices.iter().zip(&self.shape).enumerate() {
+            assert!(
+                (0..dim).contains(&idx),
+                "index {idx} out of bounds for dim {i} (extent {dim})"
+            );
+            off = off * dim + idx;
+        }
+        off as usize
+    }
+
+    /// Reads one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn get(&self, indices: &[i64]) -> f64 {
+        self.data[self.offset(indices)]
+    }
+
+    /// Writes one element, quantizing through the tensor's dtype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn set(&mut self, indices: &[i64], value: f64) {
+        let off = self.offset(indices);
+        self.data[off] = quantize(value, self.dtype);
+    }
+
+    /// Whether two tensors agree elementwise within `tol` (absolute or
+    /// relative, whichever is looser).
+    pub fn allclose(&self, other: &Tensor, tol: f64) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(&other.data).all(|(a, b)| {
+                let diff = (a - b).abs();
+                diff <= tol || diff <= tol * a.abs().max(b.abs())
+            })
+    }
+
+    /// Maximum absolute elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_row_major() {
+        let mut t = Tensor::zeros(DataType::float32(), &[2, 3]);
+        t.set(&[0, 1], 1.0);
+        t.set(&[1, 0], 2.0);
+        assert_eq!(t.data()[1], 1.0);
+        assert_eq!(t.data()[3], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t = Tensor::zeros(DataType::float32(), &[2, 3]);
+        let _ = t.get(&[2, 0]);
+    }
+
+    #[test]
+    fn f16_quantization() {
+        // 1.0 and 0.5 are exact in f16; 1/3 is not.
+        assert_eq!(quantize(1.0, DataType::float16()), 1.0);
+        assert_eq!(quantize(0.5, DataType::float16()), 0.5);
+        let third = quantize(1.0 / 3.0, DataType::float16());
+        assert!(third != 1.0 / 3.0);
+        assert!((third - 1.0 / 3.0).abs() < 1e-3);
+        // 2048 + 1 is not representable in f16 (11-bit significand).
+        assert_eq!(quantize(2049.0, DataType::float16()), 2048.0);
+        // Overflow saturates to infinity.
+        assert_eq!(quantize(1e6, DataType::float16()), f64::INFINITY);
+    }
+
+    #[test]
+    fn int_wrapping() {
+        assert_eq!(quantize(127.0, DataType::int8()), 127.0);
+        assert_eq!(quantize(128.0, DataType::int8()), -128.0);
+        assert_eq!(quantize(-129.0, DataType::int8()), 127.0);
+        assert_eq!(quantize(255.0, DataType::uint8()), 255.0);
+        assert_eq!(quantize(256.0, DataType::uint8()), 0.0);
+        assert_eq!(quantize(3.7, DataType::int32()), 4.0);
+    }
+
+    #[test]
+    fn bf16_rounding() {
+        // 1 + 1/256 is exactly halfway between bf16 values 1.0 and
+        // 1.0078125; round-to-nearest-even picks 1.0.
+        assert_eq!(quantize(1.0 + 1.0 / 256.0, DataType::bfloat16()), 1.0);
+        // 1 + 5/512 is closer to 1.0078125.
+        assert_eq!(
+            quantize(1.0 + 5.0 / 512.0, DataType::bfloat16()),
+            1.0078125
+        );
+        // Exact bf16 values survive.
+        assert_eq!(quantize(1.5, DataType::bfloat16()), 1.5);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor::random(DataType::float32(), &[8], 42);
+        let b = Tensor::random(DataType::float32(), &[8], 42);
+        let c = Tensor::random(DataType::float32(), &[8], 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        let a = Tensor::from_fn(DataType::float32(), &[4], |i| i as f64);
+        let mut b = a.clone();
+        b.set(&[2], 2.0 + 1e-9);
+        assert!(a.allclose(&b, 1e-6));
+        assert!(a.max_abs_diff(&b) < 1e-6);
+        b.set(&[2], 3.0);
+        assert!(!a.allclose(&b, 1e-6));
+    }
+
+    #[test]
+    fn int_random_range() {
+        let t = Tensor::random(DataType::int8(), &[64], 7);
+        assert!(t.data().iter().all(|v| (-8.0..8.0).contains(v)));
+        assert!(t.data().iter().all(|v| v.fract() == 0.0));
+    }
+}

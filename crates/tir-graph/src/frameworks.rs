@@ -1,0 +1,191 @@
+//! Vendor-library / framework oracles for the end-to-end comparisons.
+//!
+//! Each framework is modeled as a roofline oracle: its kernels reach a
+//! fixed fraction of the best applicable machine peak for each operator
+//! family (a dedicated engineering team's hand-tuned kernel), and its
+//! runtime either fuses elementwise work into neighbours or pays separate
+//! bandwidth-bound kernel launches. Support gaps are explicit: CUTLASS has
+//! no DEP/GRP/T2D kernels, TensorRT does not run ViT, and QNNPACK has no
+//! `sdot` path (all from §5 of the paper).
+
+use tir::DataType;
+use tir_exec::machine::{Machine, MachineKind};
+
+use crate::layer::{Layer, LayerKind, ModelSpec};
+
+/// The comparison systems of Figures 11/12/13/14.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Framework {
+    /// PyTorch eager with cuDNN kernels (GPU) — unfused elementwise.
+    PyTorch,
+    /// NVIDIA TensorRT — fused, heavily tuned, no ViT support.
+    TensorRt,
+    /// NVIDIA CUTLASS kernels (single-operator comparisons only).
+    Cutlass,
+    /// ARM Compute Library (int8 `sdot` kernels).
+    ArmComputeLib,
+    /// PyTorch mobile with QNNPACK (int8, no `sdot`).
+    PyTorchQnnpack,
+}
+
+impl Framework {
+    /// Display label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Framework::PyTorch => "PyTorch",
+            Framework::TensorRt => "TensorRT",
+            Framework::Cutlass => "CUTLASS",
+            Framework::ArmComputeLib => "ArmComputeLib",
+            Framework::PyTorchQnnpack => "PyTorch(QNNPACK)",
+        }
+    }
+
+    /// Whether elementwise layers are fused into neighbouring kernels.
+    fn fuses_elementwise(self) -> bool {
+        matches!(
+            self,
+            Framework::TensorRt | Framework::ArmComputeLib | Framework::PyTorchQnnpack
+        )
+    }
+
+    /// Fraction of the best applicable compute peak this framework's
+    /// kernels reach for a layer kind; `None` = unsupported operator.
+    fn efficiency(self, kind: LayerKind) -> Option<f64> {
+        Some(match (self, kind) {
+            (Framework::Cutlass, LayerKind::Dense) => 0.90,
+            (Framework::Cutlass, LayerKind::Conv2d) => 0.72,
+            (Framework::Cutlass, LayerKind::BatchMatmul) => 0.85,
+            (Framework::Cutlass, LayerKind::Depthwise) => return None,
+            (Framework::TensorRt, LayerKind::Dense) => 0.88,
+            (Framework::TensorRt, LayerKind::Conv2d) => 0.80,
+            (Framework::TensorRt, LayerKind::BatchMatmul) => 0.80,
+            (Framework::TensorRt, LayerKind::Depthwise) => 0.30,
+            (Framework::PyTorch, LayerKind::Dense) => 0.70,
+            (Framework::PyTorch, LayerKind::Conv2d) => 0.60,
+            (Framework::PyTorch, LayerKind::BatchMatmul) => 0.55,
+            (Framework::PyTorch, LayerKind::Depthwise) => 0.20,
+            (Framework::ArmComputeLib, LayerKind::Dense) => 0.80,
+            (Framework::ArmComputeLib, LayerKind::Conv2d) => 0.72,
+            (Framework::ArmComputeLib, LayerKind::BatchMatmul) => 0.70,
+            (Framework::ArmComputeLib, LayerKind::Depthwise) => 0.50,
+            (Framework::PyTorchQnnpack, LayerKind::Dense) => 0.60,
+            (Framework::PyTorchQnnpack, LayerKind::Conv2d) => 0.55,
+            (Framework::PyTorchQnnpack, LayerKind::BatchMatmul) => 0.50,
+            (Framework::PyTorchQnnpack, LayerKind::Depthwise) => 0.45,
+            (_, LayerKind::Memory) => 1.0,
+        })
+    }
+
+    /// The compute peak (MACs/s) this framework's kernels can tap for a
+    /// data type on a machine.
+    fn peak(self, machine: &Machine, dtype: DataType) -> f64 {
+        match (machine.kind, self) {
+            // QNNPACK has not added sdot support (§5.3): vector peak only.
+            (MachineKind::Cpu, Framework::PyTorchQnnpack) => machine.vector_peak(),
+            (MachineKind::Cpu, _) => machine
+                .tensor_peak("sdot_4x4x4_i8")
+                .filter(|_| dtype == DataType::int8())
+                .unwrap_or_else(|| machine.vector_peak()),
+            (MachineKind::Gpu, _) => machine
+                .tensor_peak("wmma_16x16x16_f16")
+                .filter(|_| dtype == DataType::float16())
+                .unwrap_or_else(|| machine.scalar_peak()),
+        }
+    }
+
+    /// Whether the framework can run a whole model.
+    pub fn supports_model(self, model: &ModelSpec) -> bool {
+        // TensorRT does not yet support ViT (§5.2).
+        !(self == Framework::TensorRt && model.name.starts_with("ViT"))
+    }
+
+    /// Kernel time for one layer instance, `None` if unsupported.
+    pub fn layer_time(self, layer: &Layer, machine: &Machine, dtype: DataType) -> Option<f64> {
+        let eff = self.efficiency(layer.kind)?;
+        if layer.kind == LayerKind::Memory {
+            let bytes = if self.fuses_elementwise() {
+                // Fused into the producing kernel: no extra pass.
+                0.0
+            } else {
+                layer.min_bytes
+            };
+            let t = bytes / (machine.global_bw_gbps * 1e9);
+            let overhead = if self.fuses_elementwise() {
+                0.0
+            } else {
+                machine.launch_overhead_us * 1e-6
+            };
+            return Some(t + overhead);
+        }
+        let compute = layer.macs / (self.peak(machine, dtype) * eff);
+        let memory = layer.min_bytes / (machine.global_bw_gbps * 1e9);
+        Some(compute.max(memory) + machine.launch_overhead_us * 1e-6)
+    }
+
+    /// End-to-end model latency, `None` if the model is unsupported.
+    pub fn model_latency(self, model: &ModelSpec, machine: &Machine) -> Option<f64> {
+        if !self.supports_model(model) {
+            return None;
+        }
+        let mut total = 0.0;
+        for l in &model.layers {
+            let t = self.layer_time(l, machine, model.dtype)?;
+            total += t * l.count as f64;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn tensorrt_beats_pytorch_end_to_end() {
+        let machine = Machine::sim_gpu();
+        let m = models::resnet50(DataType::float16());
+        let trt = Framework::TensorRt.model_latency(&m, &machine).unwrap();
+        let pt = Framework::PyTorch.model_latency(&m, &machine).unwrap();
+        assert!(trt < pt, "TensorRT {trt} vs PyTorch {pt}");
+    }
+
+    #[test]
+    fn tensorrt_does_not_support_vit() {
+        let machine = Machine::sim_gpu();
+        let vit = models::vit_base(DataType::float16());
+        assert!(Framework::TensorRt.model_latency(&vit, &machine).is_none());
+        assert!(Framework::PyTorch.model_latency(&vit, &machine).is_some());
+    }
+
+    #[test]
+    fn cutlass_lacks_depthwise() {
+        let machine = Machine::sim_gpu();
+        let l = Layer::compute(
+            "dw",
+            LayerKind::Depthwise,
+            tir_workloads::dep(1, 16, 16, 32, 3, 3, 1, DataType::float16()),
+            1e6,
+            1,
+        );
+        assert!(Framework::Cutlass
+            .layer_time(&l, &machine, DataType::float16())
+            .is_none());
+        assert!(Framework::TensorRt
+            .layer_time(&l, &machine, DataType::float16())
+            .is_some());
+    }
+
+    #[test]
+    fn qnnpack_is_slower_than_acl_on_int8() {
+        let machine = Machine::sim_arm();
+        let m = models::resnet50(DataType::int8());
+        let acl = Framework::ArmComputeLib
+            .model_latency(&m, &machine)
+            .unwrap();
+        let qnn = Framework::PyTorchQnnpack
+            .model_latency(&m, &machine)
+            .unwrap();
+        assert!(acl < qnn, "ACL {acl} vs QNNPACK {qnn}");
+    }
+}

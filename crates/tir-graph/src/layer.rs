@@ -1,0 +1,135 @@
+//! Model layers: the unit of end-to-end execution.
+//!
+//! A network is a sequence of [`Layer`]s. Tensor-compute layers carry a
+//! TensorIR workload that the auto-scheduler tunes; memory-bound layers
+//! (elementwise arithmetic, normalization, residual adds) are modeled at
+//! the bandwidth roofline, which is how every system in the comparison
+//! executes them (frameworks run them as bandwidth-bound kernels; compilers
+//! fuse them into neighbours — the `fused` flag halves their traffic).
+
+use tir::{DataType, PrimFunc};
+
+/// The operator family of a layer (drives vendor-library efficiency and
+/// support lookups).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LayerKind {
+    /// Standard 2-D convolution (includes 1x1 / pointwise).
+    Conv2d,
+    /// Depthwise 2-D convolution.
+    Depthwise,
+    /// Dense / fully-connected matmul.
+    Dense,
+    /// Batched matmul (attention).
+    BatchMatmul,
+    /// Bandwidth-bound elementwise/normalization work.
+    Memory,
+}
+
+/// One layer of a model.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// Unique name (layers with equal names are tuned once).
+    pub name: String,
+    /// Operator family.
+    pub kind: LayerKind,
+    /// The tunable workload; `None` for memory-bound layers.
+    pub func: Option<PrimFunc>,
+    /// Multiply-accumulates per instance.
+    pub macs: f64,
+    /// Compulsory traffic per instance (inputs + outputs + weights), bytes.
+    pub min_bytes: f64,
+    /// How many times the layer occurs in the network.
+    pub count: i64,
+}
+
+impl Layer {
+    /// A memory-bound layer moving `bytes` per instance.
+    pub fn memory(name: impl Into<String>, bytes: f64, count: i64) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Memory,
+            func: None,
+            macs: 0.0,
+            min_bytes: bytes,
+            count,
+        }
+    }
+
+    /// A tensor-compute layer from a workload function.
+    pub fn compute(
+        name: impl Into<String>,
+        kind: LayerKind,
+        func: PrimFunc,
+        macs: f64,
+        count: i64,
+    ) -> Layer {
+        let min_bytes: f64 = func
+            .params
+            .iter()
+            .map(|p| p.size_bytes() as f64)
+            .sum();
+        Layer {
+            name: name.into(),
+            kind,
+            func: Some(func),
+            macs,
+            min_bytes,
+            count,
+        }
+    }
+}
+
+/// A whole model: a named list of layers.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Model name as shown in the figures.
+    pub name: String,
+    /// Data type of the tensor-compute layers.
+    pub dtype: DataType,
+    /// The layers.
+    pub layers: Vec<Layer>,
+}
+
+impl ModelSpec {
+    /// Total MACs of one inference.
+    pub fn total_macs(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.macs * l.count as f64)
+            .sum()
+    }
+
+    /// Number of distinct tunable layers.
+    pub fn distinct_tunable(&self) -> usize {
+        self.layers.iter().filter(|l| l.func.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_layer_derives_bytes() {
+        let f = tir_workloads::gmm(64, 64, 64, DataType::float16(), DataType::float16());
+        let l = Layer::compute("mm", LayerKind::Dense, f, 64.0 * 64.0 * 64.0, 2);
+        // 3 buffers of 64x64 f16.
+        assert_eq!(l.min_bytes, 3.0 * 64.0 * 64.0 * 2.0);
+        assert_eq!(l.count, 2);
+    }
+
+    #[test]
+    fn model_totals() {
+        let f = tir_workloads::gmm(8, 8, 8, DataType::float32(), DataType::float32());
+        let m = ModelSpec {
+            name: "toy".into(),
+            dtype: DataType::float32(),
+            layers: vec![
+                Layer::compute("mm", LayerKind::Dense, f, 512.0, 3),
+                Layer::memory("relu", 1024.0, 3),
+            ],
+        };
+        assert_eq!(m.total_macs(), 1536.0);
+        assert_eq!(m.distinct_tunable(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # tir-graph — end-to-end model layer
+//!
+//! Lowers whole networks onto the TensorIR stack: [`models`] defines the
+//! four evaluation networks (ResNet-50, MobileNetV2, BERT-large,
+//! ViT-Base/16) layer by layer with their real shapes, [`executor`] tunes
+//! every distinct layer with a compiler [`tir_autoschedule::Strategy`] and
+//! aggregates end-to-end latency plus tuning cost, and [`frameworks`]
+//! models the framework/vendor-library comparison points (PyTorch,
+//! TensorRT, CUTLASS, ArmComputeLib, QNNPACK) as roofline oracles.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod frameworks;
+pub mod layer;
+pub mod models;
+
+pub use executor::{compile_model, evaluate_model, LayerResult, ModelResult};
+pub use frameworks::Framework;
+pub use layer::{Layer, LayerKind, ModelSpec};
+pub use models::{arm_models, bert_large, gpu_models, mobilenet_v2, resnet50, vit_base};

@@ -1,0 +1,382 @@
+//! Caching primitives: `cache_read` and `cache_write`.
+//!
+//! These introduce staging blocks that move data between memory scopes
+//! (global → shared → registers / tensor-core fragments), the block-
+//! hierarchy transformation the paper pairs with blockization (§3.2) and
+//! the mechanism behind AutoCopy data-movement blocks (§4.3).
+
+use tir::visit::replace_buffers;
+use tir::{
+    AnnValue, Block, BlockRealize, Buffer, BufferRegion, Expr, IterVar, MemScope, RangeExpr,
+    Stmt, Var,
+};
+
+use crate::compute_location::{refresh_nested_signatures, required_region};
+use crate::schedule::{BlockRef, LoopRef, Result, Schedule, ScheduleError};
+use crate::trace::TraceStep;
+
+fn sanitize(scope: &MemScope) -> String {
+    scope.as_str().replace('.', "_")
+}
+
+/// Builds a copy block `dst[idx] = src[idx]` sweeping `region`, with block
+/// iterator domains equal to the full buffer dims (bindings `min + ax`).
+fn copy_block_nest(
+    name: &str,
+    src: &Buffer,
+    dst: &Buffer,
+    region: &[RangeExpr],
+    annotations: &[(&str, AnnValue)],
+) -> Result<Stmt> {
+    let ndim = src.ndim();
+    let mut loops: Vec<(Var, i64)> = Vec::with_capacity(ndim);
+    let mut bindings: Vec<Expr> = Vec::with_capacity(ndim);
+    let mut block_vars: Vec<Var> = Vec::with_capacity(ndim);
+    for (d, r) in region.iter().enumerate() {
+        let extent = r
+            .extent
+            .as_int()
+            .ok_or_else(|| ScheduleError::Precondition("non-constant region extent".into()))?;
+        let ax = Var::int(format!("ax{d}"));
+        bindings.push(tir::simplify::simplify_expr(
+            &(r.min.clone() + Expr::from(&ax)),
+        ));
+        loops.push((ax, extent));
+        block_vars.push(Var::int(format!("v{d}")));
+    }
+    let idx: Vec<Expr> = block_vars.iter().map(Expr::from).collect();
+    let body = Stmt::store(dst.clone(), idx.clone(), src.load(idx.clone()));
+    let iter_vars: Vec<IterVar> = block_vars
+        .iter()
+        .zip(src.shape())
+        .map(|(v, &e)| IterVar::spatial(v.clone(), e))
+        .collect();
+    let mut block = Block::new(
+        name,
+        iter_vars,
+        vec![BufferRegion::point(src.clone(), idx.clone())],
+        vec![BufferRegion::point(dst.clone(), idx)],
+        body,
+    );
+    // Generated copies are idempotent and may legitimately have
+    // overlapping (halo) or non-surjective bindings; the validator relaxes
+    // loop-nest binding checks for them (region cover still applies).
+    block
+        .annotations
+        .insert("tir.copy".to_string(), AnnValue::Int(1));
+    for (k, v) in annotations {
+        block.annotations.insert((*k).to_string(), v.clone());
+    }
+    let realize = BlockRealize::new(bindings, block);
+    Ok(Stmt::BlockRealize(Box::new(realize)).in_loops(loops))
+}
+
+impl Schedule {
+    /// Registers a buffer in the root block's allocation list.
+    pub(crate) fn alloc_at_root(&mut self, buffer: Buffer) -> Result<()> {
+        self.rewrite_body(|body| match body {
+            Stmt::BlockRealize(mut root) => {
+                root.block.alloc_buffers.push(buffer);
+                Ok(Stmt::BlockRealize(root))
+            }
+            other => Err(ScheduleError::Precondition(format!(
+                "function body is not a root block: {other:?}"
+            ))),
+        })
+    }
+
+    /// Creates a staging copy of `buffer` in `scope` for the reads of
+    /// `block`, inserting the copy block at the top of `at_loop`'s body
+    /// (or at the start of the root block when `at_loop` is `None`). The
+    /// consumer block is rewritten to read the staged copy.
+    ///
+    /// Returns a reference to the new copy block, named
+    /// `{buffer}_{scope}`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block does not read the buffer or the loop is
+    /// missing.
+    pub fn cache_read(
+        &mut self,
+        block: &BlockRef,
+        buffer: &Buffer,
+        scope: MemScope,
+        at_loop: Option<&LoopRef>,
+    ) -> Result<BlockRef> {
+        // Check the consumer actually reads the buffer.
+        let reads_it = {
+            let br = tir::visit::find_block(&self.func.body, block.name())
+                .ok_or_else(|| ScheduleError::BlockNotFound(block.name().to_string()))?;
+            br.block.reads.iter().any(|r| &r.buffer == buffer)
+        };
+        if !reads_it {
+            return Err(ScheduleError::Precondition(format!(
+                "block {} does not read buffer {}",
+                block.name(),
+                buffer.name()
+            )));
+        }
+        let cache_name = format!("{}_{}", buffer.name(), sanitize(&scope));
+        let cache = buffer.derive(cache_name.clone(), scope);
+
+        // Insert the copy nest.
+        match at_loop {
+            Some(l) => {
+                let buffer_c = buffer.clone();
+                let cache_c = cache.clone();
+                let name_c = cache_name.clone();
+                self.rewrite_loop(l, |f: tir::For| {
+                    let region =
+                        required_region(&f.body, &buffer_c, true, false).ok_or_else(|| {
+                            ScheduleError::Precondition(format!(
+                                "no read of {} under the target loop",
+                                buffer_c.name()
+                            ))
+                        })?;
+                    let nest = copy_block_nest(&name_c, &buffer_c, &cache_c, &region, &[])?;
+                    Ok(Stmt::For(Box::new(tir::For {
+                        body: Stmt::seq(vec![nest, f.body]),
+                        ..f
+                    })))
+                })?;
+            }
+            None => {
+                let region = buffer.full_region().region;
+                let nest = copy_block_nest(&cache_name, buffer, &cache, &region, &[])?;
+                self.rewrite_body(|body| match body {
+                    Stmt::BlockRealize(mut root) => {
+                        root.block.body =
+                            Box::new(Stmt::seq(vec![nest, *root.block.body]));
+                        Ok(Stmt::BlockRealize(root))
+                    }
+                    other => Ok(Stmt::seq(vec![nest, other])),
+                })?;
+            }
+        }
+        // Redirect the consumer block's reads.
+        let mut map = std::collections::HashMap::new();
+        map.insert(buffer.clone(), cache.clone());
+        self.rewrite_block(block, |br: BlockRealize| {
+            Ok(replace_buffers(&Stmt::BlockRealize(Box::new(br)), &map))
+        })?;
+        let scope_str = cache.scope().as_str().to_string();
+        self.alloc_at_root(cache)?;
+        // The rewritten block may be nested: refresh enclosing block
+        // signatures so they describe the new buffer.
+        self.rewrite_body(|body| Ok(refresh_nested_signatures(body)))?;
+        self.record(TraceStep::new(
+            "cache_read",
+            vec![
+                block.name().into(),
+                buffer.name().to_string().into(),
+                scope_str.into(),
+                at_loop
+                    .map(|l| l.var().name().to_string())
+                    .unwrap_or_default()
+                    .into(),
+            ],
+        ));
+        self.get_block(&cache_name)
+    }
+
+    /// Makes `block` accumulate into a private copy of its output buffer in
+    /// `scope`, adding a write-back copy block at the bottom of `at_loop`'s
+    /// body (or at the end of the root block when `None`).
+    ///
+    /// Returns a reference to the write-back block, named
+    /// `{buffer}_{scope}_wb`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block writes zero or multiple buffers.
+    pub fn cache_write(
+        &mut self,
+        block: &BlockRef,
+        scope: MemScope,
+        at_loop: Option<&LoopRef>,
+    ) -> Result<BlockRef> {
+        let out_buffer = {
+            let br = tir::visit::find_block(&self.func.body, block.name())
+                .ok_or_else(|| ScheduleError::BlockNotFound(block.name().to_string()))?;
+            if br.block.writes.len() != 1 {
+                return Err(ScheduleError::Precondition(format!(
+                    "cache_write requires a single-output block, {} writes {}",
+                    block.name(),
+                    br.block.writes.len()
+                )));
+            }
+            br.block.writes[0].buffer.clone()
+        };
+        let cache_name = format!("{}_{}", out_buffer.name(), sanitize(&scope));
+        let wb_name = format!("{cache_name}_wb");
+        let scope_str = scope.as_str().to_string();
+        let cache = out_buffer.derive(cache_name, scope);
+
+        // Compute the written region under the attach loop *before*
+        // renaming (regions reference the original buffer).
+        let region = match at_loop {
+            Some(l) => {
+                let mut region = None;
+                let out_c = out_buffer.clone();
+                crate::schedule::find_loop(&self.func.body, l.var(), &mut |f| {
+                    region = required_region(&f.body, &out_c, false, true);
+                });
+                region.ok_or_else(|| {
+                    ScheduleError::Precondition(format!(
+                        "no write of {} under the target loop",
+                        out_buffer.name()
+                    ))
+                })?
+            }
+            None => out_buffer.full_region().region,
+        };
+
+        // Redirect the producer block to the private accumulator.
+        let mut map = std::collections::HashMap::new();
+        map.insert(out_buffer.clone(), cache.clone());
+        self.rewrite_block(block, |br: BlockRealize| {
+            Ok(replace_buffers(&Stmt::BlockRealize(Box::new(br)), &map))
+        })?;
+
+        // Insert the write-back copy.
+        let nest = copy_block_nest(&wb_name, &cache, &out_buffer, &region, &[])?;
+        match at_loop {
+            Some(l) => {
+                self.rewrite_loop(l, |f: tir::For| {
+                    Ok(Stmt::For(Box::new(tir::For {
+                        body: Stmt::seq(vec![f.body, nest]),
+                        ..f
+                    })))
+                })?;
+            }
+            None => {
+                self.rewrite_body(|body| match body {
+                    Stmt::BlockRealize(mut root) => {
+                        root.block.body =
+                            Box::new(Stmt::seq(vec![*root.block.body, nest]));
+                        Ok(Stmt::BlockRealize(root))
+                    }
+                    other => Ok(Stmt::seq(vec![other, nest])),
+                })?;
+            }
+        }
+        self.alloc_at_root(cache)?;
+        self.rewrite_body(|body| Ok(refresh_nested_signatures(body)))?;
+        self.record(TraceStep::new(
+            "cache_write",
+            vec![
+                block.name().into(),
+                scope_str.into(),
+                at_loop
+                    .map(|l| l.var().name().to_string())
+                    .unwrap_or_default()
+                    .into(),
+            ],
+        ));
+        self.get_block(&wb_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use tir::builder::matmul_func;
+    use tir::DataType;
+    use tir_exec::assert_same_semantics;
+
+    fn mm() -> tir::PrimFunc {
+        matmul_func("mm", 16, 16, 16, DataType::float32())
+    }
+
+    #[test]
+    fn cache_read_full_buffer() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let a = sch.func().param("A").expect("A").clone();
+        let copy = sch
+            .cache_read(&block, &a, MemScope::Shared, None)
+            .expect("cache_read");
+        assert_eq!(copy.name(), "A_shared");
+        // The consumer now reads the staged copy.
+        let br = tir::visit::find_block(&sch.func().body, "C").expect("C");
+        assert!(br
+            .block
+            .reads
+            .iter()
+            .all(|r| r.buffer.name() != "A"));
+        assert_same_semantics(&mm(), sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn cache_read_at_loop_stages_tile() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        let a = sch.func().param("A").expect("A").clone();
+        sch.cache_read(&block, &a, MemScope::Shared, Some(&loops[0]))
+            .expect("cache_read");
+        assert_same_semantics(&mm(), sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+        // The staged copy should cover one row (i fixed) of A: extent 1 x 16.
+        let copy = tir::visit::find_block(&sch.func().body, "A_shared").expect("copy");
+        assert_eq!(copy.block.iter_vars.len(), 2);
+    }
+
+    #[test]
+    fn cache_read_requires_reader() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let c = sch.func().param("C").expect("C buf").clone();
+        // C (output) is not in the reads of block C (self-read filtered).
+        let err = sch
+            .cache_read(&block, &c, MemScope::Shared, None)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Precondition(_)));
+    }
+
+    #[test]
+    fn cache_write_accumulator() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let wb = sch
+            .cache_write(&block, MemScope::Local, None)
+            .expect("cache_write");
+        assert_eq!(wb.name(), "C_local_wb");
+        // The compute block now writes C_local.
+        let br = tir::visit::find_block(&sch.func().body, "C").expect("C");
+        assert_eq!(br.block.writes[0].buffer.name(), "C_local");
+        assert_same_semantics(&mm(), sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn cache_write_at_tile_loop() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        sch.cache_write(&block, MemScope::Local, Some(&loops[1]))
+            .expect("cache_write");
+        assert_same_semantics(&mm(), sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn cache_read_then_write_pipeline() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        let a = sch.func().param("A").expect("A").clone();
+        let b = sch.func().param("B").expect("B").clone();
+        sch.cache_read(&block, &a, MemScope::Shared, Some(&loops[0]))
+            .expect("stage A");
+        sch.cache_read(&block, &b, MemScope::Shared, Some(&loops[0]))
+            .expect("stage B");
+        sch.cache_write(&block, MemScope::Local, Some(&loops[0]))
+            .expect("accumulate locally");
+        assert_same_semantics(&mm(), sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+}

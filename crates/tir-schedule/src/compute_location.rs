@@ -1,0 +1,966 @@
+//! Compute-location primitives: `compute_at`, `reverse_compute_at`,
+//! `compute_inline`, `reverse_compute_inline`.
+//!
+//! These move or dissolve whole blocks while preserving the producer-covers-
+//! consumer invariant, using only block-signature information plus region
+//! arithmetic (Fig. 6 of the paper).
+
+use std::collections::HashMap;
+
+use tir::simplify::simplify_expr;
+use tir::visit::{collect_vars_expr, subst_expr};
+use tir::{Block, BlockRealize, Buffer, Expr, IterKind, RangeExpr, Stmt, Var};
+use tir_arith::bound::{bound_of, IntBound};
+
+use crate::schedule::{BlockRef, LoopRef, Result, Schedule, ScheduleError};
+use crate::trace::TraceStep;
+
+/// Removes loops whose bodies became empty and flattens empty sequences.
+pub(crate) fn prune_empty(s: Stmt) -> Stmt {
+    match s {
+        Stmt::For(f) => {
+            let f = *f;
+            let body = prune_empty(f.body);
+            if matches!(&body, Stmt::Seq(v) if v.is_empty()) {
+                Stmt::Seq(vec![])
+            } else {
+                Stmt::For(Box::new(tir::For { body, ..f }))
+            }
+        }
+        Stmt::Seq(v) => Stmt::seq(
+            v.into_iter()
+                .map(prune_empty)
+                .filter(|st| !matches!(st, Stmt::Seq(v) if v.is_empty()))
+                .collect(),
+        ),
+        Stmt::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::IfThenElse {
+            cond,
+            then_branch: Box::new(prune_empty(*then_branch)),
+            else_branch: else_branch.map(|e| Box::new(prune_empty(*e))),
+        },
+        Stmt::BlockRealize(mut br) => {
+            br.block.body = Box::new(prune_empty(*br.block.body));
+            Stmt::BlockRealize(br)
+        }
+        other => other,
+    }
+}
+
+/// Extracts (removes and returns) the block realize with the given name.
+fn extract_block(s: Stmt, name: &str, out: &mut Option<BlockRealize>) -> Stmt {
+    match s {
+        Stmt::BlockRealize(br) => {
+            if br.block.name == name && out.is_none() {
+                *out = Some(*br);
+                return Stmt::Seq(vec![]);
+            }
+            let mut br = *br;
+            br.block.body = Box::new(extract_block(*br.block.body, name, out));
+            Stmt::BlockRealize(Box::new(br))
+        }
+        Stmt::For(f) => {
+            let f = *f;
+            let body = extract_block(f.body, name, out);
+            Stmt::For(Box::new(tir::For { body, ..f }))
+        }
+        Stmt::Seq(v) => Stmt::Seq(
+            v.into_iter()
+                .map(|st| extract_block(st, name, out))
+                .collect(),
+        ),
+        Stmt::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::IfThenElse {
+            cond,
+            then_branch: Box::new(extract_block(*then_branch, name, out)),
+            else_branch: else_branch.map(|e| Box::new(extract_block(*e, name, out))),
+        },
+        other => other,
+    }
+}
+
+/// The region of `buffer` accessed by block realizes inside `stmt`,
+/// expressed in terms of variables *not* bound inside `stmt`: block
+/// signature regions are instantiated with their binding values, then all
+/// loop variables bound within `stmt` are relaxed away (symbolic min at
+/// zero, constant extent from interval analysis).
+pub(crate) fn required_region(
+    stmt: &Stmt,
+    buffer: &Buffer,
+    reads: bool,
+    writes: bool,
+) -> Option<Vec<RangeExpr>> {
+    struct Req {
+        mins: Vec<Option<Expr>>,
+        extents: Vec<i64>,
+        any: bool,
+    }
+    fn relax(
+        region: &[RangeExpr],
+        subst: &HashMap<Var, Expr>,
+        inner: &[(Var, i64)],
+        req: &mut Req,
+        buffer: &Buffer,
+    ) {
+        let zero_map: HashMap<Var, Expr> = inner
+            .iter()
+            .map(|(v, _)| (v.clone(), Expr::int(0)))
+            .collect();
+        let inner_bounds: HashMap<Var, IntBound> = inner
+            .iter()
+            .map(|(v, e)| (v.clone(), IntBound::new(0, (*e - 1).max(0))))
+            .collect();
+        for (d, r) in region.iter().enumerate() {
+            let min = simplify_expr(&subst_expr(&r.min, subst));
+            let extent_c = r.extent.as_int().unwrap_or(buffer.shape()[d]);
+            let min_zeroed = simplify_expr(&subst_expr(&min, &zero_map));
+            // Width contributed by inner vars in the min expression.
+            let mut env = inner_bounds.clone();
+            for v in collect_vars_expr(&min) {
+                env.entry(v).or_insert(IntBound::single(0));
+            }
+            let full = bound_of(&min, &env);
+            let at_zero = {
+                let env0: HashMap<Var, IntBound> = env
+                    .keys()
+                    .map(|v| (v.clone(), IntBound::single(0)))
+                    .collect();
+                bound_of(&min, &env0)
+            };
+            if full.min < at_zero.min {
+                // Negative coefficient on an inner variable (e.g. a flipped
+                // convolution kernel): zeroing the inner vars does not give
+                // the region minimum, so fall back to the full dimension.
+                req.mins[d] = Some(Expr::int(0));
+                req.extents[d] = buffer.shape()[d];
+                req.any = true;
+                continue;
+            }
+            let width = (full.max - at_zero.max) + extent_c;
+            match &mut req.mins[d] {
+                Some(existing) if *existing == min_zeroed => {
+                    req.extents[d] = req.extents[d].max(width);
+                }
+                Some(_) => {
+                    req.mins[d] = Some(Expr::int(0));
+                    req.extents[d] = buffer.shape()[d];
+                }
+                None => {
+                    req.mins[d] = Some(min_zeroed);
+                    req.extents[d] = width;
+                }
+            }
+        }
+        req.any = true;
+    }
+    fn walk(
+        s: &Stmt,
+        buffer: &Buffer,
+        reads: bool,
+        writes: bool,
+        inner: &mut Vec<(Var, i64)>,
+        req: &mut Req,
+    ) {
+        match s {
+            Stmt::For(f) => {
+                inner.push((f.var.clone(), f.extent.as_int().unwrap_or(1)));
+                walk(&f.body, buffer, reads, writes, inner, req);
+                inner.pop();
+            }
+            Stmt::Seq(v) => {
+                for st in v {
+                    walk(st, buffer, reads, writes, inner, req);
+                }
+            }
+            Stmt::IfThenElse {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk(then_branch, buffer, reads, writes, inner, req);
+                if let Some(e) = else_branch {
+                    walk(e, buffer, reads, writes, inner, req);
+                }
+            }
+            Stmt::BlockRealize(br) => {
+                let subst: HashMap<Var, Expr> = br
+                    .block
+                    .iter_vars
+                    .iter()
+                    .zip(&br.iter_values)
+                    .map(|(iv, v)| (iv.var.clone(), v.clone()))
+                    .collect();
+                if reads {
+                    for r in &br.block.reads {
+                        if &r.buffer == buffer {
+                            relax(&r.region, &subst, inner, req, buffer);
+                        }
+                    }
+                }
+                if writes {
+                    for w in &br.block.writes {
+                        if &w.buffer == buffer {
+                            relax(&w.region, &subst, inner, req, buffer);
+                        }
+                    }
+                }
+                // Nested blocks: their accesses are already summarized by
+                // this block's own signature, so no need to descend.
+            }
+            _ => {}
+        }
+    }
+    let mut req = Req {
+        mins: vec![None; buffer.ndim()],
+        extents: vec![0; buffer.ndim()],
+        any: false,
+    };
+    let mut inner = Vec::new();
+    walk(stmt, buffer, reads, writes, &mut inner, &mut req);
+    if !req.any {
+        return None;
+    }
+    Some(
+        req.mins
+            .into_iter()
+            .zip(req.extents)
+            .map(|(min, e)| RangeExpr::new(min.expect("dim visited"), e))
+            .collect(),
+    )
+}
+
+/// Recomputes the read/write signatures of every *non-leaf* block (one
+/// containing nested blocks) from its children, bottom-up. Needed after a
+/// transformation rewrites buffers inside a nested block: the enclosing
+/// blocks' signatures would otherwise go stale.
+pub(crate) fn refresh_nested_signatures(s: Stmt) -> Stmt {
+    fn buffers_accessed_below(s: &Stmt, reads: &mut Vec<Buffer>, writes: &mut Vec<Buffer>) {
+        match s {
+            Stmt::BlockRealize(br) => {
+                for r in &br.block.reads {
+                    if !reads.contains(&r.buffer) {
+                        reads.push(r.buffer.clone());
+                    }
+                }
+                for w in &br.block.writes {
+                    if !writes.contains(&w.buffer) {
+                        writes.push(w.buffer.clone());
+                    }
+                }
+            }
+            Stmt::For(f) => buffers_accessed_below(&f.body, reads, writes),
+            Stmt::Seq(v) => {
+                for st in v {
+                    buffers_accessed_below(st, reads, writes);
+                }
+            }
+            Stmt::IfThenElse {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                buffers_accessed_below(then_branch, reads, writes);
+                if let Some(e) = else_branch {
+                    buffers_accessed_below(e, reads, writes);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn has_nested_block(s: &Stmt) -> bool {
+        !tir::visit::block_names(s).is_empty()
+    }
+    match s {
+        Stmt::BlockRealize(mut br) => {
+            br.block.body = Box::new(refresh_nested_signatures(*br.block.body));
+            if has_nested_block(&br.block.body) && br.block.name != "root" {
+                let mut read_bufs = Vec::new();
+                let mut write_bufs = Vec::new();
+                buffers_accessed_below(&br.block.body, &mut read_bufs, &mut write_bufs);
+                let local = &br.block.alloc_buffers;
+                let mut reads = Vec::new();
+                for b in read_bufs {
+                    if local.contains(&b) {
+                        continue;
+                    }
+                    if let Some(region) = required_region(&br.block.body, &b, true, false) {
+                        reads.push(tir::BufferRegion::new(b, region));
+                    }
+                }
+                let mut writes = Vec::new();
+                for b in write_bufs {
+                    if local.contains(&b) {
+                        continue;
+                    }
+                    if let Some(region) = required_region(&br.block.body, &b, false, true) {
+                        writes.push(tir::BufferRegion::new(b, region));
+                    }
+                }
+                br.block.reads = reads;
+                br.block.writes = writes;
+            }
+            Stmt::BlockRealize(br)
+        }
+        Stmt::For(f) => {
+            let f = *f;
+            let body = refresh_nested_signatures(f.body);
+            Stmt::For(Box::new(tir::For { body, ..f }))
+        }
+        Stmt::Seq(v) => Stmt::Seq(v.into_iter().map(refresh_nested_signatures).collect()),
+        Stmt::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::IfThenElse {
+            cond,
+            then_branch: Box::new(refresh_nested_signatures(*then_branch)),
+            else_branch: else_branch.map(|e| Box::new(refresh_nested_signatures(*e))),
+        },
+        other => other,
+    }
+}
+
+/// Builds a loop nest realizing `block` so that its spatial iterators sweep
+/// `region` (one range per output dimension, in output-dim order) and its
+/// reduction iterators sweep their full domains. Requires the block's write
+/// indices to be exactly its spatial iterators in order.
+pub(crate) fn realize_over_region(
+    block: &Block,
+    region: &[RangeExpr],
+    guard_shape: &[i64],
+) -> Result<Stmt> {
+    let spatial_count = block
+        .iter_vars
+        .iter()
+        .filter(|iv| iv.kind == IterKind::Spatial)
+        .count();
+    if spatial_count != region.len() {
+        return Err(ScheduleError::Precondition(format!(
+            "block {} has {} spatial iterators but the target region has rank {}",
+            block.name,
+            spatial_count,
+            region.len()
+        )));
+    }
+    let mut bindings: Vec<Expr> = Vec::with_capacity(block.iter_vars.len());
+    let mut loops: Vec<(Var, i64)> = Vec::new();
+    let mut predicate = Expr::true_();
+    let mut spatial_idx = 0usize;
+    for iv in &block.iter_vars {
+        match iv.kind {
+            IterKind::Spatial => {
+                let r = &region[spatial_idx];
+                let extent = r.extent.as_int().ok_or_else(|| {
+                    ScheduleError::Precondition("non-constant region extent".into())
+                })?;
+                let fresh = Var::int(format!("ax{spatial_idx}"));
+                let binding = simplify_expr(&(r.min.clone() + Expr::from(&fresh)));
+                let dim = guard_shape[spatial_idx];
+                if !can_prove_within(&r.min, extent, dim) {
+                    predicate = and_pred(predicate, binding.clone().lt(dim));
+                }
+                bindings.push(binding);
+                loops.push((fresh, extent));
+                spatial_idx += 1;
+            }
+            IterKind::Reduce => {
+                let fresh = Var::int(format!("red{}", bindings.len()));
+                bindings.push(Expr::from(&fresh));
+                loops.push((fresh, iv.extent));
+            }
+        }
+    }
+    let realize = BlockRealize::with_predicate(bindings, predicate, block.clone());
+    Ok(Stmt::BlockRealize(Box::new(realize)).in_loops(loops))
+}
+
+fn and_pred(p: Expr, q: Expr) -> Expr {
+    if p.is_const_int(1) {
+        q
+    } else {
+        p.and(q)
+    }
+}
+
+/// Attempts to prove `min + extent <= dim` (loose: only constant mins
+/// succeed; symbolic mins return false and get a runtime guard instead).
+fn can_prove_within(min: &Expr, extent: i64, dim: i64) -> bool {
+    match min.as_int() {
+        Some(m) => m + extent <= dim,
+        None => false,
+    }
+}
+
+impl Schedule {
+    /// Removes the realize of `block` from the tree and returns it.
+    pub(crate) fn take_block(&mut self, block: &BlockRef) -> Result<BlockRealize> {
+        let mut out = None;
+        let name = block.name().to_string();
+        self.rewrite_body(|body| Ok(prune_empty(extract_block(body, &name, &mut out))))?;
+        out.ok_or_else(|| ScheduleError::BlockNotFound(name))
+    }
+
+    /// Puts a previously extracted realize back at the end of the root
+    /// block's body (used by transformations that re-home a block).
+    #[allow(dead_code)]
+    pub(crate) fn restore_block_at_root(&mut self, br: BlockRealize) -> Result<()> {
+        let mut loops = Vec::new();
+        let mut bindings = Vec::new();
+        for iv in &br.block.iter_vars {
+            let fresh = Var::int(format!("r{}", loops.len()));
+            bindings.push(Expr::from(&fresh));
+            loops.push((fresh, iv.extent));
+        }
+        let nest = Stmt::BlockRealize(Box::new(BlockRealize::with_predicate(
+            bindings,
+            br.predicate.clone(),
+            br.block,
+        )))
+        .in_loops(loops);
+        self.rewrite_body(|body| match body {
+            Stmt::BlockRealize(mut root) => {
+                root.block.body = Box::new(Stmt::seq(vec![*root.block.body, nest]));
+                Ok(Stmt::BlockRealize(root))
+            }
+            other => Ok(Stmt::seq(vec![other, nest])),
+        })
+    }
+
+    /// Moves producer `block` to the top of `loop_ref`'s body, shrinking it
+    /// to compute exactly the region its consumers under that loop need
+    /// (Fig. 6's compute-at).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block/loop is missing, the block writes more than one
+    /// buffer, or no consumer under the loop reads its output; on failure
+    /// the schedule is left unchanged (modulo canonical loop regeneration).
+    pub fn compute_at(&mut self, block: &BlockRef, loop_ref: &LoopRef) -> Result<()> {
+        self.transactional(|s| s.compute_at_impl(block, loop_ref))
+    }
+
+    fn compute_at_impl(&mut self, block: &BlockRef, loop_ref: &LoopRef) -> Result<()> {
+        let br = self.take_block(block)?;
+        if br.block.writes.len() != 1 {
+            return Err(ScheduleError::Precondition(format!(
+                "compute_at requires a single-output block, {} writes {} buffers",
+                br.block.name,
+                br.block.writes.len()
+            )));
+        }
+        let buffer = br.block.writes[0].buffer.clone();
+        let guard_shape = buffer.shape().to_vec();
+        let block_data = br.block.clone();
+        let loop_var = loop_ref.var().clone();
+        let result = self.rewrite_loop(loop_ref, |f: tir::For| {
+            let region = required_region(&f.body, &buffer, true, false).ok_or_else(|| {
+                ScheduleError::Precondition(format!(
+                    "no consumer of {} under loop {}",
+                    buffer.name(),
+                    loop_var.name()
+                ))
+            })?;
+            let nest = realize_over_region(&block_data, &region, &guard_shape)?;
+            Ok(Stmt::For(Box::new(tir::For {
+                body: Stmt::seq(vec![nest, f.body]),
+                ..f
+            })))
+        });
+        result?;
+        self.record(TraceStep::new(
+            "compute_at",
+            vec![
+                block.name().into(),
+                loop_ref.var().name().to_string().into(),
+            ],
+        ));
+        Ok(())
+    }
+
+    /// Moves consumer `block` to the bottom of `loop_ref`'s body, shrinking
+    /// it to consume exactly what is produced under that loop (the paper's
+    /// reverse compute-at).
+    ///
+    /// # Errors
+    ///
+    /// Fails symmetrically to [`Schedule::compute_at`].
+    pub fn reverse_compute_at(&mut self, block: &BlockRef, loop_ref: &LoopRef) -> Result<()> {
+        self.transactional(|s| s.reverse_compute_at_impl(block, loop_ref))
+    }
+
+    fn reverse_compute_at_impl(&mut self, block: &BlockRef, loop_ref: &LoopRef) -> Result<()> {
+        let br = self.take_block(block)?;
+        let block_data = br.block.clone();
+        let loop_var = loop_ref.var().clone();
+        let read_buffers: Vec<Buffer> =
+            br.block.reads.iter().map(|r| r.buffer.clone()).collect();
+        let out_shape: Vec<i64> = br.block.writes[0].buffer.shape().to_vec();
+        let result = self.rewrite_loop(loop_ref, |f: tir::For| {
+            let mut produced_region = None;
+            for b in &read_buffers {
+                if let Some(r) = required_region(&f.body, b, false, true) {
+                    produced_region = Some((b.clone(), r));
+                    break;
+                }
+            }
+            let (pbuf, region) = produced_region.ok_or_else(|| {
+                ScheduleError::Precondition(format!(
+                    "no producer for any input of {} under loop {}",
+                    block_data.name,
+                    loop_var.name()
+                ))
+            })?;
+            // The consumer must read pbuf at exactly its spatial iterators
+            // (identity mapping) so the produced region carries over.
+            let spatial_vars: Vec<&Var> = block_data
+                .iter_vars
+                .iter()
+                .filter(|iv| iv.kind == IterKind::Spatial)
+                .map(|iv| &iv.var)
+                .collect();
+            let reads_identity = block_data.reads.iter().any(|r| {
+                r.buffer == pbuf
+                    && r.region.len() == spatial_vars.len()
+                    && r.region
+                        .iter()
+                        .zip(&spatial_vars)
+                        .all(|(rr, v)| rr.min.as_var() == Some(v))
+            });
+            if !reads_identity {
+                return Err(ScheduleError::Precondition(format!(
+                    "reverse_compute_at requires {} to read {} at its spatial iterators",
+                    block_data.name,
+                    pbuf.name()
+                )));
+            }
+            let nest = realize_over_region(&block_data, &region, &out_shape)?;
+            Ok(Stmt::For(Box::new(tir::For {
+                body: Stmt::seq(vec![f.body, nest]),
+                ..f
+            })))
+        });
+        result?;
+        self.record(TraceStep::new(
+            "reverse_compute_at",
+            vec![
+                block.name().into(),
+                loop_ref.var().name().to_string().into(),
+            ],
+        ));
+        Ok(())
+    }
+
+    /// Inlines an elementwise producer block into its consumers: the block
+    /// body must be a single store of the form `B[v0, .., vn] = f(v0..vn)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block has reductions, multiple statements, or
+    /// non-identity store indices.
+    pub fn compute_inline(&mut self, block: &BlockRef) -> Result<()> {
+        self.transactional(|s| s.compute_inline_impl(block))
+    }
+
+    fn compute_inline_impl(&mut self, block: &BlockRef) -> Result<()> {
+        let br = self.take_block(block)?;
+        if br.block.is_reduction() {
+            return Err(ScheduleError::Precondition(
+                "compute_inline requires a spatial-only block".into(),
+            ));
+        }
+        let Stmt::Store {
+            buffer,
+            indices,
+            value,
+        } = (*br.block.body).clone()
+        else {
+            return Err(ScheduleError::Precondition(
+                "compute_inline requires a single-store body".into(),
+            ));
+        };
+        let iter_vars = br.block.iter_var_handles();
+        let identity = indices.len() == iter_vars.len()
+            && indices
+                .iter()
+                .zip(&iter_vars)
+                .all(|(e, v)| e.as_var() == Some(v));
+        if !identity {
+            return Err(ScheduleError::Precondition(format!(
+                "compute_inline requires identity store indices in block {}",
+                block.name()
+            )));
+        }
+        struct Inliner<'a> {
+            buffer: &'a Buffer,
+            iter_vars: &'a [Var],
+            template: &'a Expr,
+        }
+        impl tir::visit::ExprMutator for Inliner<'_> {
+            fn mutate_expr(&mut self, e: Expr) -> Expr {
+                if let Expr::Load { buffer, indices } = &e {
+                    if buffer == self.buffer {
+                        let indices: Vec<Expr> = indices
+                            .iter()
+                            .map(|i| self.mutate_expr(i.clone()))
+                            .collect();
+                        let map: HashMap<Var, Expr> =
+                            self.iter_vars.iter().cloned().zip(indices).collect();
+                        return subst_expr(self.template, &map);
+                    }
+                }
+                self.walk_expr(e)
+            }
+        }
+        impl tir::visit::StmtMutator for Inliner<'_> {
+            fn mutate_block(&mut self, mut b: Block) -> Block {
+                b.init = b.init.map(|i| Box::new(self.mutate_stmt(*i)));
+                b.body = Box::new(self.mutate_stmt(*b.body));
+                // Re-derive reads for blocks that referenced the inlined
+                // buffer (the inlined expression brings new inputs).
+                if b.reads.iter().any(|r| &r.buffer == self.buffer) {
+                    let (reads, _) = tir::builder::derive_signature(&b.body, None);
+                    let writes: Vec<Buffer> =
+                        b.writes.iter().map(|w| w.buffer.clone()).collect();
+                    b.reads = reads
+                        .into_iter()
+                        .filter(|r| !writes.contains(&r.buffer))
+                        .collect();
+                }
+                b
+            }
+        }
+        let mut inliner = Inliner {
+            buffer: &buffer,
+            iter_vars: &iter_vars,
+            template: &value,
+        };
+        self.rewrite_body(|body| {
+            use tir::visit::StmtMutator as _;
+            let new_body = inliner.mutate_stmt(body);
+            Ok(drop_alloc(new_body, &buffer))
+        })?;
+        self.record(TraceStep::new(
+            "compute_inline",
+            vec![block.name().into()],
+        ));
+        Ok(())
+    }
+
+    /// Inlines an elementwise *consumer* into its producer: the consumer's
+    /// body must be `D[v..] = f(O[v..])` where `O` is produced by a single
+    /// non-reducing block; the producer's stores to `O` are rewritten to
+    /// store `f(value)` into `D` directly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the consumer is not a pure elementwise epilogue or the
+    /// producer reduces (the epilogue would apply to partial values).
+    pub fn reverse_compute_inline(&mut self, block: &BlockRef) -> Result<()> {
+        self.transactional(|s| s.reverse_compute_inline_impl(block))
+    }
+
+    fn reverse_compute_inline_impl(&mut self, block: &BlockRef) -> Result<()> {
+        let br = self.take_block(block)?;
+        macro_rules! bail {
+            ($br:expr, $msg:expr) => {{
+                let _ = $br;
+                return Err(ScheduleError::Precondition($msg.into()));
+            }};
+        }
+        if br.block.is_reduction() {
+            bail!(br, "reverse_compute_inline requires a spatial block");
+        }
+        let Stmt::Store {
+            buffer: dst,
+            indices,
+            value,
+        } = (*br.block.body).clone()
+        else {
+            bail!(br, "reverse_compute_inline requires a single store");
+        };
+        let iter_vars = br.block.iter_var_handles();
+        let identity = indices.len() == iter_vars.len()
+            && indices
+                .iter()
+                .zip(&iter_vars)
+                .all(|(e, v)| e.as_var() == Some(v));
+        if !identity {
+            bail!(br, "consumer store indices must be identity");
+        }
+        let read_bufs: Vec<Buffer> = br.block.reads.iter().map(|r| r.buffer.clone()).collect();
+        if read_bufs.len() != 1 {
+            bail!(br, "consumer must read exactly one buffer");
+        }
+        let src = read_bufs[0].clone();
+        if src.shape() != dst.shape() {
+            bail!(br, "source and destination shapes must match");
+        }
+        // Reject reduction producers: the epilogue must only see the final
+        // value (decompose the reduction first).
+        let mut producer_reduces = false;
+        tir::visit::for_each_block_realize(&self.func.body, &mut |pbr| {
+            if pbr.block.writes.iter().any(|w| w.buffer == src) && pbr.block.is_reduction() {
+                producer_reduces = true;
+            }
+        });
+        if producer_reduces {
+            bail!(
+                br,
+                "reverse_compute_inline into a reduction producer is unsound; \
+                 use decompose_reduction first"
+            );
+        }
+        struct Rewriter<'a> {
+            src: &'a Buffer,
+            dst: &'a Buffer,
+            iter_vars: &'a [Var],
+            template: &'a Expr,
+        }
+        impl Rewriter<'_> {
+            fn apply_epilogue(&self, store_indices: &[Expr], inner_value: Expr) -> Expr {
+                let map: HashMap<Var, Expr> = self
+                    .iter_vars
+                    .iter()
+                    .cloned()
+                    .zip(store_indices.iter().cloned())
+                    .collect();
+                struct LoadSwap<'b> {
+                    src: &'b Buffer,
+                    replacement: &'b Expr,
+                }
+                impl tir::visit::ExprMutator for LoadSwap<'_> {
+                    fn mutate_expr(&mut self, e: Expr) -> Expr {
+                        if let Expr::Load { buffer, .. } = &e {
+                            if buffer == self.src {
+                                return self.replacement.clone();
+                            }
+                        }
+                        self.walk_expr(e)
+                    }
+                }
+                use tir::visit::ExprMutator as _;
+                let substituted = subst_expr(self.template, &map);
+                LoadSwap {
+                    src: self.src,
+                    replacement: &inner_value,
+                }
+                .mutate_expr(substituted)
+            }
+        }
+        use tir::visit::ExprMutator as _;
+        impl tir::visit::ExprMutator for Rewriter<'_> {}
+        impl tir::visit::StmtMutator for Rewriter<'_> {
+            fn mutate_stmt(&mut self, s: Stmt) -> Stmt {
+                if let Stmt::Store {
+                    buffer,
+                    indices,
+                    value,
+                } = &s
+                {
+                    if buffer == self.src {
+                        let value = self.mutate_expr(value.clone());
+                        let new_value = self.apply_epilogue(indices, value);
+                        return Stmt::Store {
+                            buffer: self.dst.clone(),
+                            indices: indices.clone(),
+                            value: new_value,
+                        };
+                    }
+                }
+                self.walk_stmt(s)
+            }
+
+            fn mutate_block(&mut self, mut b: Block) -> Block {
+                b.init = b.init.map(|i| Box::new(self.mutate_stmt(*i)));
+                b.body = Box::new(self.mutate_stmt(*b.body));
+                for w in &mut b.writes {
+                    if &w.buffer == self.src {
+                        w.buffer = self.dst.clone();
+                    }
+                }
+                b
+            }
+        }
+        let mut rewriter = Rewriter {
+            src: &src,
+            dst: &dst,
+            iter_vars: &iter_vars,
+            template: &value,
+        };
+        self.rewrite_body(|body| {
+            use tir::visit::StmtMutator as _;
+            let new_body = rewriter.mutate_stmt(body);
+            Ok(drop_alloc(new_body, &src))
+        })?;
+        self.record(TraceStep::new(
+            "reverse_compute_inline",
+            vec![block.name().into()],
+        ));
+        Ok(())
+    }
+}
+
+/// Removes `buffer` from every block's allocation list (after inlining).
+fn drop_alloc(s: Stmt, buffer: &Buffer) -> Stmt {
+    match s {
+        Stmt::BlockRealize(mut br) => {
+            br.block.alloc_buffers.retain(|b| b != buffer);
+            br.block.body = Box::new(drop_alloc(*br.block.body, buffer));
+            Stmt::BlockRealize(br)
+        }
+        Stmt::For(f) => {
+            let f = *f;
+            let body = drop_alloc(f.body, buffer);
+            Stmt::For(Box::new(tir::For { body, ..f }))
+        }
+        Stmt::Seq(v) => Stmt::Seq(v.into_iter().map(|st| drop_alloc(st, buffer)).collect()),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use tir::builder::{compute, matmul_func};
+    use tir::DataType;
+    use tir_exec::assert_same_semantics;
+
+    /// B = A + 1; C = exp(B): Fig. 4's pipeline, as a function.
+    fn add_exp() -> tir::PrimFunc {
+        let a = Buffer::new("A", DataType::float32(), vec![64, 64]);
+        let b = Buffer::new("B", DataType::float32(), vec![64, 64]);
+        let c = Buffer::new("C", DataType::float32(), vec![64, 64]);
+        let s1 = compute("B", &b, |iv| {
+            a.load(iv.iter().map(Expr::from).collect()) + Expr::f32(1.0)
+        });
+        let s2 = compute("C", &c, |iv| Expr::Call {
+            name: "exp".into(),
+            args: vec![b.load(iv.iter().map(Expr::from).collect())],
+            dtype: DataType::float32(),
+        });
+        let mut f = tir::PrimFunc::new("add_exp", vec![a, c], Stmt::seq(vec![s1, s2]));
+        f.root_block_mut().expect("root").alloc_buffers.push(b);
+        f
+    }
+
+    /// Matmul followed by ReLU (the Fig. 8 workload shape).
+    fn matmul_relu(n: i64) -> tir::PrimFunc {
+        let base = matmul_func("mm", n, n, n, DataType::float32());
+        let c = base.params[2].clone();
+        let d = Buffer::new("D", DataType::float32(), vec![n, n]);
+        let relu = compute("D", &d, |iv| {
+            c.load(iv.iter().map(Expr::from).collect())
+                .max(Expr::f32(0.0))
+        });
+        let a = base.params[0].clone();
+        let b = base.params[1].clone();
+        let root_body = match &base.body {
+            Stmt::BlockRealize(br) => (*br.block.body).clone(),
+            _ => unreachable!("root convention"),
+        };
+        let mut f = tir::PrimFunc::new(
+            "matmul_relu",
+            vec![a, b, d],
+            Stmt::seq(vec![root_body, relu]),
+        );
+        f.root_block_mut().expect("root").alloc_buffers.push(c);
+        f
+    }
+
+    #[test]
+    fn compute_at_fig6() {
+        let reference = add_exp();
+        let mut sch = Schedule::new(add_exp());
+        let c_block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&c_block).expect("loops");
+        let i_split = sch.split(&loops[0], &[8, 8]).expect("split");
+        let b_block = sch.get_block("B").expect("B");
+        sch.compute_at(&b_block, &i_split[0]).expect("compute_at");
+        let b_loops = sch.get_loops(&b_block).expect("b loops");
+        assert!(b_loops.len() >= 3, "expected nested placement");
+        assert_same_semantics(&reference, sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn compute_at_missing_consumer_fails_and_restores() {
+        let mut sch = Schedule::new(add_exp());
+        let b_block = sch.get_block("B").expect("B");
+        let b_loops = sch.get_loops(&b_block).expect("loops");
+        let err = sch.compute_at(&b_block, &b_loops[0].clone()).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::Precondition(_) | ScheduleError::LoopNotFound(_)
+        ));
+        sch.get_block("B").expect("B restored");
+        assert_same_semantics(&add_exp(), sch.func(), 1, 0.0);
+    }
+
+    #[test]
+    fn reverse_compute_at_epilogue() {
+        let reference = matmul_relu(16);
+        let mut sch = Schedule::new(matmul_relu(16));
+        let mm = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&mm).expect("loops");
+        let i_split = sch.split(&loops[0], &[4, 4]).expect("split");
+        let relu = sch.get_block("D").expect("D");
+        sch.reverse_compute_at(&relu, &i_split[0])
+            .expect("reverse_compute_at");
+        assert_same_semantics(&reference, sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn compute_inline_elementwise() {
+        let reference = add_exp();
+        let mut sch = Schedule::new(add_exp());
+        let b_block = sch.get_block("B").expect("B");
+        sch.compute_inline(&b_block).expect("inline");
+        assert!(sch.get_block("B").is_err(), "B dissolved");
+        let text = sch.func().to_string();
+        assert!(text.contains("exp(A["), "inlined into consumer: {text}");
+        // Inlining removes the f32 rounding of the intermediate buffer, so
+        // allow a small tolerance (real fusing compilers do the same).
+        assert_same_semantics(&reference, sch.func(), 1, 1e-5);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn compute_inline_rejects_reduction() {
+        let mut sch = Schedule::new(matmul_relu(8));
+        let mm = sch.get_block("C").expect("C");
+        let err = sch.compute_inline(&mm).unwrap_err();
+        assert!(matches!(err, ScheduleError::Precondition(_)));
+        sch.get_block("C").expect("C restored");
+    }
+
+    #[test]
+    fn reverse_compute_inline_epilogue() {
+        let reference = add_exp();
+        let mut sch = Schedule::new(add_exp());
+        let c_block = sch.get_block("C").expect("C");
+        sch.reverse_compute_inline(&c_block).expect("rev inline");
+        assert!(sch.get_block("C").is_err());
+        let text = sch.func().to_string();
+        assert!(text.contains("C["), "B's store now writes C: {text}");
+        assert_same_semantics(&reference, sch.func(), 1, 1e-5);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn reverse_compute_inline_rejects_reduction_producer() {
+        let mut sch = Schedule::new(matmul_relu(8));
+        let relu = sch.get_block("D").expect("D");
+        let err = sch.reverse_compute_inline(&relu).unwrap_err();
+        assert!(matches!(err, ScheduleError::Precondition(_)), "{err}");
+        sch.get_block("D").expect("D restored");
+        assert_same_semantics(&matmul_relu(8), sch.func(), 1, 0.0);
+    }
+}

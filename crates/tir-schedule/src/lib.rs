@@ -1,0 +1,31 @@
+//! # tir-schedule — scheduling transformations for TensorIR
+//!
+//! Each primitive of §3.2 is an independent TensorIR → TensorIR rewrite
+//! with its own validity checks. Implemented primitives:
+//!
+//! * loop transformations — [`Schedule::split`], [`Schedule::fuse`],
+//!   [`Schedule::reorder`], plus loop annotations ([`Schedule::parallel`],
+//!   [`Schedule::vectorize`], [`Schedule::unroll`], [`Schedule::bind`],
+//!   [`Schedule::annotate`]).
+//! * compute-location mutation — `compute_at`, `reverse_compute_at`,
+//!   `compute_inline`, `reverse_compute_inline`.
+//! * block-hierarchy changes — `blockize`, `cache_read`, `cache_write`,
+//!   `decompose_reduction`.
+//!
+//! Every primitive records itself in the schedule [`trace::Trace`], which
+//! the auto-scheduler's evolutionary search replays and mutates.
+
+#![warn(missing_docs)]
+
+mod blockize;
+mod cache;
+mod compute_location;
+mod loop_transform;
+mod reduction;
+pub mod replay;
+pub mod schedule;
+pub mod trace;
+
+pub use replay::replay;
+pub use schedule::{BlockRef, LoopInfo, LoopRef, Result, Schedule, ScheduleError};
+pub use trace::{Trace, TraceArg, TraceStep};

@@ -1,0 +1,389 @@
+//! Reduction decomposition: transforming between the init-block and
+//! two-block representations of a reduction (§3.1 "Reduction Block and
+//! Initialization").
+
+use std::collections::HashMap;
+
+use tir::simplify::simplify_expr;
+use tir::visit::{collect_vars_expr, subst_expr, subst_stmt};
+use tir::{Block, BlockRealize, Expr, IterKind, IterVar, Stmt, Var};
+
+use crate::schedule::{BlockRef, LoopRef, Result, Schedule, ScheduleError};
+use crate::trace::TraceStep;
+
+impl Schedule {
+    /// Splits a reduction block into an explicit initialization block
+    /// (inserted immediately before `loop_ref`) and an update block (the
+    /// original block with its `init` removed).
+    ///
+    /// `loop_ref` must enclose the block, and every reduction iterator must
+    /// bind only to loops at or inside `loop_ref` (otherwise the init would
+    /// re-run mid-reduction).
+    ///
+    /// Returns a reference to the new init block, named `{block}_init`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when preconditions do not hold or the block has no init.
+    pub fn decompose_reduction(
+        &mut self,
+        block: &BlockRef,
+        loop_ref: &LoopRef,
+    ) -> Result<BlockRef> {
+        // Gather info about the block realize and the loops between
+        // loop_ref and the block.
+        let br = tir::visit::find_block(&self.func.body, block.name())
+            .ok_or_else(|| ScheduleError::BlockNotFound(block.name().to_string()))?
+            .clone();
+        if br.block.init.is_none() {
+            return Err(ScheduleError::Precondition(format!(
+                "block {} has no init statement",
+                block.name()
+            )));
+        }
+        let all_loops = self.loop_infos(block)?;
+        let pivot = all_loops
+            .iter()
+            .position(|li| &li.var == loop_ref.var())
+            .ok_or_else(|| {
+                ScheduleError::Precondition(format!(
+                    "loop {} does not enclose block {}",
+                    loop_ref.var().name(),
+                    block.name()
+                ))
+            })?;
+        let outer_vars: Vec<Var> = all_loops[..pivot].iter().map(|li| li.var.clone()).collect();
+        let inner: Vec<(Var, i64)> = all_loops[pivot..]
+            .iter()
+            .map(|li| (li.var.clone(), li.extent))
+            .collect();
+
+        // Every reduction binding must live at or inside the pivot loop.
+        for (iv, value) in br.block.iter_vars.iter().zip(&br.iter_values) {
+            if iv.kind == IterKind::Reduce {
+                let used = collect_vars_expr(value);
+                if used.iter().any(|v| outer_vars.contains(v)) {
+                    return Err(ScheduleError::Precondition(format!(
+                        "reduction iterator {} binds to a loop outside {}",
+                        iv.var.name(),
+                        loop_ref.var().name()
+                    )));
+                }
+            }
+        }
+
+        // Build the init block: spatial iterators only, with inner loop
+        // variables in spatial bindings replaced by fresh init loops.
+        let mut fresh_loops: Vec<(Var, i64)> = Vec::new();
+        let mut var_map: HashMap<Var, Expr> = HashMap::new();
+        for (v, extent) in &inner {
+            let fresh = Var::int(format!("{}_init", v.name()));
+            var_map.insert(v.clone(), Expr::from(&fresh));
+            fresh_loops.push((fresh, *extent));
+        }
+        // Reduce bindings are irrelevant to the init block; spatial only.
+        let mut init_iter_vars: Vec<IterVar> = Vec::new();
+        let mut init_bindings: Vec<Expr> = Vec::new();
+        let mut spatial_map: HashMap<Var, Expr> = HashMap::new();
+        for (iv, value) in br.block.iter_vars.iter().zip(&br.iter_values) {
+            if iv.kind == IterKind::Spatial {
+                let fresh = iv.var.fresh_copy();
+                spatial_map.insert(iv.var.clone(), Expr::from(&fresh));
+                init_iter_vars.push(IterVar::spatial(fresh, iv.extent));
+                init_bindings.push(simplify_expr(&subst_expr(value, &var_map)));
+            }
+        }
+        let init_body = subst_stmt(
+            br.block.init.as_deref().expect("checked above"),
+            &spatial_map,
+        );
+        let init_writes = br
+            .block
+            .writes
+            .iter()
+            .map(|w| tir::BufferRegion {
+                buffer: w.buffer.clone(),
+                region: w
+                    .region
+                    .iter()
+                    .map(|r| tir::RangeExpr {
+                        min: subst_expr(&r.min, &spatial_map),
+                        extent: subst_expr(&r.extent, &spatial_map),
+                    })
+                    .collect(),
+            })
+            .collect();
+        // Predicate: original with reduce-related inner vars zeroed.
+        let init_predicate = {
+            let mut zero_map = var_map.clone();
+            // Any remaining inner vars not used spatially become 0.
+            for (v, _) in &inner {
+                zero_map.entry(v.clone()).or_insert_with(|| Expr::int(0));
+            }
+            simplify_expr(&subst_expr(&br.predicate, &zero_map))
+        };
+        let init_name = format!("{}_init", block.name());
+        let init_block = Block::new(
+            init_name.clone(),
+            init_iter_vars,
+            vec![],
+            init_writes,
+            init_body,
+        );
+        // Only keep fresh loops actually used by the init bindings.
+        let used_vars: Vec<Var> = init_bindings
+            .iter()
+            .flat_map(collect_vars_expr)
+            .collect();
+        let kept_loops: Vec<(Var, i64)> = fresh_loops
+            .into_iter()
+            .filter(|(v, _)| used_vars.contains(v))
+            .collect();
+        let init_nest = Stmt::BlockRealize(Box::new(BlockRealize::with_predicate(
+            init_bindings,
+            init_predicate,
+            init_block,
+        )))
+        .in_loops(kept_loops);
+
+        // Remove init from the original block.
+        self.rewrite_block(block, |mut br: BlockRealize| {
+            br.block.init = None;
+            Ok(Stmt::BlockRealize(Box::new(br)))
+        })?;
+        // Insert the init nest before the pivot loop.
+        self.rewrite_loop(loop_ref, |f: tir::For| {
+            Ok(Stmt::seq(vec![init_nest, Stmt::For(Box::new(f))]))
+        })?;
+        self.record(TraceStep::new(
+            "decompose_reduction",
+            vec![
+                block.name().into(),
+                loop_ref.var().name().to_string().into(),
+            ],
+        ));
+        self.get_block(&init_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use tir::builder::matmul_func;
+    use tir::DataType;
+    use tir_exec::assert_same_semantics;
+
+    fn mm() -> tir::PrimFunc {
+        matmul_func("mm", 8, 8, 8, DataType::float32())
+    }
+
+    #[test]
+    fn decompose_at_reduction_loop() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        // loops = [i, j, k]; decompose at k: init becomes a (j-free) store
+        // before the k loop, inside i, j.
+        let init = sch
+            .decompose_reduction(&block, &loops[2])
+            .expect("decompose");
+        assert_eq!(init.name(), "C_init");
+        // The update block no longer has an init.
+        let br = tir::visit::find_block(&sch.func().body, "C").expect("C");
+        assert!(br.block.init.is_none());
+        assert_same_semantics(&mm(), sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn decompose_at_outer_loop() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        // Decompose at j: the init nest re-creates a fresh j loop.
+        let init = sch
+            .decompose_reduction(&block, &loops[1])
+            .expect("decompose");
+        let init_loops = sch.get_loops(&init).expect("init loops");
+        assert_eq!(init_loops.len(), 2, "i plus the fresh j_init loop");
+        assert_same_semantics(&mm(), sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn decompose_rejects_reduce_outside() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        // Reorder so k is outermost; then decomposing at the innermost
+        // loop would leave the reduction binding outside — rejected.
+        sch.reorder(&[loops[2].clone(), loops[0].clone(), loops[1].clone()])
+            .expect("reorder");
+        let new_loops = sch.get_loops(&block).expect("loops");
+        let err = sch
+            .decompose_reduction(&block, &new_loops[2])
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Precondition(_)), "{err}");
+    }
+
+    #[test]
+    fn decompose_after_split_of_reduction_loop() {
+        let mut sch = Schedule::new(mm());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        let k_split = sch.split(&loops[2], &[2, 4]).expect("split k");
+        let init = sch
+            .decompose_reduction(&block, &k_split[0])
+            .expect("decompose at ko");
+        assert_eq!(init.name(), "C_init");
+        assert_same_semantics(&mm(), sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+}
+
+impl Schedule {
+    /// The inverse of [`Schedule::decompose_reduction`]: dissolves a
+    /// standalone initialization block back into its update block's `init`
+    /// statement (§3.1: "transformations between the two-block-based
+    /// representation and the init-block-based representation").
+    ///
+    /// The init block must be spatial-only, write exactly the buffer the
+    /// update block reduces into, and its store indices must be its own
+    /// iterator variables (the shape `decompose_reduction` produces).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the blocks do not form a decomposed-reduction pair.
+    pub fn merge_reduction(&mut self, init_block: &BlockRef, update_block: &BlockRef) -> Result<()> {
+        let init_name = init_block.name().to_string();
+        let update_name = update_block.name().to_string();
+        self.transactional(|sch| {
+            let init_br = sch.take_block(&BlockRef(init_name.clone()))?;
+            if init_br.block.is_reduction() || init_br.block.init.is_some() {
+                return Err(ScheduleError::Precondition(
+                    "init block must be spatial-only without its own init".into(),
+                ));
+            }
+            let Stmt::Store {
+                buffer: init_buf,
+                indices: init_idx,
+                value: init_value,
+            } = (*init_br.block.body).clone()
+            else {
+                return Err(ScheduleError::Precondition(
+                    "init block body must be a single store".into(),
+                ));
+            };
+            let init_vars = init_br.block.iter_var_handles();
+            let identity = init_idx.len() == init_vars.len()
+                && init_idx
+                    .iter()
+                    .zip(&init_vars)
+                    .all(|(e, v)| e.as_var() == Some(v));
+            if !identity {
+                return Err(ScheduleError::Precondition(
+                    "init block must store at its own iterator variables".into(),
+                ));
+            }
+            sch.rewrite_block(&BlockRef(update_name.clone()), |mut br| {
+                if br.block.init.is_some() {
+                    return Err(ScheduleError::Precondition(format!(
+                        "update block {update_name} already has an init"
+                    )));
+                }
+                // The update block must reduce into the same buffer at its
+                // spatial iterators.
+                let Stmt::Store { buffer, indices, .. } = &*br.block.body else {
+                    return Err(ScheduleError::Precondition(
+                        "update block body must be a single store".into(),
+                    ));
+                };
+                if buffer != &init_buf {
+                    return Err(ScheduleError::Precondition(format!(
+                        "init writes {} but the update block reduces into {}",
+                        init_buf.name(),
+                        buffer.name()
+                    )));
+                }
+                // Map init iterator variables to the update block's store
+                // indices positionally.
+                if indices.len() != init_vars.len() {
+                    return Err(ScheduleError::Precondition(
+                        "init/update output ranks differ".into(),
+                    ));
+                }
+                let map: std::collections::HashMap<Var, Expr> = init_vars
+                    .iter()
+                    .cloned()
+                    .zip(indices.iter().cloned())
+                    .collect();
+                let init_stmt = Stmt::Store {
+                    buffer: init_buf.clone(),
+                    indices: indices.clone(),
+                    value: tir::visit::subst_expr(&init_value, &map),
+                };
+                br.block.init = Some(Box::new(init_stmt));
+                Ok(Stmt::BlockRealize(Box::new(br)))
+            })?;
+            sch.record(TraceStep::new(
+                "merge_reduction",
+                vec![init_name.clone().into(), update_name.clone().into()],
+            ));
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use tir::builder::matmul_func;
+    use tir::DataType;
+    use tir_exec::assert_same_semantics;
+
+    #[test]
+    fn decompose_then_merge_round_trips() {
+        let reference = matmul_func("mm", 8, 8, 8, DataType::float32());
+        let mut sch = Schedule::new(reference.clone());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        let init = sch
+            .decompose_reduction(&block, &loops[2])
+            .expect("decompose");
+        // Merge back.
+        sch.merge_reduction(&init, &block).expect("merge");
+        assert!(sch.get_block("C_init").is_err(), "init block dissolved");
+        let br = tir::visit::find_block(&sch.func().body, "C").expect("C");
+        assert!(br.block.init.is_some(), "init restored");
+        assert_same_semantics(&reference, sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+
+    #[test]
+    fn merge_rejects_wrong_pairs() {
+        let reference = matmul_func("mm", 8, 8, 8, DataType::float32());
+        let mut sch = Schedule::new(reference.clone());
+        let block = sch.get_block("C").expect("C");
+        // Merging C (a reduction with init) as the "init block" must fail
+        // and leave the schedule untouched.
+        let err = sch.merge_reduction(&block, &block).unwrap_err();
+        assert!(matches!(err, ScheduleError::Precondition(_)), "{err}");
+        assert_same_semantics(&reference, sch.func(), 1, 0.0);
+    }
+
+    #[test]
+    fn merge_after_outer_decompose() {
+        let reference = matmul_func("mm", 16, 16, 16, DataType::float32());
+        let mut sch = Schedule::new(reference.clone());
+        let block = sch.get_block("C").expect("C");
+        let loops = sch.get_loops(&block).expect("loops");
+        let init = sch
+            .decompose_reduction(&block, &loops[1])
+            .expect("decompose at j");
+        sch.merge_reduction(&init, &block).expect("merge");
+        assert_same_semantics(&reference, sch.func(), 1, 0.0);
+        tir_analysis::assert_valid(sch.func());
+    }
+}

@@ -1,0 +1,698 @@
+//! The schedule state: a program plus primitives that rewrite it.
+//!
+//! Unlike schedule-tree compilers, every primitive here is an independent
+//! TensorIR → TensorIR transformation (§3.2 "Separation of Scheduling and
+//! TensorIR"): the [`Schedule`] merely holds the current `PrimFunc`, a
+//! trace of applied primitives, and lookup helpers. Blocks are addressed by
+//! name and loops by the identity of their loop variable, both of which are
+//! stable across rewrites that do not touch them.
+
+use std::fmt;
+
+use tir::{ForKind, PrimFunc, Stmt, Var};
+
+use crate::trace::{Trace, TraceStep};
+
+/// A reference to a block, by (unique) name.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BlockRef(pub(crate) String);
+
+impl BlockRef {
+    /// The referenced block's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A reference to a loop, by loop-variable identity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LoopRef(pub(crate) Var);
+
+impl LoopRef {
+    /// The loop variable identifying this loop.
+    pub fn var(&self) -> &Var {
+        &self.0
+    }
+}
+
+/// Information about one loop in a block's surrounding nest.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// The loop variable.
+    pub var: Var,
+    /// Constant extent.
+    pub extent: i64,
+    /// Loop kind.
+    pub kind: ForKind,
+}
+
+/// A scheduling failure.
+#[derive(Clone, Debug)]
+pub enum ScheduleError {
+    /// No block with the given name exists.
+    BlockNotFound(String),
+    /// No loop with the given variable exists.
+    LoopNotFound(String),
+    /// The primitive's preconditions were not met.
+    Precondition(String),
+    /// The transformed program failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::BlockNotFound(b) => write!(f, "block not found: {b}"),
+            ScheduleError::LoopNotFound(l) => write!(f, "loop not found: {l}"),
+            ScheduleError::Precondition(m) => write!(f, "precondition violated: {m}"),
+            ScheduleError::Invalid(m) => write!(f, "transformed program is invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Schedule result type.
+pub type Result<T> = std::result::Result<T, ScheduleError>;
+
+/// A schedulable program with its transformation trace.
+///
+/// # Examples
+///
+/// ```
+/// use tir::builder::matmul_func;
+/// use tir::DataType;
+/// use tir_schedule::Schedule;
+///
+/// let mut sch = Schedule::new(matmul_func("mm", 64, 64, 64, DataType::float32()));
+/// let block = sch.get_block("C")?;
+/// let loops = sch.get_loops(&block)?;
+/// let new_loops = sch.split(&loops[0], &[16, 4])?;
+/// assert_eq!(new_loops.len(), 2);
+/// # Ok::<(), tir_schedule::ScheduleError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    pub(crate) func: PrimFunc,
+    pub(crate) trace: Trace,
+}
+
+impl Schedule {
+    /// Starts scheduling a function.
+    pub fn new(func: PrimFunc) -> Self {
+        Schedule {
+            func,
+            trace: Trace::default(),
+        }
+    }
+
+    /// The current program.
+    pub fn func(&self) -> &PrimFunc {
+        &self.func
+    }
+
+    /// Consumes the schedule, returning the final program.
+    pub fn into_func(self) -> PrimFunc {
+        self.func
+    }
+
+    /// The trace of primitives applied so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    pub(crate) fn record(&mut self, step: TraceStep) {
+        self.trace.push(step);
+    }
+
+    /// Runs `f`; on error, restores the program and trace to their prior
+    /// state so failed primitives leave the schedule untouched.
+    pub(crate) fn transactional<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T>,
+    ) -> Result<T> {
+        let backup = self.func.clone();
+        let trace_len = self.trace.len();
+        match f(self) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.func = backup;
+                self.trace.truncate(trace_len);
+                Err(e)
+            }
+        }
+    }
+
+    /// Looks up a block by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::BlockNotFound`] if absent.
+    pub fn get_block(&self, name: &str) -> Result<BlockRef> {
+        if tir::visit::find_block(&self.func.body, name).is_some() {
+            Ok(BlockRef(name.to_string()))
+        } else {
+            Err(ScheduleError::BlockNotFound(name.to_string()))
+        }
+    }
+
+    /// Names of all blocks in the program, outer-first.
+    pub fn block_names(&self) -> Vec<String> {
+        tir::visit::block_names(&self.func.body)
+    }
+
+    /// The loops enclosing `block`, outermost first, up to (not including)
+    /// the nearest enclosing block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::BlockNotFound`] if the block is absent.
+    pub fn get_loops(&self, block: &BlockRef) -> Result<Vec<LoopRef>> {
+        Ok(self
+            .loop_infos(block)?
+            .into_iter()
+            .map(|li| LoopRef(li.var))
+            .collect())
+    }
+
+    /// Like [`Schedule::get_loops`] but with extents and kinds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::BlockNotFound`] if the block is absent.
+    pub fn loop_infos(&self, block: &BlockRef) -> Result<Vec<LoopInfo>> {
+        fn walk(s: &Stmt, name: &str, stack: &mut Vec<LoopInfo>, out: &mut Option<Vec<LoopInfo>>) {
+            if out.is_some() {
+                return;
+            }
+            match s {
+                Stmt::For(f) => {
+                    stack.push(LoopInfo {
+                        var: f.var.clone(),
+                        extent: f.extent.as_int().unwrap_or(-1),
+                        kind: f.kind,
+                    });
+                    walk(&f.body, name, stack, out);
+                    stack.pop();
+                }
+                Stmt::Seq(v) => {
+                    for st in v {
+                        walk(st, name, stack, out);
+                    }
+                }
+                Stmt::IfThenElse {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, name, stack, out);
+                    if let Some(e) = else_branch {
+                        walk(e, name, stack, out);
+                    }
+                }
+                Stmt::BlockRealize(br) => {
+                    if br.block.name == name {
+                        *out = Some(stack.clone());
+                        return;
+                    }
+                    let mut fresh = Vec::new();
+                    if let Some(init) = &br.block.init {
+                        walk(init, name, &mut fresh, out);
+                    }
+                    walk(&br.block.body, name, &mut fresh, out);
+                }
+                _ => {}
+            }
+        }
+        let mut stack = Vec::new();
+        let mut out = None;
+        walk(&self.func.body, block.name(), &mut stack, &mut out);
+        out.ok_or_else(|| ScheduleError::BlockNotFound(block.name().to_string()))
+    }
+
+    /// Extent of a loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::LoopNotFound`] if absent or non-constant.
+    pub fn loop_extent(&self, loop_ref: &LoopRef) -> Result<i64> {
+        let mut found = None;
+        find_loop(&self.func.body, loop_ref.var(), &mut |f| {
+            found = f.extent.as_int();
+        });
+        found.ok_or_else(|| ScheduleError::LoopNotFound(loop_ref.var().name().to_string()))
+    }
+
+    /// Rewrites the loop identified by `loop_ref` with `f`. Used by every
+    /// loop-level primitive.
+    pub(crate) fn rewrite_loop(
+        &mut self,
+        loop_ref: &LoopRef,
+        f: impl FnOnce(tir::For) -> Result<Stmt>,
+    ) -> Result<()> {
+        let backup = self.func.body.clone();
+        let body = std::mem::replace(&mut self.func.body, Stmt::Seq(vec![]));
+        let mut f = Some(f);
+        match rewrite_loop_in(body, loop_ref.var(), &mut f) {
+            Ok((new_body, true)) => {
+                self.func.body = new_body;
+                Ok(())
+            }
+            Ok((_, false)) => {
+                self.func.body = backup;
+                Err(ScheduleError::LoopNotFound(
+                    loop_ref.var().name().to_string(),
+                ))
+            }
+            Err(e) => {
+                self.func.body = backup;
+                Err(e)
+            }
+        }
+    }
+
+    /// Rewrites the block realize identified by `block` with `f`.
+    pub(crate) fn rewrite_block(
+        &mut self,
+        block: &BlockRef,
+        f: impl FnOnce(tir::BlockRealize) -> Result<Stmt>,
+    ) -> Result<()> {
+        let backup = self.func.body.clone();
+        let body = std::mem::replace(&mut self.func.body, Stmt::Seq(vec![]));
+        let mut f = Some(f);
+        match rewrite_block_in(body, block.name(), &mut f) {
+            Ok((new_body, true)) => {
+                self.func.body = new_body;
+                Ok(())
+            }
+            Ok((_, false)) => {
+                self.func.body = backup;
+                Err(ScheduleError::BlockNotFound(block.name().to_string()))
+            }
+            Err(e) => {
+                self.func.body = backup;
+                Err(e)
+            }
+        }
+    }
+
+    /// Replaces the subtree rooted at `loop_ref` with an arbitrary
+    /// statement. Used by whole-nest rewrites such as tensorization
+    /// candidate generation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the loop is missing.
+    pub fn replace_loop_subtree(&mut self, loop_ref: &LoopRef, stmt: Stmt) -> Result<()> {
+        self.rewrite_loop(loop_ref, |_| Ok(stmt))
+    }
+
+    /// Block names contained in the subtree rooted at `loop_ref`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the loop is missing.
+    pub fn blocks_under_loop(&self, loop_ref: &LoopRef) -> Result<Vec<String>> {
+        let mut names = None;
+        find_loop(&self.func.body, loop_ref.var(), &mut |f| {
+            names = Some(tir::visit::block_names(&f.body));
+        });
+        names.ok_or_else(|| ScheduleError::LoopNotFound(loop_ref.var().name().to_string()))
+    }
+
+    /// Finds a buffer by name among parameters, allocations and accessed
+    /// buffers.
+    pub fn find_buffer(&self, name: &str) -> Option<tir::Buffer> {
+        if let Some(b) = self.func.params.iter().find(|b| b.name() == name) {
+            return Some(b.clone());
+        }
+        let mut found = None;
+        tir::visit::for_each_block_realize(&self.func.body, &mut |br| {
+            if found.is_some() {
+                return;
+            }
+            found = br
+                .block
+                .alloc_buffers
+                .iter()
+                .find(|b| b.name() == name)
+                .cloned();
+        });
+        found.or_else(|| {
+            tir::visit::collect_accessed_buffers(&self.func.body)
+                .into_iter()
+                .find(|b| b.name() == name)
+        })
+    }
+
+    /// Registers a buffer in the root block's allocation list.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the function body does not follow the root-block
+    /// convention.
+    pub fn alloc_buffer_at_root(&mut self, buffer: tir::Buffer) -> Result<()> {
+        self.alloc_at_root(buffer)
+    }
+
+    /// Attaches an annotation to a block.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block is missing.
+    pub fn annotate_block(
+        &mut self,
+        block: &BlockRef,
+        key: &str,
+        value: tir::AnnValue,
+    ) -> Result<()> {
+        let key_owned = key.to_string();
+        let value_copy = value.clone();
+        self.rewrite_block(block, |mut br: tir::BlockRealize| {
+            br.block.annotations.insert(key_owned, value);
+            Ok(Stmt::BlockRealize(Box::new(br)))
+        })?;
+        self.record(TraceStep::new(
+            "annotate_block",
+            vec![
+                block.name().into(),
+                key.into(),
+                crate::loop_transform::ann_to_arg(&value_copy),
+            ],
+        ));
+        Ok(())
+    }
+
+    /// Finds a loop reference by its variable's *name* (first match in a
+    /// pre-order walk). Loop-variable names are deterministic (split and
+    /// fuse derive them from their inputs), which makes recorded traces
+    /// replayable on freshly built programs.
+    pub fn find_loop_by_name(&self, name: &str) -> Option<LoopRef> {
+        fn walk(s: &Stmt, name: &str, out: &mut Option<Var>) {
+            if out.is_some() {
+                return;
+            }
+            match s {
+                Stmt::For(f) => {
+                    if f.var.name() == name {
+                        *out = Some(f.var.clone());
+                        return;
+                    }
+                    walk(&f.body, name, out);
+                }
+                Stmt::Seq(v) => v.iter().for_each(|st| walk(st, name, out)),
+                Stmt::IfThenElse {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, name, out);
+                    if let Some(e) = else_branch {
+                        walk(e, name, out);
+                    }
+                }
+                Stmt::BlockRealize(br) => {
+                    if let Some(init) = &br.block.init {
+                        walk(init, name, out);
+                    }
+                    walk(&br.block.body, name, out);
+                }
+                _ => {}
+            }
+        }
+        let mut out = None;
+        walk(&self.func.body, name, &mut out);
+        out.map(LoopRef)
+    }
+
+    /// Replaces the whole function body (used by global transformations).
+    pub(crate) fn rewrite_body(&mut self, f: impl FnOnce(Stmt) -> Result<Stmt>) -> Result<()> {
+        let backup = self.func.body.clone();
+        let body = std::mem::replace(&mut self.func.body, Stmt::Seq(vec![]));
+        match f(body) {
+            Ok(new_body) => {
+                self.func.body = new_body;
+                Ok(())
+            }
+            Err(e) => {
+                self.func.body = backup;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Calls `visit` on the `For` node with the given variable, if present.
+pub(crate) fn find_loop(s: &Stmt, var: &Var, visit: &mut impl FnMut(&tir::For)) {
+    match s {
+        Stmt::For(f) => {
+            if &f.var == var {
+                visit(f);
+            } else {
+                find_loop(&f.body, var, visit);
+            }
+        }
+        Stmt::Seq(v) => {
+            for st in v {
+                find_loop(st, var, visit);
+            }
+        }
+        Stmt::IfThenElse {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            find_loop(then_branch, var, visit);
+            if let Some(e) = else_branch {
+                find_loop(e, var, visit);
+            }
+        }
+        Stmt::BlockRealize(br) => {
+            if let Some(init) = &br.block.init {
+                find_loop(init, var, visit);
+            }
+            find_loop(&br.block.body, var, visit);
+        }
+        _ => {}
+    }
+}
+
+type LoopRewriter<'a> = &'a mut Option<Box<dyn FnOnce(tir::For) -> Result<Stmt> + 'a>>;
+
+fn rewrite_loop_in(
+    s: Stmt,
+    var: &Var,
+    f: &mut Option<impl FnOnce(tir::For) -> Result<Stmt>>,
+) -> Result<(Stmt, bool)> {
+    if f.is_none() {
+        return Ok((s, false));
+    }
+    match s {
+        Stmt::For(fr) => {
+            if &fr.var == var {
+                let func = f.take().expect("checked above");
+                return Ok((func(*fr)?, true));
+            }
+            let fr = *fr;
+            let (body, applied) = rewrite_loop_in(fr.body, var, f)?;
+            Ok((
+                Stmt::For(Box::new(tir::For {
+                    body,
+                    ..fr
+                })),
+                applied,
+            ))
+        }
+        Stmt::Seq(v) => {
+            let mut out = Vec::with_capacity(v.len());
+            let mut any = false;
+            for st in v {
+                let (st, applied) = rewrite_loop_in(st, var, f)?;
+                any |= applied;
+                out.push(st);
+            }
+            Ok((Stmt::seq(out), any))
+        }
+        Stmt::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let (t, mut any) = rewrite_loop_in(*then_branch, var, f)?;
+            let e = match else_branch {
+                Some(e) => {
+                    let (e, applied) = rewrite_loop_in(*e, var, f)?;
+                    any |= applied;
+                    Some(Box::new(e))
+                }
+                None => None,
+            };
+            Ok((
+                Stmt::IfThenElse {
+                    cond,
+                    then_branch: Box::new(t),
+                    else_branch: e,
+                },
+                any,
+            ))
+        }
+        Stmt::BlockRealize(br) => {
+            let mut br = *br;
+            let mut any = false;
+            if let Some(init) = br.block.init {
+                let (init, applied) = rewrite_loop_in(*init, var, f)?;
+                any |= applied;
+                br.block.init = Some(Box::new(init));
+            }
+            let (body, applied) = rewrite_loop_in(*br.block.body, var, f)?;
+            any |= applied;
+            br.block.body = Box::new(body);
+            Ok((Stmt::BlockRealize(Box::new(br)), any))
+        }
+        other => Ok((other, false)),
+    }
+}
+
+fn rewrite_block_in(
+    s: Stmt,
+    name: &str,
+    f: &mut Option<impl FnOnce(tir::BlockRealize) -> Result<Stmt>>,
+) -> Result<(Stmt, bool)> {
+    if f.is_none() {
+        return Ok((s, false));
+    }
+    match s {
+        Stmt::For(fr) => {
+            let fr = *fr;
+            let (body, applied) = rewrite_block_in(fr.body, name, f)?;
+            Ok((Stmt::For(Box::new(tir::For { body, ..fr })), applied))
+        }
+        Stmt::Seq(v) => {
+            let mut out = Vec::with_capacity(v.len());
+            let mut any = false;
+            for st in v {
+                let (st, applied) = rewrite_block_in(st, name, f)?;
+                any |= applied;
+                out.push(st);
+            }
+            Ok((Stmt::seq(out), any))
+        }
+        Stmt::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let (t, mut any) = rewrite_block_in(*then_branch, name, f)?;
+            let e = match else_branch {
+                Some(e) => {
+                    let (e, applied) = rewrite_block_in(*e, name, f)?;
+                    any |= applied;
+                    Some(Box::new(e))
+                }
+                None => None,
+            };
+            Ok((
+                Stmt::IfThenElse {
+                    cond,
+                    then_branch: Box::new(t),
+                    else_branch: e,
+                },
+                any,
+            ))
+        }
+        Stmt::BlockRealize(br) => {
+            if br.block.name == name {
+                let func = f.take().expect("checked above");
+                return Ok((func(*br)?, true));
+            }
+            let mut br = *br;
+            let mut any = false;
+            if let Some(init) = br.block.init {
+                let (init, applied) = rewrite_block_in(*init, name, f)?;
+                any |= applied;
+                br.block.init = Some(Box::new(init));
+            }
+            let (body, applied) = rewrite_block_in(*br.block.body, name, f)?;
+            any |= applied;
+            br.block.body = Box::new(body);
+            Ok((Stmt::BlockRealize(Box::new(br)), any))
+        }
+        other => Ok((other, false)),
+    }
+}
+
+// Silence the unused-alias lint on older toolchains where the helper alias
+// is only used in signatures.
+#[allow(dead_code)]
+fn _assert_alias(_: LoopRewriter<'_>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir::builder::matmul_func;
+    use tir::DataType;
+
+    #[test]
+    fn block_and_loop_lookup() {
+        let sch = Schedule::new(matmul_func("mm", 8, 8, 8, DataType::float32()));
+        let block = sch.get_block("C").expect("block C");
+        assert!(sch.get_block("missing").is_err());
+        let loops = sch.get_loops(&block).expect("loops");
+        assert_eq!(loops.len(), 3);
+        assert_eq!(sch.loop_extent(&loops[0]).expect("extent"), 8);
+        let infos = sch.loop_infos(&block).expect("infos");
+        assert!(infos.iter().all(|li| li.kind == ForKind::Serial));
+    }
+
+    #[test]
+    fn loops_do_not_cross_block_boundaries() {
+        // The root block isolates: loops of C must not include anything
+        // outside the root block's body (there is nothing outside here).
+        let sch = Schedule::new(matmul_func("mm", 4, 4, 4, DataType::float32()));
+        let root = sch.get_block("root").expect("root");
+        assert!(sch.get_loops(&root).expect("root loops").is_empty());
+    }
+
+    #[test]
+    fn rewrite_loop_replaces_subtree() {
+        let mut sch = Schedule::new(matmul_func("mm", 4, 4, 4, DataType::float32()));
+        let block = sch.get_block("C").expect("block");
+        let loops = sch.get_loops(&block).expect("loops");
+        // Replace the innermost loop with an empty sequence (nonsense, but
+        // exercises the rewriter).
+        sch.rewrite_loop(&loops[2], |_| Ok(Stmt::Seq(vec![])))
+            .expect("rewrite");
+        assert!(sch.get_loops(&block).is_err(), "block C should be gone");
+    }
+}
+
+#[cfg(test)]
+mod lookup_tests {
+    use super::*;
+    use tir::builder::matmul_func;
+    use tir::DataType;
+
+    #[test]
+    fn blocks_under_loop_and_find_buffer() {
+        let sch = Schedule::new(matmul_func("mm", 8, 8, 8, DataType::float32()));
+        let block = sch.get_block("C").unwrap();
+        let loops = sch.get_loops(&block).unwrap();
+        assert_eq!(
+            sch.blocks_under_loop(&loops[0]).unwrap(),
+            vec!["C".to_string()]
+        );
+        assert!(sch.find_buffer("A").is_some());
+        assert!(sch.find_buffer("C").is_some());
+        assert!(sch.find_buffer("nope").is_none());
+        assert!(sch.find_loop_by_name(loops[1].var().name()).is_some());
+        assert!(sch.find_loop_by_name("ghost_loop").is_none());
+    }
+
+    #[test]
+    fn find_buffer_sees_allocations() {
+        let mut sch = Schedule::new(matmul_func("mm", 8, 8, 8, DataType::float32()));
+        let block = sch.get_block("C").unwrap();
+        sch.cache_write(&block, tir::MemScope::Local, None).unwrap();
+        assert!(sch.find_buffer("C_local").is_some());
+    }
+}

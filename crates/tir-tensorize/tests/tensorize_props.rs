@@ -1,0 +1,82 @@
+//! Property tests: auto-tensorization is bit-exact on random shapes
+//! (divisible or not — padding must be transparent) and random einsum
+//! structures.
+
+use proptest::prelude::*;
+
+use tir::{Buffer, DataType, Expr, PrimFunc};
+use tir_exec::assert_same_semantics;
+use tir_tensorize::{auto_tensorize, builtin_registry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Matmul of arbitrary small shape tensorizes bit-exactly with the
+    /// 4x4x4 intrinsic; non-divisible shapes exercise the padding path.
+    #[test]
+    fn random_matmul_shapes_tensorize(m in 1i64..14, n in 1i64..14, k in 1i64..14) {
+        let reg = builtin_registry();
+        let intrin = reg.get("dot_4x4x4_f32").unwrap();
+        let func = tir::builder::matmul_func("mm", m, n, k, DataType::float32());
+        let t = auto_tensorize(&func, "C", intrin)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        // Padded extents are the next multiples of 4.
+        let up = |v: i64| ((v + 3) / 4) * 4;
+        prop_assert_eq!(t.padded_extents.clone(), vec![up(m), up(n), up(k)]);
+        assert_same_semantics(&func, t.schedule.func(), 1, 0.0);
+        tir_analysis::validate(t.schedule.func())
+            .map_err(|e| TestCaseError::fail(format!("{}", e[0])))?;
+    }
+
+    /// 1-D convolutions of random geometry (stride, kernel, channels)
+    /// tensorize bit-exactly through ReIndex + fusion + padding.
+    #[test]
+    fn random_conv1d_geometry_tensorizes(
+        l in 6i64..14,
+        ci in 1i64..6,
+        co in 1i64..6,
+        kernel in 1i64..4,
+        stride in 1i64..3,
+    ) {
+        prop_assume!(l > kernel);
+        let reg = builtin_registry();
+        let intrin = reg.get("dot_4x4x4_f32").unwrap();
+        let func = tir_workloads::c1d(1, l, ci, co, kernel, stride, DataType::float32());
+        let t = auto_tensorize(&func, "C", intrin)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        assert_same_semantics(&func, t.schedule.func(), 1, 0.0);
+    }
+
+    /// Batched matmul with a random batch extent keeps the batch iterator
+    /// outside the intrinsic and stays exact.
+    #[test]
+    fn random_batch_extents_tensorize(b in 1i64..5, s in 2i64..9) {
+        let reg = builtin_registry();
+        let intrin = reg.get("dot_4x4x4_f32").unwrap();
+        let func = tir_workloads::batch_matmul(
+            b, s, s, s,
+            DataType::float32(),
+            DataType::float32(),
+        );
+        let t = auto_tensorize(&func, "C", intrin)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        assert_same_semantics(&func, t.schedule.func(), 1, 0.0);
+    }
+}
+
+/// An einsum with an elementwise *scaling* inside the term is not a plain
+/// `A * B` product and must be rejected cleanly (not mis-tensorized).
+#[test]
+fn non_muladd_terms_rejected() {
+    let a = Buffer::new("A", DataType::float32(), vec![8, 8]);
+    let c = Buffer::new("C", DataType::float32(), vec![8, 8]);
+    let body = tir::builder::reduce_compute("C", &c, &[8], Expr::f32(0.0), |sp, rd| {
+        // term = A[i,k] + A[k,j]: a sum, not a product.
+        a.load(vec![Expr::from(&sp[0]), Expr::from(&rd[0])])
+            + a.load(vec![Expr::from(&rd[0]), Expr::from(&sp[1])])
+    });
+    let func = PrimFunc::new("weird", vec![a, c], body);
+    let reg = builtin_registry();
+    let intrin = reg.get("dot_4x4x4_f32").unwrap();
+    assert!(auto_tensorize(&func, "C", intrin).is_err());
+}

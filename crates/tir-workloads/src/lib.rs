@@ -1,0 +1,16 @@
+//! # tir-workloads — the paper's operator workload suite
+//!
+//! Generators for every operator in the single-operator evaluation (§5.1):
+//! 1-D/2-D/3-D convolution, depthwise, dilated, grouped, and transposed
+//! convolution, plus (batched) matrix multiply — each as a TensorIR
+//! [`tir::PrimFunc`] whose main compute block is named `"C"`.
+//!
+//! [`suite`] lists the concrete benchmark shapes used by the figures.
+
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod suite;
+
+pub use ops::{batch_matmul, c1d, c2d, c3d, dep, dil, gmm, grp, t2d};
+pub use suite::{bench_suite, BenchCase, OpKind};

@@ -1,0 +1,526 @@
+//! Operator generators: every workload of the paper's single-operator
+//! evaluation (§5.1) as a TensorIR function.
+//!
+//! All convolutions use NHWC layout and *valid* padding (callers pre-pad
+//! shapes), matching how the benchmark harness instantiates them. The main
+//! compute block of every generator is named `"C"`.
+
+use tir::builder::{compute, reduce_compute};
+use tir::{Buffer, DataType, Expr, PrimFunc, Stmt};
+
+fn zero(dtype: DataType) -> Expr {
+    if dtype.is_float() {
+        Expr::Float(0.0, dtype)
+    } else {
+        Expr::Int(0, dtype)
+    }
+}
+
+fn acc_cast(e: Expr, from: DataType, to: DataType) -> Expr {
+    if from == to {
+        e
+    } else {
+        e.cast(to)
+    }
+}
+
+/// Accumulator type for a storage type: int8 accumulates in int32 (the
+/// quantized-inference convention every library in §5.3 follows).
+pub fn accumulator_of(dtype: DataType) -> DataType {
+    if dtype == DataType::int8() {
+        DataType::int32()
+    } else {
+        dtype
+    }
+}
+
+/// General matrix multiply `C[m, n] += A[m, k] * B[k, n]` (GMM).
+pub fn gmm(m: i64, n: i64, k: i64, dtype: DataType, acc: DataType) -> PrimFunc {
+    let a = Buffer::new("A", dtype, vec![m, k]);
+    let b = Buffer::new("B", dtype, vec![k, n]);
+    let c = Buffer::new("C", acc, vec![m, n]);
+    let body = reduce_compute("C", &c, &[k], zero(acc), |sp, rd| {
+        acc_cast(
+            a.load(vec![Expr::from(&sp[0]), Expr::from(&rd[0])]),
+            dtype,
+            acc,
+        ) * acc_cast(
+            b.load(vec![Expr::from(&rd[0]), Expr::from(&sp[1])]),
+            dtype,
+            acc,
+        )
+    });
+    PrimFunc::new("gmm", vec![a, b, c], body)
+}
+
+/// Batched matrix multiply `C[b, m, n] += A[b, m, k] * B[b, k, n]`.
+pub fn batch_matmul(bs: i64, m: i64, n: i64, k: i64, dtype: DataType, acc: DataType) -> PrimFunc {
+    let a = Buffer::new("A", dtype, vec![bs, m, k]);
+    let b = Buffer::new("B", dtype, vec![bs, k, n]);
+    let c = Buffer::new("C", acc, vec![bs, m, n]);
+    let body = reduce_compute("C", &c, &[k], zero(acc), |sp, rd| {
+        acc_cast(
+            a.load(vec![
+                Expr::from(&sp[0]),
+                Expr::from(&sp[1]),
+                Expr::from(&rd[0]),
+            ]),
+            dtype,
+            acc,
+        ) * acc_cast(
+            b.load(vec![
+                Expr::from(&sp[0]),
+                Expr::from(&rd[0]),
+                Expr::from(&sp[2]),
+            ]),
+            dtype,
+            acc,
+        )
+    });
+    PrimFunc::new("batch_matmul", vec![a, b, c], body)
+}
+
+/// 1-D convolution (C1D), NWC layout, valid padding.
+pub fn c1d(n: i64, l: i64, ci: i64, co: i64, kernel: i64, stride: i64, dtype: DataType) -> PrimFunc {
+    let lo = (l - kernel) / stride + 1;
+    let acc = accumulator_of(dtype);
+    let a = Buffer::new("A", dtype, vec![n, l, ci]);
+    let w = Buffer::new("W", dtype, vec![kernel, ci, co]);
+    let c = Buffer::new("C", acc, vec![n, lo, co]);
+    let body = reduce_compute("C", &c, &[kernel, ci], zero(acc), |sp, rd| {
+        acc_cast(
+            a.load(vec![
+                Expr::from(&sp[0]),
+                Expr::from(&sp[1]) * stride + Expr::from(&rd[0]),
+                Expr::from(&rd[1]),
+            ]),
+            dtype,
+            acc,
+        ) * acc_cast(
+            w.load(vec![
+                Expr::from(&rd[0]),
+                Expr::from(&rd[1]),
+                Expr::from(&sp[2]),
+            ]),
+            dtype,
+            acc,
+        )
+    });
+    PrimFunc::new("c1d", vec![a, w, c], body)
+}
+
+/// 2-D convolution (C2D), NHWC layout, valid padding.
+#[allow(clippy::too_many_arguments)]
+pub fn c2d(
+    n: i64,
+    h: i64,
+    w_: i64,
+    ci: i64,
+    co: i64,
+    kh: i64,
+    kw: i64,
+    stride: i64,
+    dtype: DataType,
+) -> PrimFunc {
+    conv2d_general(n, h, w_, ci, co, kh, kw, stride, 1, dtype, "c2d")
+}
+
+/// Dilated 2-D convolution (DIL): like C2D with kernel dilation.
+#[allow(clippy::too_many_arguments)]
+pub fn dil(
+    n: i64,
+    h: i64,
+    w_: i64,
+    ci: i64,
+    co: i64,
+    kh: i64,
+    kw: i64,
+    dilation: i64,
+    dtype: DataType,
+) -> PrimFunc {
+    conv2d_general(n, h, w_, ci, co, kh, kw, 1, dilation, dtype, "dil")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d_general(
+    n: i64,
+    h: i64,
+    w_: i64,
+    ci: i64,
+    co: i64,
+    kh: i64,
+    kw: i64,
+    stride: i64,
+    dilation: i64,
+    dtype: DataType,
+    name: &str,
+) -> PrimFunc {
+    let ho = (h - (kh - 1) * dilation - 1) / stride + 1;
+    let wo = (w_ - (kw - 1) * dilation - 1) / stride + 1;
+    let acc = accumulator_of(dtype);
+    let a = Buffer::new("A", dtype, vec![n, h, w_, ci]);
+    let w = Buffer::new("W", dtype, vec![kh, kw, ci, co]);
+    let c = Buffer::new("C", acc, vec![n, ho, wo, co]);
+    let body = reduce_compute("C", &c, &[kh, kw, ci], zero(acc), |sp, rd| {
+        acc_cast(
+            a.load(vec![
+                Expr::from(&sp[0]),
+                Expr::from(&sp[1]) * stride + Expr::from(&rd[0]) * dilation,
+                Expr::from(&sp[2]) * stride + Expr::from(&rd[1]) * dilation,
+                Expr::from(&rd[2]),
+            ]),
+            dtype,
+            acc,
+        ) * acc_cast(
+            w.load(vec![
+                Expr::from(&rd[0]),
+                Expr::from(&rd[1]),
+                Expr::from(&rd[2]),
+                Expr::from(&sp[3]),
+            ]),
+            dtype,
+            acc,
+        )
+    });
+    PrimFunc::new(name, vec![a, w, c], body)
+}
+
+/// 3-D convolution (C3D), NDHWC layout, valid padding.
+#[allow(clippy::too_many_arguments)]
+pub fn c3d(
+    n: i64,
+    d: i64,
+    h: i64,
+    w_: i64,
+    ci: i64,
+    co: i64,
+    k: i64,
+    stride: i64,
+    dtype: DataType,
+) -> PrimFunc {
+    let do_ = (d - k) / stride + 1;
+    let ho = (h - k) / stride + 1;
+    let wo = (w_ - k) / stride + 1;
+    let acc = accumulator_of(dtype);
+    let a = Buffer::new("A", dtype, vec![n, d, h, w_, ci]);
+    let w = Buffer::new("W", dtype, vec![k, k, k, ci, co]);
+    let c = Buffer::new("C", acc, vec![n, do_, ho, wo, co]);
+    let body = reduce_compute("C", &c, &[k, k, k, ci], zero(acc), |sp, rd| {
+        acc_cast(a.load(vec![
+            Expr::from(&sp[0]),
+            Expr::from(&sp[1]) * stride + Expr::from(&rd[0]),
+            Expr::from(&sp[2]) * stride + Expr::from(&rd[1]),
+            Expr::from(&sp[3]) * stride + Expr::from(&rd[2]),
+            Expr::from(&rd[3]),
+        ]), dtype, acc) * acc_cast(w.load(vec![
+            Expr::from(&rd[0]),
+            Expr::from(&rd[1]),
+            Expr::from(&rd[2]),
+            Expr::from(&rd[3]),
+            Expr::from(&sp[4]),
+        ]), dtype, acc)
+    });
+    PrimFunc::new("c3d", vec![a, w, c], body)
+}
+
+/// Depthwise 2-D convolution (DEP), NHWC layout.
+#[allow(clippy::too_many_arguments)]
+pub fn dep(
+    n: i64,
+    h: i64,
+    w_: i64,
+    c_: i64,
+    kh: i64,
+    kw: i64,
+    stride: i64,
+    dtype: DataType,
+) -> PrimFunc {
+    let ho = (h - kh) / stride + 1;
+    let wo = (w_ - kw) / stride + 1;
+    let acc = accumulator_of(dtype);
+    let a = Buffer::new("A", dtype, vec![n, h, w_, c_]);
+    let w = Buffer::new("W", dtype, vec![kh, kw, c_]);
+    let c = Buffer::new("C", acc, vec![n, ho, wo, c_]);
+    let body = reduce_compute("C", &c, &[kh, kw], zero(acc), |sp, rd| {
+        acc_cast(
+            a.load(vec![
+                Expr::from(&sp[0]),
+                Expr::from(&sp[1]) * stride + Expr::from(&rd[0]),
+                Expr::from(&sp[2]) * stride + Expr::from(&rd[1]),
+                Expr::from(&sp[3]),
+            ]),
+            dtype,
+            acc,
+        ) * acc_cast(
+            w.load(vec![
+                Expr::from(&rd[0]),
+                Expr::from(&rd[1]),
+                Expr::from(&sp[3]),
+            ]),
+            dtype,
+            acc,
+        )
+    });
+    PrimFunc::new("dep", vec![a, w, c], body)
+}
+
+/// Grouped 2-D convolution (GRP), NHWC with an explicit group dimension:
+/// `A[n, h, w, g, ci_g]`, `W[g, kh, kw, ci_g, co_g]`, `C[n, h, w, g, co_g]`.
+#[allow(clippy::too_many_arguments)]
+pub fn grp(
+    n: i64,
+    h: i64,
+    w_: i64,
+    groups: i64,
+    ci_g: i64,
+    co_g: i64,
+    kh: i64,
+    kw: i64,
+    stride: i64,
+    dtype: DataType,
+) -> PrimFunc {
+    let ho = (h - kh) / stride + 1;
+    let wo = (w_ - kw) / stride + 1;
+    let acc = accumulator_of(dtype);
+    let a = Buffer::new("A", dtype, vec![n, h, w_, groups, ci_g]);
+    let w = Buffer::new("W", dtype, vec![groups, kh, kw, ci_g, co_g]);
+    let c = Buffer::new("C", acc, vec![n, ho, wo, groups, co_g]);
+    let body = reduce_compute("C", &c, &[kh, kw, ci_g], zero(acc), |sp, rd| {
+        acc_cast(a.load(vec![
+            Expr::from(&sp[0]),
+            Expr::from(&sp[1]) * stride + Expr::from(&rd[0]),
+            Expr::from(&sp[2]) * stride + Expr::from(&rd[1]),
+            Expr::from(&sp[3]),
+            Expr::from(&rd[2]),
+        ]), dtype, acc) * acc_cast(w.load(vec![
+            Expr::from(&sp[3]),
+            Expr::from(&rd[0]),
+            Expr::from(&rd[1]),
+            Expr::from(&rd[2]),
+            Expr::from(&sp[4]),
+        ]), dtype, acc)
+    });
+    PrimFunc::new("grp", vec![a, w, c], body)
+}
+
+/// Transposed 2-D convolution (T2D), NHWC.
+///
+/// Implemented in gather form over a zero-inserted, zero-padded staging of
+/// the input (block `"P"`): `P[n, y, x, ci]` holds `A[n, (y-kh+1)/s,
+/// (x-kw+1)/s, ci]` where the offsets are stride-aligned and in range, and
+/// zero elsewhere; the compute block `"C"` is then a regular convolution of
+/// `P` with the spatially flipped weights. Output size is
+/// `(h-1)*stride + kh`.
+#[allow(clippy::too_many_arguments)]
+pub fn t2d(
+    n: i64,
+    h: i64,
+    w_: i64,
+    ci: i64,
+    co: i64,
+    kh: i64,
+    kw: i64,
+    stride: i64,
+    dtype: DataType,
+) -> PrimFunc {
+    let ho = (h - 1) * stride + kh;
+    let wo = (w_ - 1) * stride + kw;
+    // P covers output coordinates plus the kernel halo.
+    let ph = ho + kh - 1;
+    let pw = wo + kw - 1;
+    let acc = accumulator_of(dtype);
+    let a = Buffer::new("A", dtype, vec![n, h, w_, ci]);
+    let w = Buffer::new("W", dtype, vec![kh, kw, ci, co]);
+    let c = Buffer::new("C", acc, vec![n, ho, wo, co]);
+    let p = Buffer::new("P", dtype, vec![n, ph, pw, ci]);
+
+    let pad = compute("P", &p, |iv| {
+        let y = Expr::from(&iv[1]) - (kh - 1);
+        let x = Expr::from(&iv[2]) - (kw - 1);
+        let aligned = y
+            .clone()
+            .floor_mod(stride)
+            .eq_(0)
+            .and(x.clone().floor_mod(stride).eq_(0));
+        let in_range = y
+            .clone()
+            .cmp(tir::CmpOp::Ge, 0)
+            .and(y.clone().lt((h - 1) * stride + 1))
+            .and(x.clone().cmp(tir::CmpOp::Ge, 0))
+            .and(x.clone().lt((w_ - 1) * stride + 1));
+        Expr::select(
+            aligned.and(in_range),
+            a.load(vec![
+                Expr::from(&iv[0]),
+                y.floor_div(stride),
+                x.floor_div(stride),
+                Expr::from(&iv[3]),
+            ]),
+            zero(dtype),
+        )
+    });
+
+    let body = reduce_compute("C", &c, &[kh, kw, ci], zero(acc), |sp, rd| {
+        acc_cast(p.load(vec![
+            Expr::from(&sp[0]),
+            Expr::from(&sp[1]) + Expr::from(&rd[0]),
+            Expr::from(&sp[2]) + Expr::from(&rd[1]),
+            Expr::from(&rd[2]),
+        ]), dtype, acc) * acc_cast(w.load(vec![
+            // Spatially flipped kernel.
+            Expr::int(kh - 1) - Expr::from(&rd[0]),
+            Expr::int(kw - 1) - Expr::from(&rd[1]),
+            Expr::from(&rd[2]),
+            Expr::from(&sp[3]),
+        ]), dtype, acc)
+    });
+    let mut f = PrimFunc::new("t2d", vec![a, w, c], Stmt::seq(vec![pad, body]));
+    f.root_block_mut()
+        .expect("root block")
+        .alloc_buffers
+        .push(p);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir_exec::{run_on_random_inputs, Interpreter, Tensor};
+
+    #[test]
+    fn all_ops_build_and_validate() {
+        let dt = DataType::float32();
+        for f in [
+            gmm(16, 16, 16, dt, dt),
+            batch_matmul(2, 8, 8, 8, dt, dt),
+            c1d(1, 18, 4, 8, 3, 1, dt),
+            c2d(1, 10, 10, 4, 8, 3, 3, 1, dt),
+            c3d(1, 6, 6, 6, 2, 4, 3, 1, dt),
+            dep(1, 10, 10, 4, 3, 3, 1, dt),
+            dil(1, 12, 12, 4, 8, 3, 3, 2, dt),
+            grp(1, 8, 8, 2, 2, 4, 3, 3, 1, dt),
+            t2d(1, 4, 4, 2, 4, 3, 3, 2, dt),
+        ] {
+            tir_analysis::assert_valid(&f);
+            run_on_random_inputs(&f, 1, 1).unwrap_or_else(|e| {
+                panic!("{} failed to execute: {e}", f.name);
+            });
+        }
+    }
+
+    #[test]
+    fn gmm_matches_reference() {
+        let f = gmm(4, 5, 6, DataType::float32(), DataType::float32());
+        let a = Tensor::random(DataType::float32(), &[4, 6], 1);
+        let b = Tensor::random(DataType::float32(), &[6, 5], 2);
+        let c = Tensor::zeros(DataType::float32(), &[4, 5]);
+        let out = Interpreter::run(&f, vec![a.clone(), b.clone(), c]).expect("run");
+        for i in 0..4 {
+            for j in 0..5 {
+                let mut acc = 0.0f64;
+                for kk in 0..6 {
+                    acc += a.get(&[i, kk]) * b.get(&[kk, j]);
+                }
+                let got = out[2].get(&[i, j]);
+                assert!(
+                    (got - acc as f32 as f64).abs() < 1e-4,
+                    "C[{i},{j}] = {got}, want {acc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c2d_matches_reference() {
+        let (n, h, w_, ci, co, k) = (1, 6, 6, 2, 3, 3);
+        let f = c2d(n, h, w_, ci, co, k, k, 1, DataType::float32());
+        let a = Tensor::random(DataType::float32(), &[n, h, w_, ci], 3);
+        let w = Tensor::random(DataType::float32(), &[k, k, ci, co], 4);
+        let c = Tensor::zeros(DataType::float32(), &[n, 4, 4, co]);
+        let out = Interpreter::run(&f, vec![a.clone(), w.clone(), c]).expect("run");
+        for y in 0..4 {
+            for x in 0..4 {
+                for f_ in 0..co {
+                    let mut acc = 0.0f64;
+                    for rh in 0..k {
+                        for rw in 0..k {
+                            for rc in 0..ci {
+                                acc += a.get(&[0, y + rh, x + rw, rc])
+                                    * w.get(&[rh, rw, rc, f_]);
+                            }
+                        }
+                    }
+                    let got = out[2].get(&[0, y, x, f_]);
+                    assert!((got - acc).abs() < 1e-3, "mismatch at [{y},{x},{f_}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t2d_matches_scatter_reference() {
+        // Reference: scatter formulation of transposed convolution.
+        let (n, h, w_, ci, co, k, s) = (1, 3, 3, 2, 2, 3, 2);
+        let f = t2d(n, h, w_, ci, co, k, k, s, DataType::float32());
+        let ho = (h - 1) * s + k;
+        let a = Tensor::random(DataType::float32(), &[n, h, w_, ci], 5);
+        let w = Tensor::random(DataType::float32(), &[k, k, ci, co], 6);
+        let c = Tensor::zeros(DataType::float32(), &[n, ho, ho, co]);
+        let out = Interpreter::run(&f, vec![a.clone(), w.clone(), c]).expect("run");
+        // scatter: out[y*s + rh, x*s + rw, f] += in[y, x, c] * w[rh, rw, c, f]
+        let mut expect = vec![0.0f64; (ho * ho * co) as usize];
+        for y in 0..h {
+            for x in 0..w_ {
+                for cc in 0..ci {
+                    for rh in 0..k {
+                        for rw in 0..k {
+                            for f_ in 0..co {
+                                let oy = y * s + rh;
+                                let ox = x * s + rw;
+                                expect[((oy * ho + ox) * co + f_) as usize] +=
+                                    a.get(&[0, y, x, cc]) * w.get(&[rh, rw, cc, f_]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for oy in 0..ho {
+            for ox in 0..ho {
+                for f_ in 0..co {
+                    let got = out[2].get(&[0, oy, ox, f_]);
+                    let want = expect[((oy * ho + ox) * co + f_) as usize] as f32 as f64;
+                    assert!(
+                        (got - want).abs() < 1e-3,
+                        "T2D mismatch at [{oy},{ox},{f_}]: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dep_matches_reference() {
+        let (h, c_, k) = (6, 3, 3);
+        let f = dep(1, h, h, c_, k, k, 1, DataType::float32());
+        let a = Tensor::random(DataType::float32(), &[1, h, h, c_], 7);
+        let w = Tensor::random(DataType::float32(), &[k, k, c_], 8);
+        let c = Tensor::zeros(DataType::float32(), &[1, 4, 4, c_]);
+        let out = Interpreter::run(&f, vec![a.clone(), w.clone(), c]).expect("run");
+        let mut acc = 0.0f64;
+        for rh in 0..k {
+            for rw in 0..k {
+                acc += a.get(&[0, rh, rw, 1]) * w.get(&[rh, rw, 1]);
+            }
+        }
+        assert!((out[2].get(&[0, 0, 0, 1]) - acc).abs() < 1e-3);
+    }
+
+    #[test]
+    fn int8_gmm_accumulates_in_i32() {
+        let f = gmm(8, 8, 8, DataType::int8(), DataType::int32());
+        let outs = run_on_random_inputs(&f, 1, 11).expect("run");
+        // All results must be exact integers.
+        assert!(outs[2].data().iter().all(|v| v.fract() == 0.0));
+    }
+}

@@ -1,0 +1,401 @@
+//! Local expression simplification: constant folding and algebraic
+//! identities.
+//!
+//! This is the context-free simplifier used throughout the scheduling
+//! primitives; bound-aware simplification lives in `tir-arith`.
+
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::visit::{ExprMutator, StmtMutator};
+use crate::Stmt;
+
+/// Floor division matching Python `//` semantics.
+pub fn floor_div_i64(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0, "division by zero");
+    let q = a / b;
+    let r = a % b;
+    if r != 0 && ((r < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Floor modulo matching Python `%` semantics.
+pub fn floor_mod_i64(a: i64, b: i64) -> i64 {
+    a - floor_div_i64(a, b) * b
+}
+
+fn fold_int(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.checked_add(b)?,
+        BinOp::Sub => a.checked_sub(b)?,
+        BinOp::Mul => a.checked_mul(b)?,
+        BinOp::Div => {
+            if b == 0 || a % b != 0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::FloorDiv => {
+            if b == 0 {
+                return None;
+            }
+            floor_div_i64(a, b)
+        }
+        BinOp::FloorMod => {
+            if b == 0 {
+                return None;
+            }
+            floor_mod_i64(a, b)
+        }
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::And => ((a != 0) && (b != 0)) as i64,
+        BinOp::Or => ((a != 0) || (b != 0)) as i64,
+    })
+}
+
+fn fold_float(op: BinOp, a: f64, b: f64) -> Option<f64> {
+    Some(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        _ => return None,
+    })
+}
+
+fn simplify_bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    // Constant folding.
+    if let (Expr::Int(x, dt), Expr::Int(y, _)) = (&a, &b) {
+        if let Some(v) = fold_int(op, *x, *y) {
+            let dt = if matches!(op, BinOp::And | BinOp::Or) {
+                crate::DataType::bool()
+            } else {
+                *dt
+            };
+            return Expr::Int(v, dt);
+        }
+    }
+    if let (Expr::Float(x, dt), Expr::Float(y, _)) = (&a, &b) {
+        if let Some(v) = fold_float(op, *x, *y) {
+            return Expr::Float(v, *dt);
+        }
+    }
+    let a_int = a.as_int();
+    let b_int = b.as_int();
+    let a_zero = a_int == Some(0) || matches!(a, Expr::Float(v, _) if v == 0.0);
+    let b_zero = b_int == Some(0) || matches!(b, Expr::Float(v, _) if v == 0.0);
+    let a_one = a_int == Some(1) || matches!(a, Expr::Float(v, _) if v == 1.0);
+    let b_one = b_int == Some(1) || matches!(b, Expr::Float(v, _) if v == 1.0);
+    match op {
+        BinOp::Add => {
+            if a_zero {
+                return b;
+            }
+            if b_zero {
+                return a;
+            }
+            // (x + c1) + c2 => x + (c1+c2)
+            if let (Expr::Bin(BinOp::Add, x, c1), Some(c2)) = (&a, b_int) {
+                if let Some(c1v) = c1.as_int() {
+                    return simplify_bin(BinOp::Add, (**x).clone(), Expr::int(c1v + c2));
+                }
+            }
+        }
+        BinOp::Sub => {
+            if b_zero {
+                return a;
+            }
+            if a == b && a_int.is_none() {
+                // symbolic x - x
+                return Expr::Int(0, a.dtype());
+            }
+            // (x + y) - x => y and (x + y) - y => x (slice extents).
+            if let Expr::Bin(BinOp::Add, x, y) = &a {
+                if **x == b {
+                    return (**y).clone();
+                }
+                if **y == b {
+                    return (**x).clone();
+                }
+            }
+        }
+        BinOp::Mul => {
+            if a_zero || b_zero {
+                return if a.dtype().is_float() || b.dtype().is_float() {
+                    Expr::Float(0.0, a.dtype())
+                } else {
+                    Expr::Int(0, a.dtype())
+                };
+            }
+            if a_one {
+                return b;
+            }
+            if b_one {
+                return a;
+            }
+            // (x * c1) * c2 => x * (c1*c2)
+            if let (Expr::Bin(BinOp::Mul, x, c1), Some(c2)) = (&a, b_int) {
+                if let Some(c1v) = c1.as_int() {
+                    return simplify_bin(BinOp::Mul, (**x).clone(), Expr::int(c1v * c2));
+                }
+            }
+        }
+        BinOp::Div => {
+            if b_one {
+                return a;
+            }
+        }
+        BinOp::FloorDiv => {
+            if b_one {
+                return a;
+            }
+            if let Some(c) = b_int {
+                if c > 0 {
+                    // (x * c) // c => x ; (x * c1) // c2 with c1 % c2 == 0 => x * (c1/c2)
+                    if let Expr::Bin(BinOp::Mul, x, c1) = &a {
+                        if let Some(c1v) = c1.as_int() {
+                            if c1v % c == 0 {
+                                return simplify_bin(
+                                    BinOp::Mul,
+                                    (**x).clone(),
+                                    Expr::int(c1v / c),
+                                );
+                            }
+                        }
+                    }
+                    // (x * c + y) // c => x + y // c  (valid when 0 <= y — we
+                    // only apply it when y is a non-negative constant < c).
+                    if let Expr::Bin(BinOp::Add, l, r) = &a {
+                        if let (Expr::Bin(BinOp::Mul, x, c1), Some(rv)) = (&**l, r.as_int()) {
+                            if c1.as_int() == Some(c) && (0..c).contains(&rv) {
+                                return (**x).clone();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        BinOp::FloorMod => {
+            if b_one {
+                return Expr::Int(0, a.dtype());
+            }
+            if let Some(c) = b_int {
+                if c > 0 {
+                    // (x * c1) % c2 == 0 when c1 % c2 == 0
+                    if let Expr::Bin(BinOp::Mul, _, c1) = &a {
+                        if let Some(c1v) = c1.as_int() {
+                            if c1v % c == 0 {
+                                return Expr::Int(0, a.dtype());
+                            }
+                        }
+                    }
+                    // (x * c + y) % c => y % c
+                    if let Expr::Bin(BinOp::Add, l, r) = &a {
+                        if let Expr::Bin(BinOp::Mul, _, c1) = &**l {
+                            if c1.as_int() == Some(c) {
+                                return simplify_bin(BinOp::FloorMod, (**r).clone(), b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        BinOp::Min | BinOp::Max => {
+            if a == b {
+                return a;
+            }
+        }
+        BinOp::And => {
+            if a_int == Some(1) {
+                return b;
+            }
+            if b_int == Some(1) {
+                return a;
+            }
+            if a_int == Some(0) || b_int == Some(0) {
+                return Expr::bool(false);
+            }
+        }
+        BinOp::Or => {
+            if a_int == Some(0) {
+                return b;
+            }
+            if b_int == Some(0) {
+                return a;
+            }
+            if a_int == Some(1) || b_int == Some(1) {
+                return Expr::bool(true);
+            }
+        }
+    }
+    Expr::Bin(op, Box::new(a), Box::new(b))
+}
+
+fn simplify_cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        return Expr::bool(op.apply(x, y));
+    }
+    if a == b {
+        return Expr::bool(matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge));
+    }
+    Expr::Cmp(op, Box::new(a), Box::new(b))
+}
+
+struct Simplifier;
+impl ExprMutator for Simplifier {
+    fn mutate_expr(&mut self, e: Expr) -> Expr {
+        let e = self.walk_expr(e);
+        match e {
+            Expr::Bin(op, a, b) => simplify_bin(op, *a, *b),
+            Expr::Cmp(op, a, b) => simplify_cmp(op, *a, *b),
+            Expr::Not(v) => match *v {
+                Expr::Int(x, dt) if dt.is_bool() => Expr::bool(x == 0),
+                inner => Expr::Not(Box::new(inner)),
+            },
+            Expr::Select { cond, then, other } => match cond.as_int() {
+                Some(0) => *other,
+                Some(_) => *then,
+                None => Expr::Select { cond, then, other },
+            },
+            Expr::Cast(dt, v) => {
+                if v.dtype() == dt {
+                    *v
+                } else {
+                    Expr::Cast(dt, v)
+                }
+            }
+            other => other,
+        }
+    }
+}
+impl StmtMutator for Simplifier {}
+
+/// Simplifies an expression bottom-up.
+///
+/// # Examples
+///
+/// ```
+/// use tir::{Expr, Var, simplify::simplify_expr};
+/// let i = Var::int("i");
+/// let e = (Expr::from(&i) * 4 + 2).floor_div(4);
+/// // (i*4 + 2) // 4 => i
+/// assert_eq!(simplify_expr(&e), Expr::from(&i));
+/// ```
+pub fn simplify_expr(e: &Expr) -> Expr {
+    Simplifier.mutate_expr(e.clone())
+}
+
+/// Simplifies every expression inside a statement.
+pub fn simplify_stmt(s: &Stmt) -> Stmt {
+    Simplifier.mutate_stmt(s.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Var;
+
+    fn s(e: Expr) -> Expr {
+        simplify_expr(&e)
+    }
+
+    #[test]
+    fn folds_constants() {
+        assert_eq!(s(Expr::int(2) + 3), Expr::int(5));
+        assert_eq!(s(Expr::int(7).floor_div(2)), Expr::int(3));
+        assert_eq!(s(Expr::int(-7).floor_div(2)), Expr::int(-4));
+        assert_eq!(s(Expr::int(-7).floor_mod(2)), Expr::int(1));
+        assert_eq!(s(Expr::int(3).min(5)), Expr::int(3));
+        assert_eq!(s(Expr::f32(2.0) * 4.0f32), Expr::f32(8.0));
+    }
+
+    #[test]
+    fn identities() {
+        let x = Var::int("x");
+        let xe = || Expr::from(&x);
+        assert_eq!(s(xe() + 0), xe());
+        assert_eq!(s(xe() * 1), xe());
+        assert_eq!(s(xe() * 0), Expr::int(0));
+        assert_eq!(s(xe() - 0), xe());
+        assert_eq!(s(xe().floor_div(1)), xe());
+        assert_eq!(s(xe().floor_mod(1)), Expr::int(0));
+        assert_eq!(s(xe().min(xe())), xe());
+    }
+
+    #[test]
+    fn split_fuse_cancellation() {
+        let x = Var::int("x");
+        let y = Var::int("y");
+        // (x*8 + y) // 8 with y in [0,8) constant
+        let e = (Expr::from(&x) * 8 + 3).floor_div(8);
+        assert_eq!(s(e), Expr::from(&x));
+        // (x*8 + y) % 8 => y % 8
+        let e = (Expr::from(&x) * 8 + Expr::from(&y)).floor_mod(8);
+        assert_eq!(s(e), Expr::from(&y).floor_mod(8));
+        // (x*8) // 4 => x * 2
+        let e = (Expr::from(&x) * 8).floor_div(4);
+        assert_eq!(s(e), Expr::from(&x) * 2);
+        // (x*8) % 4 => 0
+        let e = (Expr::from(&x) * 8).floor_mod(4);
+        assert_eq!(s(e), Expr::int(0));
+    }
+
+    #[test]
+    fn slice_extent_cancellation() {
+        let x = Var::int("x");
+        // (x*4 + 4) - x*4 => 4  (parsing `lo:hi` slices back to extents)
+        let lo = Expr::from(&x) * 4;
+        let hi = lo.clone() + 4;
+        assert_eq!(s(hi - lo), Expr::int(4));
+    }
+
+    #[test]
+    fn nested_constant_chains() {
+        let x = Var::int("x");
+        let e = (Expr::from(&x) + 1) + 2;
+        assert_eq!(s(e), Expr::from(&x) + 3);
+        let e = (Expr::from(&x) * 2) * 3;
+        assert_eq!(s(e), Expr::from(&x) * 6);
+    }
+
+    #[test]
+    fn booleans_and_select() {
+        assert_eq!(s(Expr::bool(true).and(Expr::bool(false))), Expr::bool(false));
+        let x = Var::int("x");
+        let c = Expr::from(&x).lt(5);
+        assert_eq!(s(Expr::true_().and(c.clone())), s(c));
+        assert_eq!(
+            s(Expr::select(Expr::bool(true), Expr::int(1), Expr::int(2))),
+            Expr::int(1)
+        );
+        assert_eq!(s(Expr::int(3).lt(4)), Expr::bool(true));
+        assert_eq!(s(Expr::Not(Box::new(Expr::bool(false)))), Expr::bool(true));
+    }
+
+    #[test]
+    fn symbolic_compare() {
+        let x = Var::int("x");
+        assert_eq!(
+            s(Expr::from(&x).cmp(CmpOp::Le, Expr::from(&x))),
+            Expr::bool(true)
+        );
+        assert_eq!(
+            s(Expr::from(&x).cmp(CmpOp::Lt, Expr::from(&x))),
+            Expr::bool(false)
+        );
+    }
+
+    #[test]
+    fn floor_div_mod_helpers() {
+        assert_eq!(floor_div_i64(7, 2), 3);
+        assert_eq!(floor_div_i64(-7, 2), -4);
+        assert_eq!(floor_mod_i64(7, 2), 1);
+        assert_eq!(floor_mod_i64(-7, 2), 1);
+        assert_eq!(floor_div_i64(7, -2), -4);
+        assert_eq!(floor_mod_i64(7, -2), -1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Alpha-equivalence (structural equality) of programs.
+//!
+//! Two programs are structurally equal when they are identical up to a
+//! consistent renaming of variables and buffers. Used heavily by schedule
+//! tests: a transformation and its hand-written expected output never share
+//! variable identities, so plain `==` would always fail.
+
+use std::collections::HashMap;
+
+use crate::buffer::{Buffer, BufferRegion};
+use crate::expr::{Expr, Var};
+use crate::func::PrimFunc;
+use crate::stmt::{Block, BlockRealize, Stmt};
+
+#[derive(Default)]
+struct Matcher {
+    vars: HashMap<usize, usize>,
+    bufs: HashMap<usize, usize>,
+}
+
+impl Matcher {
+    fn var(&mut self, a: &Var, b: &Var) -> bool {
+        match self.vars.get(&a.id()) {
+            Some(&mapped) => mapped == b.id(),
+            None => {
+                self.vars.insert(a.id(), b.id());
+                true
+            }
+        }
+    }
+
+    fn buffer(&mut self, a: &Buffer, b: &Buffer) -> bool {
+        if a.dtype() != b.dtype() || a.shape() != b.shape() || a.scope() != b.scope() {
+            return false;
+        }
+        match self.bufs.get(&a.id()) {
+            Some(&mapped) => mapped == b.id(),
+            None => {
+                self.bufs.insert(a.id(), b.id());
+                true
+            }
+        }
+    }
+
+    fn exprs(&mut self, a: &[Expr], b: &[Expr]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| self.expr(x, y))
+    }
+
+    fn expr(&mut self, a: &Expr, b: &Expr) -> bool {
+        match (a, b) {
+            (Expr::Int(x, dx), Expr::Int(y, dy)) => x == y && dx == dy,
+            (Expr::Float(x, dx), Expr::Float(y, dy)) => x == y && dx == dy,
+            (Expr::Str(x), Expr::Str(y)) => x == y,
+            (Expr::Var(x), Expr::Var(y)) => self.var(x, y),
+            (Expr::Cast(dx, x), Expr::Cast(dy, y)) => dx == dy && self.expr(x, y),
+            (Expr::Bin(ox, ax, bx), Expr::Bin(oy, ay, by)) => {
+                ox == oy && self.expr(ax, ay) && self.expr(bx, by)
+            }
+            (Expr::Cmp(ox, ax, bx), Expr::Cmp(oy, ay, by)) => {
+                ox == oy && self.expr(ax, ay) && self.expr(bx, by)
+            }
+            (Expr::Not(x), Expr::Not(y)) => self.expr(x, y),
+            (
+                Expr::Select {
+                    cond: cx,
+                    then: tx,
+                    other: ox,
+                },
+                Expr::Select {
+                    cond: cy,
+                    then: ty,
+                    other: oy,
+                },
+            ) => self.expr(cx, cy) && self.expr(tx, ty) && self.expr(ox, oy),
+            (
+                Expr::Load {
+                    buffer: bx,
+                    indices: ix,
+                },
+                Expr::Load {
+                    buffer: by,
+                    indices: iy,
+                },
+            ) => self.buffer(bx, by) && self.exprs(ix, iy),
+            (
+                Expr::Call {
+                    name: nx, args: ax, ..
+                },
+                Expr::Call {
+                    name: ny, args: ay, ..
+                },
+            ) => nx == ny && self.exprs(ax, ay),
+            _ => false,
+        }
+    }
+
+    fn region(&mut self, a: &BufferRegion, b: &BufferRegion) -> bool {
+        self.buffer(&a.buffer, &b.buffer)
+            && a.region.len() == b.region.len()
+            && a.region
+                .iter()
+                .zip(&b.region)
+                .all(|(x, y)| self.expr(&x.min, &y.min) && self.expr(&x.extent, &y.extent))
+    }
+
+    fn block(&mut self, a: &Block, b: &Block) -> bool {
+        if a.name != b.name
+            || a.iter_vars.len() != b.iter_vars.len()
+            || a.reads.len() != b.reads.len()
+            || a.writes.len() != b.writes.len()
+            || a.alloc_buffers.len() != b.alloc_buffers.len()
+            || a.init.is_some() != b.init.is_some()
+            || a.annotations != b.annotations
+        {
+            return false;
+        }
+        for (x, y) in a.iter_vars.iter().zip(&b.iter_vars) {
+            if x.extent != y.extent || x.kind != y.kind || !self.var(&x.var, &y.var) {
+                return false;
+            }
+        }
+        for (x, y) in a.alloc_buffers.iter().zip(&b.alloc_buffers) {
+            if !self.buffer(x, y) {
+                return false;
+            }
+        }
+        for (x, y) in a.reads.iter().zip(&b.reads) {
+            if !self.region(x, y) {
+                return false;
+            }
+        }
+        for (x, y) in a.writes.iter().zip(&b.writes) {
+            if !self.region(x, y) {
+                return false;
+            }
+        }
+        if let (Some(ix), Some(iy)) = (&a.init, &b.init) {
+            if !self.stmt(ix, iy) {
+                return false;
+            }
+        }
+        self.stmt(&a.body, &b.body)
+    }
+
+    fn realize(&mut self, a: &BlockRealize, b: &BlockRealize) -> bool {
+        self.exprs(&a.iter_values, &b.iter_values)
+            && self.expr(&a.predicate, &b.predicate)
+            && self.block(&a.block, &b.block)
+    }
+
+    fn stmt(&mut self, a: &Stmt, b: &Stmt) -> bool {
+        match (a, b) {
+            (
+                Stmt::Store {
+                    buffer: bx,
+                    indices: ix,
+                    value: vx,
+                },
+                Stmt::Store {
+                    buffer: by,
+                    indices: iy,
+                    value: vy,
+                },
+            ) => self.buffer(bx, by) && self.exprs(ix, iy) && self.expr(vx, vy),
+            (Stmt::Eval(x), Stmt::Eval(y)) => self.expr(x, y),
+            (Stmt::Seq(x), Stmt::Seq(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(sx, sy)| self.stmt(sx, sy))
+            }
+            (
+                Stmt::IfThenElse {
+                    cond: cx,
+                    then_branch: tx,
+                    else_branch: ex,
+                },
+                Stmt::IfThenElse {
+                    cond: cy,
+                    then_branch: ty,
+                    else_branch: ey,
+                },
+            ) => {
+                self.expr(cx, cy)
+                    && self.stmt(tx, ty)
+                    && match (ex, ey) {
+                        (Some(x), Some(y)) => self.stmt(x, y),
+                        (None, None) => true,
+                        _ => false,
+                    }
+            }
+            (Stmt::For(x), Stmt::For(y)) => {
+                x.kind == y.kind
+                    && x.annotations == y.annotations
+                    && self.var(&x.var, &y.var)
+                    && self.expr(&x.extent, &y.extent)
+                    && self.stmt(&x.body, &y.body)
+            }
+            (Stmt::BlockRealize(x), Stmt::BlockRealize(y)) => self.realize(x, y),
+            _ => false,
+        }
+    }
+}
+
+/// Structural (alpha) equality of two expressions.
+pub fn expr_structural_eq(a: &Expr, b: &Expr) -> bool {
+    Matcher::default().expr(a, b)
+}
+
+/// Structural (alpha) equality of two statements.
+pub fn stmt_structural_eq(a: &Stmt, b: &Stmt) -> bool {
+    Matcher::default().stmt(a, b)
+}
+
+/// Structural (alpha) equality of two functions, mapping parameter buffers
+/// positionally.
+pub fn func_structural_eq(a: &PrimFunc, b: &PrimFunc) -> bool {
+    if a.params.len() != b.params.len() {
+        return false;
+    }
+    let mut m = Matcher::default();
+    for (x, y) in a.params.iter().zip(&b.params) {
+        if !m.buffer(x, y) {
+            return false;
+        }
+    }
+    m.stmt(&a.body, &b.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    #[test]
+    fn alpha_equivalent_exprs() {
+        let x1 = Var::int("x");
+        let x2 = Var::int("different_name");
+        let e1 = Expr::from(&x1) * 4 + Expr::from(&x1);
+        let e2 = Expr::from(&x2) * 4 + Expr::from(&x2);
+        assert!(expr_structural_eq(&e1, &e2));
+        // Inconsistent renaming must fail.
+        let y = Var::int("y");
+        let e3 = Expr::from(&x2) * 4 + Expr::from(&y);
+        assert!(!expr_structural_eq(&e1, &e3));
+    }
+
+    #[test]
+    fn buffers_compare_by_shape_dtype_scope() {
+        let a1 = Buffer::new("A", DataType::float32(), vec![4]);
+        let a2 = Buffer::new("Z", DataType::float32(), vec![4]);
+        let a3 = Buffer::new("A", DataType::float16(), vec![4]);
+        let l = |b: &Buffer| b.load(vec![Expr::int(0)]);
+        assert!(expr_structural_eq(&l(&a1), &l(&a2)));
+        assert!(!expr_structural_eq(&l(&a1), &l(&a3)));
+    }
+
+    #[test]
+    fn stmt_equality_with_loops() {
+        let a = Buffer::new("A", DataType::float32(), vec![8]);
+        let mk = |buf: &Buffer| {
+            let i = Var::int("i");
+            Stmt::store(
+                buf.clone(),
+                vec![Expr::from(&i)],
+                buf.load(vec![Expr::from(&i)]) + Expr::f32(1.0),
+            )
+            .in_loop(i, 8)
+        };
+        assert!(stmt_structural_eq(&mk(&a), &mk(&a)));
+        let b = Buffer::new("B", DataType::float32(), vec![7]);
+        assert!(!stmt_structural_eq(&mk(&a), &mk(&b)));
+    }
+}

@@ -1,0 +1,55 @@
+//! End-to-end model compilation: tune every distinct layer of BERT-large
+//! on the simulated GPU and compare against the framework baselines.
+//!
+//! Run with: `cargo run --release --example end_to_end`
+
+use tir_autoschedule::{Strategy, TuneOptions};
+use tir_exec::Machine;
+use tir_graph::{bert_large, evaluate_model, Framework};
+use tir_tensorize::builtin_registry;
+
+fn main() {
+    let machine = Machine::sim_gpu();
+    let intrins = builtin_registry();
+    let model = bert_large(tir::DataType::float16());
+    println!(
+        "{}: {:.1} GMACs across {} layers ({} distinct tunable)",
+        model.name,
+        model.total_macs() / 1e9,
+        model.layers.len(),
+        model.distinct_tunable()
+    );
+
+    let opts = TuneOptions {
+        trials: 16,
+        ..Default::default()
+    };
+    let result = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts);
+    println!("\nper-layer breakdown (TensorIR):");
+    for l in &result.per_layer {
+        println!(
+            "  {:<16} {:>9.3} ms x{:<3} (tuned in {:>6.1} s, {} trials)",
+            l.name,
+            l.time_s * 1e3,
+            l.count,
+            l.tuning_cost_s,
+            l.trials
+        );
+    }
+    println!(
+        "\nTensorIR end-to-end: {:.3} ms (tuning cost {:.1} min)",
+        result.latency_s * 1e3,
+        result.tuning_cost_s / 60.0
+    );
+    for fw in [Framework::PyTorch, Framework::TensorRt] {
+        match fw.model_latency(&model, &machine) {
+            Some(t) => println!(
+                "{:<18} {:.3} ms  (TensorIR is {:.2}x)",
+                fw.label(),
+                t * 1e3,
+                t / result.latency_s
+            ),
+            None => println!("{:<18} unsupported", fw.label()),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The §3.4 programming-effort workflow: dump a program as text, inspect
+//! it, hand-edit it, parse it back, validate, and keep scheduling — "print
+//! out the program at any transformation stage for debugging and mix
+//! automatic rewriting with schedule transformations."
+//!
+//! Run with: `cargo run --example inspect_and_modify`
+
+use tir::parser::parse_func;
+use tir::DataType;
+use tir_exec::assert_same_semantics;
+use tir_schedule::Schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Start from a generated workload and apply one transformation.
+    let func = tir::builder::matmul_func("matmul", 32, 32, 32, DataType::float32());
+    let mut sch = Schedule::new(func.clone());
+    let block = sch.get_block("C")?;
+    let loops = sch.get_loops(&block)?;
+    sch.split(&loops[2], &[8, 4])?;
+
+    // 2. Dump the program at this stage.
+    let text = sch.func().to_string();
+    println!("--- dumped after split ---\n{text}");
+
+    // 3. "Hand-edit" the text: unroll the inner reduction loop by editing
+    //    the source, the way a developer would in the Python dialect.
+    let edited = text.replace("for k0_1 in range(4):", "for k0_1 in T.unroll(4):");
+    let reparsed = parse_func(&edited)?;
+    println!("--- reparsed after hand edit ---\n{reparsed}");
+
+    // 4. The edited program still validates and computes the same result.
+    tir_analysis::validate(&reparsed).map_err(|e| format!("{}", e[0]))?;
+    assert_same_semantics(&func, &reparsed, 1, 0.0);
+    println!("hand-edited program: valid and bit-exact");
+
+    // 5. Keep scheduling the re-imported program.
+    let mut sch2 = Schedule::new(reparsed);
+    let block = sch2.get_block("C")?;
+    let loops = sch2.get_loops(&block)?;
+    sch2.parallel(&loops[0])?;
+    tir_analysis::validate(sch2.func()).map_err(|e| format!("{}", e[0]))?;
+    assert_same_semantics(&func, sch2.func(), 1, 0.0);
+    println!("continued scheduling after re-import: ok");
+    println!("--- final trace ---\n{}", sch2.trace());
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! # tensorir — facade crate
+//!
+//! Re-exports the full TensorIR reproduction: the IR ([`tir`]), arithmetic
+//! analysis ([`tir_arith`]), validation ([`tir_analysis`]), scheduling
+//! ([`tir_schedule`]), execution substrates ([`tir_exec`]), automatic
+//! tensorization ([`tir_tensorize`]), the auto-scheduler
+//! ([`tir_autoschedule`]), the operator workload suite ([`tir_workloads`])
+//! and the end-to-end graph layer ([`tir_graph`]).
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use tir;
+pub use tir_analysis;
+pub use tir_arith;
+pub use tir_autoschedule;
+pub use tir_exec;
+pub use tir_graph;
+pub use tir_schedule;
+pub use tir_tensorize;
+pub use tir_workloads;

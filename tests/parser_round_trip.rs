@@ -1,0 +1,90 @@
+//! Print → parse round-trip tests over *transformed* programs: the text
+//! dialect must faithfully serialize everything the compiler produces —
+//! split/fused/reordered nests, thread bindings, predicates, reduction
+//! inits, block annotations, staging buffers and tensorized blocks.
+
+use tir::parser::parse_func;
+use tir::structural::func_structural_eq;
+use tir::{DataType, PrimFunc, ThreadTag};
+use tir_schedule::Schedule;
+use tir_tensorize::{auto_tensorize, builtin_registry};
+
+fn round_trip(f: &PrimFunc) {
+    let text = f.to_string();
+    let parsed = parse_func(&text).unwrap_or_else(|e| panic!("{e}\n--- source ---\n{text}"));
+    assert!(
+        func_structural_eq(f, &parsed),
+        "round trip mismatch:\n--- original ---\n{f}\n--- reparsed ---\n{parsed}"
+    );
+    // And the reparsed program must execute identically.
+    tir_exec::assert_same_semantics(f, &parsed, 1, 0.0);
+}
+
+#[test]
+fn workload_suite_round_trips() {
+    let dt = DataType::float32();
+    for f in [
+        tir_workloads::gmm(8, 8, 8, dt, dt),
+        tir_workloads::c2d(1, 8, 8, 4, 4, 3, 3, 1, dt),
+        tir_workloads::dep(1, 8, 8, 4, 3, 3, 1, dt),
+        tir_workloads::t2d(1, 4, 4, 2, 2, 3, 3, 2, dt),
+        tir_workloads::gmm(8, 8, 8, DataType::int8(), DataType::int32()),
+    ] {
+        round_trip(&f);
+    }
+}
+
+#[test]
+fn scheduled_program_round_trips() {
+    let func = tir::builder::matmul_func("mm", 16, 16, 16, DataType::float32());
+    let mut sch = Schedule::new(func);
+    let block = sch.get_block("C").unwrap();
+    let loops = sch.get_loops(&block).unwrap();
+    let i = sch.split(&loops[0], &[4, 4]).unwrap();
+    let j = sch.split(&loops[1], &[4, 4]).unwrap();
+    sch.reorder(&[i[0].clone(), j[0].clone(), i[1].clone(), j[1].clone()])
+        .unwrap();
+    let bid = sch.fuse(&[i[0].clone(), j[0].clone()]).unwrap();
+    sch.bind(&bid, ThreadTag::BlockIdxX).unwrap();
+    sch.bind(&i[1], ThreadTag::ThreadIdxX).unwrap();
+    let a = sch.func().param("A").unwrap().clone();
+    sch.cache_read(&block, &a, tir::MemScope::Shared, Some(&j[1]))
+        .unwrap();
+    sch.decompose_reduction(&block, &loops[2]).unwrap();
+    round_trip(sch.func());
+}
+
+#[test]
+fn partial_tile_predicate_round_trips() {
+    // Non-divisible split: the T.where predicate must survive.
+    let func = tir::builder::matmul_func("mm", 10, 10, 10, DataType::float32());
+    let mut sch = Schedule::new(func);
+    let block = sch.get_block("C").unwrap();
+    let loops = sch.get_loops(&block).unwrap();
+    sch.split(&loops[0], &[4, 3]).unwrap();
+    let text = sch.func().to_string();
+    assert!(text.contains("T.where"), "{text}");
+    round_trip(sch.func());
+}
+
+#[test]
+fn tensorized_program_round_trips() {
+    // Tensorized programs exercise annotations, init blocks, padding
+    // selects, casts and staging buffers all at once.
+    let reg = builtin_registry();
+    let intrin = reg.get("dot_4x4x4_f32").unwrap();
+    let func = tir::builder::matmul_func("mm", 12, 12, 12, DataType::float32());
+    let t = auto_tensorize(&func, "C", intrin).expect("tensorize");
+    let text = t.schedule.func().to_string();
+    assert!(text.contains("tir.tensor_intrin"), "{text}");
+    round_trip(t.schedule.func());
+}
+
+#[test]
+fn int8_tensorized_round_trips() {
+    let reg = builtin_registry();
+    let intrin = reg.get("sdot_4x4x4_i8").unwrap();
+    let func = tir_workloads::gmm(8, 8, 8, DataType::int8(), DataType::int32());
+    let t = auto_tensorize(&func, "C", intrin).expect("tensorize");
+    round_trip(t.schedule.func());
+}

@@ -1,0 +1,87 @@
+//! Search-quality integration tests: the strategy ranking the paper's
+//! evaluation depends on must hold on the simulator, deterministically.
+
+use tir::DataType;
+use tir_autoschedule::{tune_workload, Strategy, TuneOptions};
+use tir_exec::Machine;
+use tir_tensorize::builtin_registry;
+
+fn opts(trials: usize) -> TuneOptions {
+    TuneOptions {
+        trials,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn strategy_ranking_on_f16_matmul() {
+    let func = tir_workloads::gmm(256, 256, 256, DataType::float16(), DataType::float16());
+    let machine = Machine::sim_gpu();
+    let reg = builtin_registry();
+    let tir_r = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts(24));
+    let amos_r = tune_workload(&func, &machine, &reg, Strategy::Amos, &opts(24));
+    let ansor_r = tune_workload(&func, &machine, &reg, Strategy::Ansor, &opts(24));
+    assert!(tir_r.best.is_some() && amos_r.best.is_some() && ansor_r.best.is_some());
+    // TensorIR <= AMOS <= Ansor (with slack for search noise).
+    assert!(
+        tir_r.best_time <= amos_r.best_time * 1.001,
+        "TensorIR {} vs AMOS {}",
+        tir_r.best_time,
+        amos_r.best_time
+    );
+    assert!(
+        amos_r.best_time < ansor_r.best_time,
+        "AMOS {} vs Ansor {}",
+        amos_r.best_time,
+        ansor_r.best_time
+    );
+}
+
+#[test]
+fn strategy_ranking_on_int8_arm() {
+    let func = tir_workloads::gmm(256, 256, 256, DataType::int8(), DataType::int32());
+    let machine = Machine::sim_arm();
+    let reg = builtin_registry();
+    let tir_r = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts(16));
+    let ansor_r = tune_workload(&func, &machine, &reg, Strategy::Ansor, &opts(16));
+    assert!(
+        tir_r.best_time < ansor_r.best_time / 2.0,
+        "sdot must be a large win: {} vs {}",
+        tir_r.best_time,
+        ansor_r.best_time
+    );
+}
+
+#[test]
+fn best_program_is_semantics_preserving() {
+    // The search's winning schedule must still be bit-exact.
+    let func = tir_workloads::gmm(32, 32, 32, DataType::float16(), DataType::float16());
+    let machine = Machine::sim_gpu();
+    let reg = builtin_registry();
+    let r = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts(12));
+    let best = r.best.expect("a valid schedule");
+    tir_exec::assert_same_semantics(&func, &best, 1, 0.0);
+    tir_analysis::assert_valid(&best);
+}
+
+#[test]
+fn tuning_is_deterministic() {
+    let func = tir_workloads::gmm(128, 128, 128, DataType::float16(), DataType::float16());
+    let machine = Machine::sim_gpu();
+    let reg = builtin_registry();
+    let a = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts(16));
+    let b = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts(16));
+    assert_eq!(a.best_time, b.best_time);
+    assert_eq!(a.trials_measured, b.trials_measured);
+    assert_eq!(a.history, b.history);
+}
+
+#[test]
+fn more_trials_never_hurt() {
+    let func = tir_workloads::c2d(1, 30, 30, 64, 64, 3, 3, 1, DataType::float16());
+    let machine = Machine::sim_gpu();
+    let reg = builtin_registry();
+    let short = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts(8));
+    let long = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts(32));
+    assert!(long.best_time <= short.best_time * 1.0001);
+}
