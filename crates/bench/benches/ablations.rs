@@ -63,13 +63,7 @@ fn main() {
     );
     print_table(
         "Ablation 2: validation filtering in evolutionary search (512^3 matmul)",
-        &[
-            "config",
-            "best (ms)",
-            "measured",
-            "wasted",
-            "filtered",
-        ],
+        &["config", "best (ms)", "measured", "wasted", "filtered"],
         &[
             vec![
                 "with filter".into(),
@@ -93,11 +87,11 @@ fn main() {
     // tile space is flat), so we measure the model directly: train the
     // GBDT on half of a candidate pool and report its pairwise ranking
     // accuracy on the held-out half.
-    use rand::SeedableRng;
     use tir_autoschedule::feature::extract_features;
     use tir_autoschedule::sketch::SketchRule;
     use tir_autoschedule::CostModel;
     use tir_exec::simulate;
+    use tir_rand::SeedableRng;
     let c2d = suite
         .iter()
         .find(|c| c.kind == OpKind::C2D)
@@ -106,7 +100,7 @@ fn main() {
     // register tiling, reduction splits), making it the interesting
     // ranking target.
     let c2d_sketch = tir_autoschedule::sketch_gpu::GpuScalarSketch::new(&c2d.func);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut rng = tir_rand::rngs::StdRng::seed_from_u64(17);
     let mut pool = Vec::new();
     let mut seen = std::collections::HashSet::new();
     while pool.len() < 48 {

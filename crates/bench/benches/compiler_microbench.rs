@@ -1,7 +1,12 @@
-//! Criterion microbenchmarks of the compiler itself: transformation,
-//! validation, candidate generation, and simulation throughput.
+//! Microbenchmarks of the compiler itself: transformation, validation,
+//! candidate generation, and simulation throughput.
+//!
+//! Uses a small hand-rolled timing harness (median of timed batches after
+//! warmup) instead of an external benchmark framework, so the workspace
+//! builds with no external dependencies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use tir::builder::matmul_func;
 use tir::DataType;
 use tir_exec::cost::simulate;
@@ -9,48 +14,71 @@ use tir_exec::machine::Machine;
 use tir_schedule::Schedule;
 use tir_tensorize::{auto_tensorize, builtin_registry};
 
-fn bench_split_fuse_reorder(c: &mut Criterion) {
+/// Times `f` and prints a `name: median ns/iter` line.
+///
+/// Runs a warmup, then picks an iteration count targeting ~20 ms per batch
+/// and reports the median of 7 batches.
+fn bench_function<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warmup + calibration.
+    let start = Instant::now();
+    let mut calib_iters = 0u64;
+    while start.elapsed().as_millis() < 50 {
+        std::hint::black_box(f());
+        calib_iters += 1;
+    }
+    let per_iter = start.elapsed().as_nanos() as u64 / calib_iters.max(1);
+    let iters = (20_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+    let mut samples = Vec::new();
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    println!("{name:<40} {median:>14.0} ns/iter  ({iters} iters x 7)");
+}
+
+fn bench_split_fuse_reorder() {
     let func = matmul_func("mm", 256, 256, 256, DataType::float32());
-    c.bench_function("schedule/split_reorder_fuse", |b| {
-        b.iter(|| {
-            let mut sch = Schedule::new(func.clone());
-            let block = sch.get_block("C").unwrap();
-            let loops = sch.get_loops(&block).unwrap();
-            let i = sch.split(&loops[0], &[16, 16]).unwrap();
-            let j = sch.split(&loops[1], &[16, 16]).unwrap();
-            sch.reorder(&[i[0].clone(), j[0].clone(), i[1].clone(), j[1].clone()])
-                .unwrap();
-            sch.fuse(&[i[0].clone(), j[0].clone()]).unwrap();
-            sch.into_func()
-        })
+    bench_function("schedule/split_reorder_fuse", || {
+        let mut sch = Schedule::new(func.clone());
+        let block = sch.get_block("C").unwrap();
+        let loops = sch.get_loops(&block).unwrap();
+        let i = sch.split(&loops[0], &[16, 16]).unwrap();
+        let j = sch.split(&loops[1], &[16, 16]).unwrap();
+        sch.reorder(&[i[0].clone(), j[0].clone(), i[1].clone(), j[1].clone()])
+            .unwrap();
+        sch.fuse(&[i[0].clone(), j[0].clone()]).unwrap();
+        sch.into_func()
     });
 }
 
-fn bench_validation(c: &mut Criterion) {
+fn bench_validation() {
     let func = matmul_func("mm", 256, 256, 256, DataType::float32());
-    c.bench_function("analysis/validate_matmul", |b| {
-        b.iter(|| tir_analysis::validate(&func).is_ok())
+    bench_function("analysis/validate_matmul", || {
+        tir_analysis::validate(&func).is_ok()
     });
 }
 
-fn bench_auto_tensorize(c: &mut Criterion) {
+fn bench_auto_tensorize() {
     let func = matmul_func("mm", 256, 256, 256, DataType::float16());
     let reg = builtin_registry();
     let wmma = reg.get("wmma_16x16x16_f16").unwrap().clone();
-    c.bench_function("tensorize/auto_tensorize_matmul", |b| {
-        b.iter(|| auto_tensorize(&func, "C", &wmma).unwrap())
+    bench_function("tensorize/auto_tensorize_matmul", || {
+        auto_tensorize(&func, "C", &wmma).unwrap()
     });
 }
 
-fn bench_simulate(c: &mut Criterion) {
+fn bench_simulate() {
     let func = matmul_func("mm", 256, 256, 256, DataType::float16());
     let machine = Machine::sim_gpu();
-    c.bench_function("exec/simulate_matmul", |b| {
-        b.iter(|| simulate(&func, &machine))
-    });
+    bench_function("exec/simulate_matmul", || simulate(&func, &machine));
 }
 
-fn bench_iter_map(c: &mut Criterion) {
+fn bench_iter_map() {
     use tir::{Expr, Var};
     let i = Var::int("i");
     let j = Var::int("j");
@@ -61,27 +89,25 @@ fn bench_iter_map(c: &mut Criterion) {
         fused.floor_mod(4),
     ];
     let dom = [(i.clone(), 32i64), (j.clone(), 64i64)];
-    c.bench_function("arith/detect_iter_map", |b| {
-        b.iter(|| tir_arith::detect_iter_map(&bindings, &dom).unwrap())
+    bench_function("arith/detect_iter_map", || {
+        tir_arith::detect_iter_map(&bindings, &dom).unwrap()
     });
 }
 
-fn bench_print_parse(c: &mut Criterion) {
+fn bench_print_parse() {
     let func = matmul_func("mm", 128, 128, 128, DataType::float32());
     let text = func.to_string();
-    c.bench_function("text/print_matmul", |b| b.iter(|| func.to_string()));
-    c.bench_function("text/parse_matmul", |b| {
-        b.iter(|| tir::parser::parse_func(&text).unwrap())
+    bench_function("text/print_matmul", || func.to_string());
+    bench_function("text/parse_matmul", || {
+        tir::parser::parse_func(&text).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_split_fuse_reorder,
-    bench_validation,
-    bench_auto_tensorize,
-    bench_simulate,
-    bench_iter_map,
-    bench_print_parse
-);
-criterion_main!(benches);
+fn main() {
+    bench_split_fuse_reorder();
+    bench_validation();
+    bench_auto_tensorize();
+    bench_simulate();
+    bench_iter_map();
+    bench_print_parse();
+}

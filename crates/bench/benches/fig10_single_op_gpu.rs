@@ -15,16 +15,37 @@ fn main() {
     let machine = Machine::sim_gpu();
     let intrins = registry();
     let suite = bench_suite(DataType::float16());
-    println!("Figure 10 reproduction: single-operator GPU comparison (float16, {})", machine.name);
+    println!(
+        "Figure 10 reproduction: single-operator GPU comparison (float16, {})",
+        machine.name
+    );
     println!("columns: simulated time per op (ms) and TensorIR speedup over each baseline");
 
     let mut rows = Vec::new();
     let mut sp_tvm = Vec::new();
     let mut sp_amos = Vec::new();
     for case in &suite {
-        let tvm = tune_case(case, &machine, &intrins, Strategy::Ansor, tensorir_bench::SINGLE_OP_TRIALS);
-        let amos = tune_case(case, &machine, &intrins, Strategy::Amos, tensorir_bench::SINGLE_OP_TRIALS);
-        let tir = tune_case(case, &machine, &intrins, Strategy::TensorIr, tensorir_bench::SINGLE_OP_TRIALS);
+        let tvm = tune_case(
+            case,
+            &machine,
+            &intrins,
+            Strategy::Ansor,
+            tensorir_bench::SINGLE_OP_TRIALS,
+        );
+        let amos = tune_case(
+            case,
+            &machine,
+            &intrins,
+            Strategy::Amos,
+            tensorir_bench::SINGLE_OP_TRIALS,
+        );
+        let tir = tune_case(
+            case,
+            &machine,
+            &intrins,
+            Strategy::TensorIr,
+            tensorir_bench::SINGLE_OP_TRIALS,
+        );
         let s_tvm = tvm.best_time / tir.best_time;
         let s_amos = amos.best_time / tir.best_time;
         sp_tvm.push(s_tvm);

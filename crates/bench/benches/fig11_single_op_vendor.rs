@@ -16,14 +16,26 @@ fn main() {
     let machine = Machine::sim_gpu();
     let intrins = registry();
     let suite = bench_suite(DataType::float16());
-    println!("Figure 11 reproduction: single op vs vendor libraries ({})", machine.name);
+    println!(
+        "Figure 11 reproduction: single op vs vendor libraries ({})",
+        machine.name
+    );
 
     let mut rows = Vec::new();
     for case in &suite {
-        let tir = tune_case(case, &machine, &intrins, Strategy::TensorIr, SINGLE_OP_TRIALS);
+        let tir = tune_case(
+            case,
+            &machine,
+            &intrins,
+            Strategy::TensorIr,
+            SINGLE_OP_TRIALS,
+        );
         let cutlass = vendor_case_time("CUTLASS", case, &machine, "wmma_16x16x16_f16");
         let trt = vendor_case_time("TensorRT", case, &machine, "wmma_16x16x16_f16");
-        let best_vendor = [cutlass, trt].into_iter().flatten().fold(f64::INFINITY, f64::min);
+        let best_vendor = [cutlass, trt]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
         let rel = if best_vendor.is_finite() {
             Some(best_vendor / tir.best_time)
         } else {
@@ -39,7 +51,13 @@ fn main() {
     }
     print_table(
         "Figure 11: single op vs vendor libraries (SimGPU)",
-        &["op", "CUTLASS ms", "TensorRT ms", "TensorIR ms", "TensorIR vs best lib"],
+        &[
+            "op",
+            "CUTLASS ms",
+            "TensorRT ms",
+            "TensorIR ms",
+            "TensorIR vs best lib",
+        ],
         &rows,
     );
     println!("\npaper shape: wins on C1D/C2D/DEP/T2D/DIL (up to 13.9x), >=75% on C3D/GMM/GRP;");

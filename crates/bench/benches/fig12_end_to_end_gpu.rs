@@ -17,7 +17,10 @@ fn main() {
         trials: E2E_TRIALS,
         ..Default::default()
     };
-    println!("Figure 12 reproduction: end-to-end GPU latency ({})", machine.name);
+    println!(
+        "Figure 12 reproduction: end-to-end GPU latency ({})",
+        machine.name
+    );
     let mut rows = Vec::new();
     for model in gpu_models() {
         let pt = Framework::PyTorch.model_latency(&model, &machine);

@@ -16,14 +16,23 @@ fn main() {
     let machine = Machine::sim_arm();
     let intrins = registry();
     let suite = bench_suite(DataType::int8());
-    println!("Figure 13 reproduction: single op on ARM CPU (int8, {})", machine.name);
+    println!(
+        "Figure 13 reproduction: single op on ARM CPU (int8, {})",
+        machine.name
+    );
     let mut rows = Vec::new();
     for case in suite
         .iter()
         .filter(|c| matches!(c.kind, OpKind::C2D | OpKind::GMM))
     {
         let tvm = tune_case(case, &machine, &intrins, Strategy::Ansor, SINGLE_OP_TRIALS);
-        let tir = tune_case(case, &machine, &intrins, Strategy::TensorIr, SINGLE_OP_TRIALS);
+        let tir = tune_case(
+            case,
+            &machine,
+            &intrins,
+            Strategy::TensorIr,
+            SINGLE_OP_TRIALS,
+        );
         let acl = vendor_case_time("ArmComputeLib", case, &machine, "sdot_4x4x4_i8");
         rows.push(vec![
             case.kind.label().to_string(),

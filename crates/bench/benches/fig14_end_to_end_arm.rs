@@ -15,7 +15,10 @@ fn main() {
         trials: E2E_TRIALS,
         ..Default::default()
     };
-    println!("Figure 14 reproduction: end-to-end int8 on ARM ({})", machine.name);
+    println!(
+        "Figure 14 reproduction: end-to-end int8 on ARM ({})",
+        machine.name
+    );
     let mut rows = Vec::new();
     for model in arm_models() {
         let pt = Framework::PyTorchQnnpack.model_latency(&model, &machine);

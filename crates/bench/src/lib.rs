@@ -68,12 +68,7 @@ pub fn vendor_case_time(
     let peak = machine
         .tensor_peak(tensor_intrin)
         .unwrap_or_else(|| machine.vector_peak());
-    let min_bytes: f64 = case
-        .func
-        .params
-        .iter()
-        .map(|p| p.size_bytes() as f64)
-        .sum();
+    let min_bytes: f64 = case.func.params.iter().map(|p| p.size_bytes() as f64).sum();
     Some(oracle_time(case.macs as f64, min_bytes, peak, eff, machine))
 }
 

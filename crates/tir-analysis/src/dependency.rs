@@ -94,12 +94,8 @@ impl BlockScope {
     /// Topological order check: every producer appears before each of its
     /// consumers in program order. Returns the first violation.
     pub fn check_program_order(&self) -> Result<(), (String, String)> {
-        let pos: HashMap<&String, usize> = self
-            .order
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n, i))
-            .collect();
+        let pos: HashMap<&String, usize> =
+            self.order.iter().enumerate().map(|(i, n)| (n, i)).collect();
         for (p, cs) in &self.consumers {
             for c in cs {
                 if let (Some(&pi), Some(&ci)) = (pos.get(p), pos.get(c)) {

@@ -7,7 +7,7 @@
 //! * [`dependency`] — producer/consumer structure derived purely from block
 //!   signatures (the buffer-mediated dependency model of §3.1);
 //! * [`reduction`] — reduction-pattern detection on block bodies;
-//! * [`validate`] — the §3.3 validators: loop-nest validation via
+//! * [`mod@validate`] — the §3.3 validators: loop-nest validation via
 //!   quasi-affine iterator maps, threading validation, and
 //!   producer-covers-consumer region checks.
 //!
@@ -25,8 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod dependency;
-pub mod region;
 pub mod reduction;
+pub mod region;
 pub mod validate;
 
 pub use dependency::BlockScope;

@@ -353,10 +353,7 @@ mod tests {
         .in_loop(y, 4);
         let region = relaxed_region(&body, &c, false, true).expect("region");
         assert_eq!(region.region.len(), 1);
-        assert_eq!(
-            simplify_expr(&region.region[0].min),
-            Expr::from(&vy) * 4
-        );
+        assert_eq!(simplify_expr(&region.region[0].min), Expr::from(&vy) * 4);
         assert!(region.region[0].extent.is_const_int(4));
     }
 
@@ -377,10 +374,7 @@ mod tests {
     fn region_to_box_under_bounds() {
         let c = Buffer::new("C", DataType::float32(), vec![64]);
         let vy = Var::int("vy");
-        let region = BufferRegion::new(
-            c,
-            vec![RangeExpr::new(Expr::from(&vy) * 4, 4)],
-        );
+        let region = BufferRegion::new(c, vec![RangeExpr::new(Expr::from(&vy) * 4, 4)]);
         let vars: HashMap<Var, IntBound> =
             [(vy.clone(), IntBound::new(0, 15))].into_iter().collect();
         assert_eq!(region_to_box(&region, &vars), vec![IntBound::new(0, 63)]);

@@ -163,9 +163,7 @@ impl Validator {
                     return;
                 };
                 if let ForKind::ThreadBinding(tag) = f.kind {
-                    if tag != ThreadTag::Vthread
-                        && self.threads.iter().any(|(t, _)| *t == tag)
-                    {
+                    if tag != ThreadTag::Vthread && self.threads.iter().any(|(t, _)| *t == tag) {
                         self.errors
                             .push(ValidationError::NestedThreadBinding { tag });
                     }
@@ -211,10 +209,7 @@ impl Validator {
                 // against real loop variables.
                 let mut saved = Vec::new();
                 for (iv, value) in br.block.iter_vars.iter().zip(composed) {
-                    saved.push((
-                        iv.var.clone(),
-                        self.bind_map.insert(iv.var.clone(), value),
-                    ));
+                    saved.push((iv.var.clone(), self.bind_map.insert(iv.var.clone(), value)));
                 }
                 if let Some(init) = &br.block.init {
                     self.visit(init);
@@ -245,11 +240,7 @@ impl Validator {
             .iter()
             .map(|v| simplify_expr(&tir::visit::subst_expr(v, &self.bind_map)))
             .collect();
-        let dom: Vec<(Var, i64)> = self
-            .loops
-            .iter()
-            .map(|(v, e, _)| (v.clone(), *e))
-            .collect();
+        let dom: Vec<(Var, i64)> = self.loops.iter().map(|(v, e, _)| (v.clone(), *e)).collect();
         // Re-executing a block instance is sound (idempotent) unless it is
         // a reduction without an init to reset the accumulator — only then
         // do we demand the bindings fully consume every enclosing loop.
@@ -295,11 +286,9 @@ impl Validator {
         let relaxed_copy = block.annotations.contains_key("tir.copy");
         match detect_iter_map_with(&composed, &dom, mode) {
             Ok(map) => {
-                for ((iv, bound), value) in
-                    block.iter_vars.iter().zip(&map.extents).zip(&composed)
+                for ((iv, bound), value) in block.iter_vars.iter().zip(&map.extents).zip(&composed)
                 {
-                    if *bound > iv.extent && !predicate_guards(&br.predicate, value, iv.extent)
-                    {
+                    if *bound > iv.extent && !predicate_guards(&br.predicate, value, iv.extent) {
                         self.errors.push(ValidationError::DomainMismatch {
                             block: block.name.clone(),
                             iter_var: iv.var.name().to_string(),
@@ -379,9 +368,7 @@ impl Validator {
         let thread_vars: Vec<&Var> = self
             .loops
             .iter()
-            .filter(|(_, _, k)| {
-                matches!(k, ForKind::ThreadBinding(t) if t.is_thread_idx())
-            })
+            .filter(|(_, _, k)| matches!(k, ForKind::ThreadBinding(t) if t.is_thread_idx()))
             .map(|(v, _, _)| v)
             .collect();
         if thread_vars.iter().all(|v| used.contains(v)) {
@@ -580,8 +567,7 @@ mod tests {
             vec![out.full_region()],
             body,
         );
-        let realize =
-            tir::BlockRealize::new(vec![Expr::from(&i), Expr::from(&i) * 2], block);
+        let realize = tir::BlockRealize::new(vec![Expr::from(&i), Expr::from(&i) * 2], block);
         let f = PrimFunc::new(
             "f",
             vec![out],
@@ -753,11 +739,8 @@ mod tests {
             body,
         );
         let binding = Expr::from(&i0) * 8 + Expr::from(&i1);
-        let realize = tir::BlockRealize::with_predicate(
-            vec![binding.clone()],
-            binding.lt(30),
-            block,
-        );
+        let realize =
+            tir::BlockRealize::with_predicate(vec![binding.clone()], binding.lt(30), block);
         let f = PrimFunc::new(
             "f",
             vec![out],
@@ -786,13 +769,10 @@ mod tests {
             vec![tir::BufferRegion::point(b.clone(), vec![Expr::from(&vi)])],
             w,
         );
-        let producer = Stmt::BlockRealize(Box::new(tir::BlockRealize::new(
-            vec![Expr::from(&i)],
-            wb,
-        )))
-        .in_loop(i, 4);
-        let consumer =
-            tir::builder::compute("C", &c, |iv| b.load(vec![Expr::from(&iv[0])]));
+        let producer =
+            Stmt::BlockRealize(Box::new(tir::BlockRealize::new(vec![Expr::from(&i)], wb)))
+                .in_loop(i, 4);
+        let consumer = tir::builder::compute("C", &c, |iv| b.load(vec![Expr::from(&iv[0])]));
         let f = PrimFunc::new("f", vec![a, c], Stmt::seq(vec![producer, consumer]));
         let errors = check_region_cover(&f);
         assert!(
@@ -813,12 +793,7 @@ mod cooperative_tests {
     /// annotation is flagged; with the annotation it passes.
     #[test]
     fn cooperative_fetch_check() {
-        let shared = Buffer::with_scope(
-            "S",
-            DataType::float32(),
-            vec![8],
-            MemScope::Shared,
-        );
+        let shared = Buffer::with_scope("S", DataType::float32(), vec![8], MemScope::Shared);
         let a = Buffer::new("A", DataType::float32(), vec![8]);
         let (t, ax) = (Var::int("t"), Var::int("ax"));
         let v = Var::int("v");

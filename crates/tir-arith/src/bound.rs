@@ -267,10 +267,7 @@ mod tests {
         let vars = env(&[(&i, (0, 15))]);
         assert!(can_prove(&Expr::from(&i).lt(16), &vars));
         assert!(!can_prove(&Expr::from(&i).lt(15), &vars));
-        assert!(can_prove(
-            &(Expr::from(&i) * 4 + 3).lt(64),
-            &vars
-        ));
+        assert!(can_prove(&(Expr::from(&i) * 4 + 3).lt(64), &vars));
     }
 
     #[test]
@@ -279,10 +276,7 @@ mod tests {
         let vars = env(&[(&i, (0, 3))]);
         let sel = Expr::select(Expr::from(&i).lt(2), Expr::int(10), Expr::int(20));
         assert_eq!(bound_of(&sel, &vars), IntBound::new(10, 20));
-        assert!(can_prove(
-            &Expr::Not(Box::new(Expr::from(&i).lt(0))),
-            &vars
-        ));
+        assert!(can_prove(&Expr::Not(Box::new(Expr::from(&i).lt(0))), &vars));
     }
 
     #[test]
@@ -293,7 +287,10 @@ mod tests {
         assert_eq!(a * b, IntBound::new(-8, 12));
         assert!(IntBound::new(0, 10).contains(IntBound::new(2, 5)));
         assert!(!IntBound::new(0, 10).contains(IntBound::new(2, 15)));
-        assert_eq!(IntBound::new(0, 1).union(IntBound::new(5, 6)), IntBound::new(0, 6));
+        assert_eq!(
+            IntBound::new(0, 1).union(IntBound::new(5, 6)),
+            IntBound::new(0, 6)
+        );
         assert_eq!(IntBound::new(3, 7).count(), 5);
     }
 

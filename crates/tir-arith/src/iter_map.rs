@@ -200,9 +200,9 @@ fn split_at(sum: IterSum, c: i64, div: bool) -> Result<IterSum> {
     if sum.terms.is_empty() {
         return Ok(IterSum::constant(if div { sum.base / c } else { 0 }));
     }
-    let sorted = sum.sorted_compact().ok_or_else(|| {
-        IterMapError::NonAffine(format!("division of non-compact sum: {sum}"))
-    })?;
+    let sorted = sum
+        .sorted_compact()
+        .ok_or_else(|| IterMapError::NonAffine(format!("division of non-compact sum: {sum}")))?;
     let mut quot: Vec<IterSplit> = Vec::new();
     let mut rem: Vec<IterSplit> = Vec::new();
     for part in sorted {
@@ -535,13 +535,13 @@ mod tests {
     fn rejects_dependent_bindings() {
         let i = v("i");
         // The paper's example: v1 = i, v2 = i * 2 — not independent.
-        let err = detect_iter_map(
-            &[Expr::from(&i), Expr::from(&i) * 2],
-            &[(i.clone(), 16)],
-        )
-        .unwrap_err();
+        let err =
+            detect_iter_map(&[Expr::from(&i), Expr::from(&i) * 2], &[(i.clone(), 16)]).unwrap_err();
         assert!(
-            matches!(err, IterMapError::NotIndependent(_) | IterMapError::NotStrict(_)),
+            matches!(
+                err,
+                IterMapError::NotIndependent(_) | IterMapError::NotStrict(_)
+            ),
             "{err}"
         );
     }
@@ -549,11 +549,8 @@ mod tests {
     #[test]
     fn rejects_reused_split() {
         let i = v("i");
-        let err = detect_iter_map(
-            &[Expr::from(&i), Expr::from(&i)],
-            &[(i.clone(), 16)],
-        )
-        .unwrap_err();
+        let err =
+            detect_iter_map(&[Expr::from(&i), Expr::from(&i)], &[(i.clone(), 16)]).unwrap_err();
         assert!(matches!(err, IterMapError::NotIndependent(_)), "{err}");
     }
 
@@ -561,16 +558,15 @@ mod tests {
     fn rejects_partial_cover() {
         let i = v("i");
         // Only the low 4 digits used; i // 4 discarded.
-        let err =
-            detect_iter_map(&[Expr::from(&i).floor_mod(4)], &[(i.clone(), 16)]).unwrap_err();
+        let err = detect_iter_map(&[Expr::from(&i).floor_mod(4)], &[(i.clone(), 16)]).unwrap_err();
         assert!(matches!(err, IterMapError::IncompleteCover(_)), "{err}");
     }
 
     #[test]
     fn rejects_unused_loop() {
         let (i, j) = (v("i"), v("j"));
-        let err = detect_iter_map(&[Expr::from(&i)], &[(i.clone(), 4), (j.clone(), 4)])
-            .unwrap_err();
+        let err =
+            detect_iter_map(&[Expr::from(&i)], &[(i.clone(), 4), (j.clone(), 4)]).unwrap_err();
         assert!(matches!(err, IterMapError::IncompleteCover(_)), "{err}");
         // Extent-1 loops are exempt.
         detect_iter_map(&[Expr::from(&i)], &[(i.clone(), 4), (j.clone(), 1)])
@@ -615,8 +611,7 @@ mod tests {
             fused.clone().floor_mod(16).floor_div(8),
             fused.floor_mod(8),
         ];
-        let map =
-            detect_iter_map(&bindings, &[(i.clone(), 8), (j.clone(), 16)]).expect("split");
+        let map = detect_iter_map(&bindings, &[(i.clone(), 8), (j.clone(), 16)]).expect("split");
         assert_eq!(map.extents, vec![8, 2, 8]);
     }
 
@@ -646,11 +641,8 @@ mod tests {
         let (i, j) = (v("i"), v("j"));
         let fused = Expr::from(&i) * 16 + Expr::from(&j);
         let dom = [(i.clone(), 8i64), (j.clone(), 16i64)];
-        let map = detect_iter_map(
-            &[fused.clone().floor_div(4), fused.floor_mod(4)],
-            &dom,
-        )
-        .expect("map");
+        let map =
+            detect_iter_map(&[fused.clone().floor_div(4), fused.floor_mod(4)], &dom).expect("map");
         for iv in 0..8 {
             for jv in 0..16 {
                 let values: HashMap<Var, i64> =

@@ -149,9 +149,7 @@ mod tests {
         let machine = Machine::sim_gpu();
         let reg = builtin_registry();
         let sketches = build_sketches(&func, &machine, &reg, Strategy::TensorIr);
-        assert!(sketches
-            .iter()
-            .all(|s| !s.name().contains("wmma")));
+        assert!(sketches.iter().all(|s| !s.name().contains("wmma")));
     }
 
     #[test]
@@ -165,7 +163,10 @@ mod tests {
         };
         let tir_r = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts);
         let ansor_r = tune_workload(&func, &machine, &reg, Strategy::Ansor, &opts);
-        assert!(tir_r.best_time < ansor_r.best_time, "TensorIR must win on f16 matmul");
+        assert!(
+            tir_r.best_time < ansor_r.best_time,
+            "TensorIR must win on f16 matmul"
+        );
     }
 
     #[test]

@@ -39,8 +39,7 @@ impl RegressionTree {
         depth: usize,
         min_leaf: usize,
     ) -> usize {
-        let mean =
-            idx.iter().map(|&i| data[i].1).sum::<f64>() / idx.len().max(1) as f64;
+        let mean = idx.iter().map(|&i| data[i].1).sum::<f64>() / idx.len().max(1) as f64;
         if depth == 0 || idx.len() < 2 * min_leaf {
             self.nodes.push(Node::Leaf(mean));
             return self.nodes.len() - 1;
@@ -72,9 +71,8 @@ impl RegressionTree {
                     continue; // can't split between equal values
                 }
                 // Variance-reduction gain (up to constants).
-                let gain =
-                    left_sum * left_sum / nl + (total_sum - left_sum).powi(2) / nr
-                        - total_sum * total_sum / n;
+                let gain = left_sum * left_sum / nl + (total_sum - left_sum).powi(2) / nr
+                    - total_sum * total_sum / n;
                 let threshold = 0.5 * (data[i].0[f] + data[ni].0[f]);
                 if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-12) {
                     best = Some((gain, f, threshold));
@@ -85,9 +83,8 @@ impl RegressionTree {
             self.nodes.push(Node::Leaf(mean));
             return self.nodes.len() - 1;
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-            .iter()
-            .partition(|&&i| data[i].0[feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| data[i].0[feature] <= threshold);
         let node_pos = self.nodes.len();
         self.nodes.push(Node::Leaf(0.0)); // placeholder
         let left = self.build(data, &left_idx, depth - 1, min_leaf);
@@ -176,13 +173,8 @@ impl CostModel {
             self.base = 0.0;
             return;
         }
-        self.base =
-            self.data.iter().map(|(_, y)| *y).sum::<f64>() / self.data.len() as f64;
-        let mut residuals: Vec<f64> = self
-            .data
-            .iter()
-            .map(|(_, y)| y - self.base)
-            .collect();
+        self.base = self.data.iter().map(|(_, y)| *y).sum::<f64>() / self.data.len() as f64;
+        let mut residuals: Vec<f64> = self.data.iter().map(|(_, y)| y - self.base).collect();
         for _ in 0..self.num_rounds {
             let pairs: Vec<(&[f64], f64)> = self
                 .data
@@ -296,8 +288,7 @@ mod tests {
             (vec![0.9], 5.0),
             (vec![1.0], 5.0),
         ];
-        let pairs: Vec<(&[f64], f64)> =
-            data.iter().map(|(x, y)| (x.as_slice(), *y)).collect();
+        let pairs: Vec<(&[f64], f64)> = data.iter().map(|(x, y)| (x.as_slice(), *y)).collect();
         let t = RegressionTree::fit(&pairs, 2, 1);
         assert!((t.predict(&[0.05]) - 1.0).abs() < 1e-9);
         assert!((t.predict(&[0.95]) - 5.0).abs() < 1e-9);

@@ -39,9 +39,7 @@ pub fn workload_key(func: &PrimFunc) -> String {
             out.push_str(ident);
         } else {
             let n = map.len();
-            let id = map
-                .entry(ident.clone())
-                .or_insert_with(|| format!("x{n}"));
+            let id = map.entry(ident.clone()).or_insert_with(|| format!("x{n}"));
             out.push_str(id);
         }
         ident.clear();
@@ -117,21 +115,14 @@ impl TuningDatabase {
         strategy: Strategy,
         opts: &TuneOptions,
     ) -> TuneResult {
-        let key = (
-            machine.name.clone(),
-            strategy.label(),
-            workload_key(func),
-        );
+        let key = (machine.name.clone(), strategy.label(), workload_key(func));
         if let Some(rec) = self.records.get(&key) {
             self.hits += 1;
             return TuneResult {
                 best: Some(rec.best.clone()),
                 best_time: rec.best_time,
-                trials_measured: 0,
-                invalid_filtered: 0,
-                wasted_measurements: 0,
-                tuning_cost_s: 0.0,
                 history: vec![rec.best_time],
+                ..Default::default()
             };
         }
         self.misses += 1;

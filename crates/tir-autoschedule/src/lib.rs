@@ -6,7 +6,10 @@
 //!   that fix program structure (auto-tensorization, multi-level tiling,
 //!   thread binding, AutoCopy data-movement blocks) while leaving decisions
 //!   (tile sizes, widths) to the search;
-//! * [`search`] — evolutionary search with validation filtering;
+//! * [`search`] — evolutionary search with validation filtering, a
+//!   deterministic parallel candidate-evaluation pipeline, and a
+//!   structural-hash measurement cache;
+//! * [`parallel`] — the fork-join primitive backing that pipeline;
 //! * [`cost_model`] — a from-scratch gradient-boosted-tree cost model
 //!   trained online from simulator measurements;
 //! * [`feature`] — program feature extraction;
@@ -20,6 +23,7 @@ pub mod baseline;
 pub mod cost_model;
 pub mod database;
 pub mod feature;
+pub mod parallel;
 pub mod search;
 pub mod sketch;
 pub mod sketch_cpu;
@@ -28,5 +32,6 @@ pub mod sketch_gpu;
 pub use baseline::{build_sketches, oracle_time, tune_workload, Strategy};
 pub use cost_model::CostModel;
 pub use database::{workload_key, TuningDatabase};
+pub use parallel::{effective_threads, parallel_map};
 pub use search::{tune, tune_multi, TuneOptions, TuneResult};
 pub use sketch::{Decision, DecisionKind, SketchRule};

@@ -1,5 +1,5 @@
-//! Evolutionary search with a learned cost model and validation filtering
-//! (§4.4).
+//! Evolutionary search with a learned cost model, validation filtering
+//! (§4.4), and a parallel candidate-evaluation pipeline.
 //!
 //! The search samples random decision vectors for a sketch, evolves them by
 //! mutation and crossover, ranks unmeasured candidates with the GBDT cost
@@ -8,37 +8,93 @@
 //! primitives or §3.3 validation) are filtered *before* measurement; the
 //! `validate_before_measure` flag exists so the ablation benchmark can show
 //! what happens without the filter (wasted measurement budget).
+//!
+//! # Parallel pipeline
+//!
+//! Candidate evaluation dominates tuning wall-clock, so every
+//! per-candidate stage fans out across a thread pool
+//! ([`crate::parallel`]): decision sampling/mutation/crossover, sketch
+//! instantiation + §3.3 validation, cost summarization, feature
+//! extraction, batched cost-model ranking, and simulated measurement. The
+//! coordinator keeps only the sequential steps: deduplication, batch
+//! selection, accounting, elite maintenance, and cost-model updates.
+//!
+//! Parallel runs are bit-for-bit deterministic: each population slot of
+//! each generation draws from its own generator seeded by
+//! `derive_seed(opts.seed, [generation, slot])`, and all fan-out results
+//! are consumed in slot order, so the search trajectory is a pure function
+//! of `TuneOptions` — any thread count, including 1, replays it exactly.
+//!
+//! `num_threads` also sets the width of the *simulated* measurement farm:
+//! each generation's batch of compile+profile jobs is spread over that
+//! many build+measure workers (as real tuners do with builder/runner
+//! pools), and `tuning_cost_s` accumulates the batch makespans. With one
+//! worker this reduces to the serial sum that Table 1 reports.
+//!
+//! # Candidate cache
+//!
+//! Different decision vectors frequently materialize *structurally
+//! identical* programs (e.g. permuted tile factors of 1). A cache keyed by
+//! [`tir::structural::structural_hash`] recognizes them: on a hit,
+//! summarization, feature extraction, and the simulated hardware
+//! measurement are all skipped and the recorded measurement is reused.
+//! Because the simulator is deterministic, the reused value equals what
+//! re-measurement would produce, so the cache changes *only* the cost of
+//! tuning (wall-clock and simulated `tuning_cost_s`), never the result.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tir_rand::rngs::StdRng;
+use tir_rand::{derive_seed, SeedableRng};
 
+use tir::structural::structural_hash;
 use tir::PrimFunc;
 use tir_exec::cost::{estimate_time, summarize};
 use tir_exec::machine::Machine;
 
 use crate::cost_model::CostModel;
 use crate::feature::features_of_summary;
+use crate::parallel::{effective_threads, parallel_map};
 use crate::sketch::{Decision, SketchRule};
 
 /// Search configuration.
+///
+/// All knobs default to the values the paper-reproduction benches use;
+/// construct with struct-update syntax (`TuneOptions { trials: 64,
+/// ..Default::default() }`) so new knobs never break call sites.
 #[derive(Clone, Debug)]
 pub struct TuneOptions {
-    /// Measurement (hardware-profile) budget.
+    /// Measurement (hardware-profile) budget: the search stops once this
+    /// many candidates have been measured (§4.4's trial budget; Table 1
+    /// reports tuning cost as a function of it).
     pub trials: usize,
-    /// Candidates generated per generation.
+    /// Candidates generated per generation of the evolutionary loop.
     pub population: usize,
-    /// Measurements per generation (top-ranked by the cost model).
+    /// Measurements per generation, taken from the top of the cost-model
+    /// ranking (§4.4: the most promising candidates go to hardware).
     pub measure_per_generation: usize,
-    /// RNG seed.
+    /// RNG seed. The whole search — serial or parallel — is a pure
+    /// function of this seed and the other options.
     pub seed: u64,
     /// Rank candidates with the learned cost model (vs. measuring in
-    /// sample order).
+    /// sample order). Ablation 3 of `benches/ablations.rs` turns this off.
     pub use_cost_model: bool,
-    /// Filter invalid candidates before measurement; when false, invalid
-    /// candidates consume measurement budget (the ablation case).
+    /// Filter invalid candidates before measurement (§3.3 validation);
+    /// when false, invalid candidates consume measurement budget (the
+    /// ablation case).
     pub validate_before_measure: bool,
+    /// Worker threads for the candidate-evaluation pipeline, and the
+    /// width of the simulated build+measure farm in the `tuning_cost_s`
+    /// accounting. `0` (the default) uses all available cores; `1` forces
+    /// the serial path. Any value finds the bit-identical best program
+    /// (see the module docs); only the accounted tuning cost shrinks with
+    /// more workers.
+    pub num_threads: usize,
+    /// Reuse measurements of structurally identical candidates via the
+    /// structural-hash cache. Never changes the search result (the
+    /// simulator is deterministic); only reduces tuning cost. Disable to
+    /// model a tuner that re-profiles duplicates.
+    pub use_candidate_cache: bool,
 }
 
 impl Default for TuneOptions {
@@ -50,6 +106,8 @@ impl Default for TuneOptions {
             seed: 42,
             use_cost_model: true,
             validate_before_measure: true,
+            num_threads: 0,
+            use_candidate_cache: true,
         }
     }
 }
@@ -61,7 +119,8 @@ pub struct TuneResult {
     pub best: Option<PrimFunc>,
     /// Simulated execution time of the best program, seconds.
     pub best_time: f64,
-    /// Measurements actually performed.
+    /// Measurements actually performed (cache hits included: a hit still
+    /// consumes one unit of trial budget, it just costs nothing).
     pub trials_measured: usize,
     /// Candidates rejected by construction/validation before measuring.
     pub invalid_filtered: usize,
@@ -69,10 +128,31 @@ pub struct TuneResult {
     /// `validate_before_measure` is off).
     pub wasted_measurements: usize,
     /// Simulated wall-clock cost of tuning: profiling time plus per-trial
-    /// compilation overhead (the quantity Table 1 reports).
+    /// compilation overhead (the quantity Table 1 reports). Each batch is
+    /// distributed over `num_threads` build+measure workers, so this is
+    /// the sum of per-generation makespans; at one thread it is the plain
+    /// serial sum. Cache hits contribute nothing — the measurement is
+    /// reused, not repeated.
     pub tuning_cost_s: f64,
     /// Best-so-far after each measurement.
     pub history: Vec<f64>,
+    /// Measurements served from the structural-hash candidate cache.
+    pub cache_hits: usize,
+}
+
+impl Default for TuneResult {
+    fn default() -> Self {
+        TuneResult {
+            best: None,
+            best_time: f64::INFINITY,
+            trials_measured: 0,
+            invalid_filtered: 0,
+            wasted_measurements: 0,
+            tuning_cost_s: 0.0,
+            history: Vec::new(),
+            cache_hits: 0,
+        }
+    }
 }
 
 /// Simulated repetitions per hardware measurement (profilers average).
@@ -80,116 +160,238 @@ const PROFILE_REPEATS: f64 = 300.0;
 /// Simulated per-candidate compile + launch overhead, seconds.
 const COMPILE_OVERHEAD_S: f64 = 0.1;
 
+/// Simulated wall-clock of a measurement batch distributed over `workers`
+/// parallel build+measure slots: greedy assignment of each candidate (in
+/// slot order) to the least-loaded worker, returning the longest worker's
+/// load. One worker degenerates to the serial sum. Deterministic — ties
+/// pick the lowest worker index.
+fn batch_makespan(costs: &[f64], workers: usize) -> f64 {
+    let mut load = vec![0.0f64; workers.clamp(1, costs.len().max(1))];
+    for &c in costs {
+        let min = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        load[min] += c;
+    }
+    load.into_iter().fold(0.0, f64::max)
+}
+
+/// How one population slot derives its decision vector (fixed by the
+/// coordinator before the generation fans out).
+enum Plan {
+    /// Crossover of two elite decision vectors, then one mutation.
+    Cross(usize, usize),
+    /// One mutation of an elite decision vector.
+    Mutate(usize),
+    /// A fresh random sample.
+    Sample,
+}
+
+/// A measurement recorded in the structural-hash candidate cache.
+struct CachedMeasurement {
+    features: Vec<f64>,
+    time: f64,
+}
+
+/// Per-candidate result of the parallel evaluation pipeline.
+struct CandidateEval {
+    decisions: Vec<Decision>,
+    /// Materialized program; `None` when construction/validation failed.
+    func: Option<PrimFunc>,
+    /// Structural hash of the program (0 when invalid).
+    hash: u64,
+    /// Feature vector (empty when invalid).
+    features: Vec<f64>,
+    /// Simulated execution time (NaN when invalid).
+    time: f64,
+    /// Whether features/time were served from the candidate cache.
+    cached: bool,
+}
+
 /// Runs evolutionary search over one sketch.
+///
+/// Deterministic for a given `opts` (including across `num_threads`
+/// values); see the module docs for how the parallel pipeline and the
+/// candidate cache preserve that.
 pub fn tune(sketch: &dyn SketchRule, machine: &Machine, opts: &TuneOptions) -> TuneResult {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let threads = effective_threads(opts.num_threads);
     let mut model = CostModel::new();
-    let mut result = TuneResult {
-        best: None,
-        best_time: f64::INFINITY,
-        trials_measured: 0,
-        invalid_filtered: 0,
-        wasted_measurements: 0,
-        tuning_cost_s: 0.0,
-        history: Vec::new(),
-    };
+    let mut result = TuneResult::default();
     let mut seen: HashSet<Vec<Decision>> = HashSet::new();
     // Elite pool of (decisions, measured time).
     let mut elites: Vec<(Vec<Decision>, f64)> = Vec::new();
+    // Structural-hash cache of completed measurements. Owned by the
+    // coordinator; each generation reads a frozen snapshot in parallel and
+    // new measurements are folded in afterwards.
+    let mut cache: HashMap<u64, CachedMeasurement> = HashMap::new();
 
+    let mut generation: u64 = 0;
     while result.trials_measured + result.wasted_measurements < opts.trials {
-        // Generate a population: half evolved from elites, half random.
-        let mut population: Vec<Vec<Decision>> = Vec::new();
-        for i in 0..opts.population {
-            let d = if elites.len() >= 2 && i % 2 == 0 {
-                let a = &elites[i % elites.len()].0;
-                let b = &elites[(i + 1) % elites.len()].0;
-                let crossed = sketch.crossover(a, b, &mut rng);
-                sketch.mutate(&crossed, &mut rng)
-            } else if !elites.is_empty() && i % 4 == 1 {
-                sketch.mutate(&elites[i % elites.len()].0, &mut rng)
-            } else {
-                sketch.sample(&mut rng)
-            };
-            if seen.insert(d.clone()) {
-                population.push(d);
+        // Coordinator: fix each slot's derivation plan (half evolved from
+        // elites, half random).
+        let plans: Vec<Plan> = (0..opts.population)
+            .map(|i| {
+                if elites.len() >= 2 && i % 2 == 0 {
+                    Plan::Cross(i % elites.len(), (i + 1) % elites.len())
+                } else if !elites.is_empty() && i % 4 == 1 {
+                    Plan::Mutate(i % elites.len())
+                } else {
+                    Plan::Sample
+                }
+            })
+            .collect();
+
+        // Fan-out 1: sampling / mutation / crossover. Each slot owns a
+        // generator derived from (seed, generation, slot), so the outcome
+        // is independent of thread interleaving.
+        let elites_ref = &elites;
+        let proposals: Vec<Vec<Decision>> = parallel_map(&plans, threads, |slot, plan| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(opts.seed, &[generation, slot as u64]));
+            match *plan {
+                Plan::Cross(a, b) => {
+                    let crossed = sketch.crossover(&elites_ref[a].0, &elites_ref[b].0, &mut rng);
+                    sketch.mutate(&crossed, &mut rng)
+                }
+                Plan::Mutate(e) => sketch.mutate(&elites_ref[e].0, &mut rng),
+                Plan::Sample => sketch.sample(&mut rng),
             }
-        }
+        });
+
+        // Coordinator: deduplicate in slot order against everything ever
+        // proposed (decision-vector level).
+        let population: Vec<Vec<Decision>> = proposals
+            .into_iter()
+            .filter(|d| seen.insert(d.clone()))
+            .collect();
         if population.is_empty() {
             // Search space exhausted.
             break;
         }
 
-        // Materialize programs; validation filter.
-        let mut candidates: Vec<(Vec<Decision>, Option<PrimFunc>)> = Vec::new();
-        for d in population {
-            match sketch.apply(&d) {
-                Ok(f) => candidates.push((d, Some(f))),
-                Err(_) => {
-                    result.invalid_filtered += 1;
-                    if !opts.validate_before_measure {
-                        // Without the filter this candidate would have been
-                        // sent to the hardware and failed there.
-                        candidates.push((d, None));
+        // Fan-out 2: materialize + validate + summarize + extract features,
+        // with cache lookups against the frozen snapshot.
+        let cache_ref = &cache;
+        let evals: Vec<CandidateEval> =
+            parallel_map(&population, threads, |_, d| match sketch.apply(d) {
+                Err(_) => CandidateEval {
+                    decisions: d.clone(),
+                    func: None,
+                    hash: 0,
+                    features: Vec::new(),
+                    time: f64::NAN,
+                    cached: false,
+                },
+                Ok(f) => {
+                    let hash = structural_hash(&f);
+                    let (features, time, cached) = match cache_ref.get(&hash) {
+                        Some(m) if opts.use_candidate_cache => (m.features.clone(), m.time, true),
+                        _ => {
+                            let s = summarize(&f);
+                            let t = estimate_time(&s, machine);
+                            (features_of_summary(&f, &s), t, false)
+                        }
+                    };
+                    CandidateEval {
+                        decisions: d.clone(),
+                        func: Some(f),
+                        hash,
+                        features,
+                        time,
+                        cached,
                     }
                 }
+            });
+
+        // Coordinator: validation-filter accounting, in slot order.
+        let mut candidates: Vec<CandidateEval> = Vec::new();
+        for eval in evals {
+            if eval.func.is_none() {
+                result.invalid_filtered += 1;
+                if opts.validate_before_measure {
+                    continue;
+                }
+                // Without the filter this candidate would have been sent
+                // to the hardware and failed there.
             }
+            candidates.push(eval);
         }
 
-        // Rank with the cost model and pick the measurement batch.
-        let mut scored: Vec<(f64, usize)> = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, (_, f))| {
-                let score = match f {
-                    Some(f) if opts.use_cost_model && model.num_samples() >= 4 => {
-                        let s = summarize(f);
-                        model.predict(&features_of_summary(f, &s))
-                    }
-                    // Without the validation filter, an invalid candidate is
-                    // indistinguishable from a promising one until it fails
-                    // on the device: rank it like any unscored candidate.
-                    None => f64::MAX / 2.0,
-                    _ => 0.0,
-                };
-                (score, i)
-            })
-            .collect();
+        // Fan-out 3: batched cost-model ranking over the whole generation.
+        let model_ready = opts.use_cost_model && model.num_samples() >= 4;
+        let model_ref = &model;
+        let mut scored: Vec<(f64, usize)> = parallel_map(&candidates, threads, |i, eval| {
+            let score = match &eval.func {
+                Some(_) if model_ready => model_ref.predict(&eval.features),
+                // Without the validation filter, an invalid candidate is
+                // indistinguishable from a promising one until it fails
+                // on the device: rank it like any unscored candidate.
+                None => f64::MAX / 2.0,
+                _ => 0.0,
+            };
+            (score, i)
+        });
+        // Stable sort: equal scores keep slot order, preserving
+        // determinism.
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
+        // Coordinator: measure the top-ranked batch. The measurement
+        // itself was computed in the fan-out (or served from cache); this
+        // loop is pure accounting.
         let budget_left = opts.trials - result.trials_measured - result.wasted_measurements;
         let batch = scored
             .into_iter()
             .take(opts.measure_per_generation.min(budget_left));
         let mut new_samples = Vec::new();
+        let mut new_records: Vec<(u64, CachedMeasurement)> = Vec::new();
+        let mut batch_costs: Vec<f64> = Vec::new();
         for (_, i) in batch {
-            let (d, f) = &candidates[i];
-            match f {
+            let eval = &candidates[i];
+            match &eval.func {
                 Some(f) => {
-                    let s = summarize(f);
-                    let t = estimate_time(&s, machine);
+                    let t = eval.time;
                     result.trials_measured += 1;
-                    result.tuning_cost_s += t * PROFILE_REPEATS + COMPILE_OVERHEAD_S;
-                    new_samples.push((features_of_summary(f, &s), -(t.max(1e-12)).ln()));
+                    if eval.cached {
+                        // Reused measurement: no profile repeats, no
+                        // recompilation.
+                        result.cache_hits += 1;
+                    } else {
+                        batch_costs.push(t * PROFILE_REPEATS + COMPILE_OVERHEAD_S);
+                        new_records.push((
+                            eval.hash,
+                            CachedMeasurement {
+                                features: eval.features.clone(),
+                                time: t,
+                            },
+                        ));
+                    }
+                    new_samples.push((eval.features.clone(), -(t.max(1e-12)).ln()));
                     if t < result.best_time {
                         result.best_time = t;
                         result.best = Some(f.clone());
                     }
                     result.history.push(result.best_time);
-                    elites.push((d.clone(), t));
+                    elites.push((eval.decisions.clone(), t));
                 }
                 None => {
                     result.wasted_measurements += 1;
-                    result.tuning_cost_s += COMPILE_OVERHEAD_S;
+                    batch_costs.push(COMPILE_OVERHEAD_S);
                     result.history.push(result.best_time);
                 }
             }
+        }
+        result.tuning_cost_s += batch_makespan(&batch_costs, threads);
+        for (hash, record) in new_records {
+            cache.insert(hash, record);
         }
         if opts.use_cost_model && !new_samples.is_empty() {
             model.update(new_samples);
         }
         elites.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         elites.truncate(8);
+        generation += 1;
     }
     result
 }
@@ -203,9 +405,11 @@ pub fn tune_multi(
     opts: &TuneOptions,
 ) -> TuneResult {
     let mut merged: Option<TuneResult> = None;
-    // Budget split across sketches.
+    // Budget split across sketches. Each sketch gets at least one trial so
+    // small budgets still cover every structure, but a zero budget stays
+    // zero: `trials: 0` must not search at all.
     let per_sketch = TuneOptions {
-        trials: (opts.trials / sketches.len().max(1)).max(1),
+        trials: (opts.trials / sketches.len().max(1)).max(opts.trials.min(1)),
         ..opts.clone()
     };
     for (i, sketch) in sketches.iter().enumerate() {
@@ -226,19 +430,12 @@ pub fn tune_multi(
                 m.wasted_measurements += r.wasted_measurements;
                 m.tuning_cost_s += r.tuning_cost_s;
                 m.history.extend(r.history);
+                m.cache_hits += r.cache_hits;
                 m
             }
         });
     }
-    merged.unwrap_or(TuneResult {
-        best: None,
-        best_time: f64::INFINITY,
-        trials_measured: 0,
-        invalid_filtered: 0,
-        wasted_measurements: 0,
-        tuning_cost_s: 0.0,
-        history: Vec::new(),
-    })
+    merged.unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -253,6 +450,33 @@ mod tests {
         let reg = builtin_registry();
         let wmma = reg.get("wmma_16x16x16_f16").unwrap();
         GpuTensorSketch::new(&func, "C", wmma, true).expect("sketch")
+    }
+
+    #[test]
+    fn batch_makespan_accounting() {
+        // One worker = serial sum; perfect split at equal costs; a long
+        // job bounds the makespan; empty batches cost nothing.
+        assert_eq!(batch_makespan(&[1.0, 2.0, 3.0], 1), 6.0);
+        assert_eq!(batch_makespan(&[1.0, 1.0, 1.0, 1.0], 4), 1.0);
+        assert_eq!(batch_makespan(&[3.0, 1.0, 1.0, 1.0], 2), 3.0);
+        assert_eq!(batch_makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn zero_trials_means_no_search() {
+        // `trials: 0` must not measure anything, even through the
+        // per-sketch budget split (which otherwise guarantees each sketch
+        // at least one trial).
+        let s = sketch();
+        let machine = Machine::sim_gpu();
+        let opts = TuneOptions {
+            trials: 0,
+            ..Default::default()
+        };
+        let r = tune_multi(&[&s, &s], &machine, &opts);
+        assert!(r.best.is_none());
+        assert_eq!(r.trials_measured, 0);
+        assert_eq!(r.tuning_cost_s, 0.0);
     }
 
     #[test]
@@ -274,14 +498,7 @@ mod tests {
             assert!(w[1] <= w[0]);
         }
         // Searching longer cannot be worse.
-        let r_long = tune(
-            &s,
-            &machine,
-            &TuneOptions {
-                trials: 48,
-                ..opts
-            },
-        );
+        let r_long = tune(&s, &machine, &TuneOptions { trials: 48, ..opts });
         assert!(r_long.best_time <= r.best_time * 1.0001);
     }
 
@@ -297,6 +514,87 @@ mod tests {
         let b = tune(&s, &machine, &opts);
         assert_eq!(a.best_time, b.best_time);
         assert_eq!(a.trials_measured, b.trials_measured);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        // The headline determinism guarantee of the parallel pipeline: a
+        // fixed seed replays the identical search at any thread count,
+        // down to the bytes of the best program.
+        let s = sketch();
+        let machine = Machine::sim_gpu();
+        let serial = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                trials: 24,
+                num_threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [2usize, 4, 8] {
+            let parallel = tune(
+                &s,
+                &machine,
+                &TuneOptions {
+                    trials: 24,
+                    num_threads: threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial.best_time, parallel.best_time, "{threads} threads");
+            assert_eq!(serial.trials_measured, parallel.trials_measured);
+            assert_eq!(serial.history, parallel.history);
+            assert_eq!(serial.cache_hits, parallel.cache_hits);
+            let a = serial.best.as_ref().expect("serial best").to_string();
+            let b = parallel.best.as_ref().expect("parallel best").to_string();
+            assert_eq!(a, b, "best programs must match byte-for-byte");
+            // The simulated measurement farm gets wider with more
+            // workers: tuning cost must drop roughly linearly.
+            assert!(
+                parallel.tuning_cost_s <= serial.tuning_cost_s / (threads as f64) * 1.5,
+                "{threads} threads: {} vs serial {}",
+                parallel.tuning_cost_s,
+                serial.tuning_cost_s
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_cache_never_changes_the_result() {
+        // The cache reuses deterministic measurements, so the search
+        // trajectory — and in particular the best program — is identical
+        // with and without it; only the accounted tuning cost may shrink.
+        let s = sketch();
+        let machine = Machine::sim_gpu();
+        let base = TuneOptions {
+            trials: 32,
+            ..Default::default()
+        };
+        let with_cache = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                use_candidate_cache: true,
+                ..base.clone()
+            },
+        );
+        let without_cache = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                use_candidate_cache: false,
+                ..base
+            },
+        );
+        assert_eq!(without_cache.cache_hits, 0);
+        assert_eq!(with_cache.best_time, without_cache.best_time);
+        assert_eq!(with_cache.history, without_cache.history);
+        assert_eq!(with_cache.trials_measured, without_cache.trials_measured);
+        let a = with_cache.best.as_ref().expect("best").to_string();
+        let b = without_cache.best.as_ref().expect("best").to_string();
+        assert_eq!(a, b, "cache must not change the best program");
+        assert!(with_cache.tuning_cost_s <= without_cache.tuning_cost_s);
     }
 
     #[test]
@@ -335,8 +633,6 @@ mod tests {
         // Without the filter the search can never do better, and the trial
         // accounting includes any wasted measurements.
         assert!(without_filter.best_time >= with_filter.best_time * 0.999);
-        assert!(
-            without_filter.trials_measured + without_filter.wasted_measurements <= 24
-        );
+        assert!(without_filter.trials_measured + without_filter.wasted_measurements <= 24);
     }
 }

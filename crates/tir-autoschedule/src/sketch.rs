@@ -6,8 +6,8 @@
 //! mutates decision vectors and asks the sketch to materialize a concrete
 //! program for each.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use tir_rand::rngs::StdRng;
+use tir_rand::RngExt;
 
 use tir::PrimFunc;
 use tir_schedule::ScheduleError;
@@ -108,7 +108,11 @@ pub fn sample_perfect_tile(extent: i64, parts: usize, rng: &mut StdRng) -> Decis
 }
 
 /// A parameterized schedule generator.
-pub trait SketchRule {
+///
+/// `Send + Sync` so the evolutionary search can share one sketch across
+/// its candidate-evaluation worker threads (see [`crate::parallel`]);
+/// implementations hold immutable structure, so this is free in practice.
+pub trait SketchRule: Send + Sync {
     /// Human-readable sketch name.
     fn name(&self) -> &str;
 
@@ -141,21 +145,12 @@ pub trait SketchRule {
     }
 
     /// One-point crossover of two decision vectors.
-    fn crossover(
-        &self,
-        a: &[Decision],
-        b: &[Decision],
-        rng: &mut StdRng,
-    ) -> Vec<Decision> {
+    fn crossover(&self, a: &[Decision], b: &[Decision], rng: &mut StdRng) -> Vec<Decision> {
         if a.is_empty() {
             return b.to_vec();
         }
         let cut = rng.random_range(0..a.len());
-        a[..cut]
-            .iter()
-            .chain(b[cut..].iter())
-            .cloned()
-            .collect()
+        a[..cut].iter().chain(b[cut..].iter()).cloned().collect()
     }
 }
 
@@ -175,7 +170,7 @@ pub fn decisions_well_formed(space: &[DecisionKind], decisions: &[Decision]) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tir_rand::SeedableRng;
 
     #[test]
     fn perfect_tile_products() {

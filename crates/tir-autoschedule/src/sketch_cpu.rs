@@ -258,8 +258,7 @@ impl SketchRule for CpuScalarSketch {
             // and vectorize it.
             if *n_spatial >= 2 && *n_reduce >= 1 && loops.len() >= n_spatial + n_reduce {
                 let last_spatial = loops[n_spatial - 1].clone();
-                let mut order: Vec<LoopRef> =
-                    loops[*n_spatial..(*n_spatial + *n_reduce)].to_vec();
+                let mut order: Vec<LoopRef> = loops[*n_spatial..(*n_spatial + *n_reduce)].to_vec();
                 order.push(last_spatial.clone());
                 sch.reorder(&order)?;
                 let extent = sch.loop_extent(&last_spatial)?;
@@ -281,10 +280,10 @@ impl SketchRule for CpuScalarSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use tir::DataType;
     use tir_exec::{assert_same_semantics, simulate, Machine};
+    use tir_rand::rngs::StdRng;
+    use tir_rand::SeedableRng;
     use tir_tensorize::builtin_registry;
 
     fn qmm(n: i64) -> PrimFunc {

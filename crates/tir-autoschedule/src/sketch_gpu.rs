@@ -26,10 +26,7 @@ use crate::sketch::{Decision, DecisionKind, SketchRule};
 /// where `r_k` is a suffix product of the extents and `d` divides the next
 /// extent (the digit boundary condition of the iterator-map algebra).
 pub(crate) fn aligned_cut(extents: &[i64], cap: i64) -> i64 {
-    aligned_cuts(extents, cap)
-        .into_iter()
-        .max()
-        .unwrap_or(1)
+    aligned_cuts(extents, cap).into_iter().max().unwrap_or(1)
 }
 
 /// All radix-aligned cuts of a fused loop up to `cap`.
@@ -225,13 +222,10 @@ impl SketchRule for GpuTensorSketch {
                 let sh = sch.cache_read(&self.inner_block, &buf, MemScope::Shared, Some(&ks[0]))?;
                 sch.annotate_block(&sh, "auto_copy", AnnValue::Int(1))?;
                 sch.annotate_block(&sh, "tir.cooperative", AnnValue::Int(warps * 32))?;
-                let sh_buf = sch
-                    .find_buffer(&format!("{input}_shared"))
-                    .ok_or_else(|| {
-                        ScheduleError::Precondition("shared staging buffer missing".into())
-                    })?;
-                let frag =
-                    sch.cache_read(&self.inner_block, &sh_buf, frag_scope, Some(&ks[1]))?;
+                let sh_buf = sch.find_buffer(&format!("{input}_shared")).ok_or_else(|| {
+                    ScheduleError::Precondition("shared staging buffer missing".into())
+                })?;
+                let frag = sch.cache_read(&self.inner_block, &sh_buf, frag_scope, Some(&ks[1]))?;
                 sch.annotate_block(&frag, "auto_copy", AnnValue::Int(1))?;
                 sch.annotate_block(&frag, "tir.cooperative", AnnValue::Int(32))?;
             } else {
@@ -391,23 +385,23 @@ impl SketchRule for GpuScalarSketch {
                     }
                 };
                 attempt(&mut sch, &|s| {
-                    s.cache_write(&block, MemScope::Local, Some(&parts[1])).is_ok()
+                    s.cache_write(&block, MemScope::Local, Some(&parts[1]))
+                        .is_ok()
                 });
                 for buf in read_bufs {
-                    attempt(&mut sch, &|s| {
-                        match s.cache_read(&block, &buf, MemScope::Shared, Some(&reduce_loops[0]))
-                        {
-                            Ok(copy) => {
-                                let _ = s.annotate_block(&copy, "auto_copy", AnnValue::Int(1));
-                                let _ = s.annotate_block(
-                                    &copy,
-                                    "tir.cooperative",
-                                    AnnValue::Int(threads),
-                                );
-                                true
-                            }
-                            Err(_) => false,
+                    attempt(&mut sch, &|s| match s.cache_read(
+                        &block,
+                        &buf,
+                        MemScope::Shared,
+                        Some(&reduce_loops[0]),
+                    ) {
+                        Ok(copy) => {
+                            let _ = s.annotate_block(&copy, "auto_copy", AnnValue::Int(1));
+                            let _ =
+                                s.annotate_block(&copy, "tir.cooperative", AnnValue::Int(threads));
+                            true
                         }
+                        Err(_) => false,
                     });
                 }
                 // Optional serial two-level reduction split (after staging
@@ -429,10 +423,10 @@ impl SketchRule for GpuScalarSketch {
 mod tests {
     use super::*;
     use crate::sketch::decisions_well_formed;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use tir::DataType;
     use tir_exec::{assert_same_semantics, simulate, Machine};
+    use tir_rand::rngs::StdRng;
+    use tir_rand::SeedableRng;
     use tir_tensorize::builtin_registry;
 
     fn mm16(n: i64) -> PrimFunc {

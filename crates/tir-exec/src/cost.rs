@@ -38,8 +38,7 @@ impl CostSummary {
     /// Total multiply-accumulate work, counting tensor MACs.
     pub fn total_macs(&self) -> f64 {
         // Arithmetic ops approximate 2 ops per MAC.
-        (self.scalar_ops + self.vector_ops) / 2.0
-            + self.tensor_macs.values().sum::<f64>()
+        (self.scalar_ops + self.vector_ops) / 2.0 + self.tensor_macs.values().sum::<f64>()
     }
 }
 
@@ -161,7 +160,13 @@ impl Walker {
             }
             Stmt::For(f) => {
                 let extent = f.extent.as_int().unwrap_or(1).max(1) as f64;
-                let saved = (self.mult, self.vectorized, self.grid, self.threads, self.parallel);
+                let saved = (
+                    self.mult,
+                    self.vectorized,
+                    self.grid,
+                    self.threads,
+                    self.parallel,
+                );
                 self.mult *= extent;
                 match f.kind {
                     ForKind::Vectorized => self.vectorized = true,
@@ -178,7 +183,13 @@ impl Walker {
                 self.summary.block_threads = self.summary.block_threads.max(self.threads);
                 self.summary.cpu_parallelism = self.summary.cpu_parallelism.max(self.parallel);
                 self.walk(&f.body);
-                (self.mult, self.vectorized, self.grid, self.threads, self.parallel) = saved;
+                (
+                    self.mult,
+                    self.vectorized,
+                    self.grid,
+                    self.threads,
+                    self.parallel,
+                ) = saved;
             }
             Stmt::BlockRealize(br) => {
                 // Pure-reshape staging blocks are strided views in a real
@@ -209,23 +220,13 @@ impl Walker {
         {
             {
                 // Binding expressions are index arithmetic: cheap, ignored.
-                if let Some(AnnValue::Str(intrin)) =
-                    br.block.annotations.get("tir.tensor_intrin")
-                {
+                if let Some(AnnValue::Str(intrin)) = br.block.annotations.get("tir.tensor_intrin") {
                     // One intrinsic invocation per block instance; traffic
                     // charged from the block signature regions.
-                    let macs: f64 = br
-                        .block
-                        .iter_vars
-                        .iter()
-                        .map(|_| 1.0)
-                        .product::<f64>()
-                        * tile_macs(br);
-                    *self
-                        .summary
-                        .tensor_macs
-                        .entry(intrin.clone())
-                        .or_default() += macs * self.mult;
+                    let macs: f64 =
+                        br.block.iter_vars.iter().map(|_| 1.0).product::<f64>() * tile_macs(br);
+                    *self.summary.tensor_macs.entry(intrin.clone()).or_default() +=
+                        macs * self.mult;
                     for region in br.block.reads.iter().chain(&br.block.writes) {
                         let elems: f64 = region
                             .region
@@ -363,8 +364,7 @@ pub fn estimate_time(summary: &CostSummary, machine: &Machine) -> f64 {
         machine.scalar_macs_per_cycle * 2.0 * cores_used * rate_scale * cycles_per_sec;
     let vector_rate = scalar_rate * machine.vector_lanes as f64;
 
-    let mut compute_time =
-        summary.scalar_ops / scalar_rate + summary.vector_ops / vector_rate;
+    let mut compute_time = summary.scalar_ops / scalar_rate + summary.vector_ops / vector_rate;
     for (intrin, macs) in &summary.tensor_macs {
         let per_core = machine
             .tensor_units
@@ -406,7 +406,11 @@ mod tests {
         let f = matmul_func("mm", 64, 64, 64, DataType::float32());
         let s = summarize(&f);
         // 64^3 iterations, ~2 arithmetic ops each (mul + add).
-        assert!(s.scalar_ops >= 2.0 * 64.0 * 64.0 * 64.0 * 0.9, "{}", s.scalar_ops);
+        assert!(
+            s.scalar_ops >= 2.0 * 64.0 * 64.0 * 64.0 * 0.9,
+            "{}",
+            s.scalar_ops
+        );
         // A and B loads dominate global traffic: >= 2 * 64^3 * 4 bytes.
         let global = s.traffic[&MemScope::Global];
         assert!(global >= 2.0 * 262_144.0 * 4.0 * 0.9, "{global}");
@@ -470,9 +474,7 @@ mod annotation_tests {
             match s {
                 Stmt::BlockRealize(br) => {
                     if br.block.name != "root" {
-                        br.block
-                            .annotations
-                            .insert(key.to_string(), value.clone());
+                        br.block.annotations.insert(key.to_string(), value.clone());
                         *done = true;
                     } else {
                         walk(&mut br.block.body, key, value, done);

@@ -194,10 +194,7 @@ impl Interpreter {
             }
             Expr::Load { buffer, indices } => {
                 let idx = self.eval_indices(indices)?;
-                self.buffers
-                    .get(buffer)
-                    .map(|t| t.get(&idx))
-                    .unwrap_or(0.0)
+                self.buffers.get(buffer).map(|t| t.get(&idx)).unwrap_or(0.0)
             }
             Expr::Call { name, args, .. } => {
                 let mut vals = Vec::with_capacity(args.len());
@@ -372,11 +369,7 @@ impl Default for Interpreter {
 /// # Errors
 ///
 /// Propagates interpreter failures.
-pub fn run_on_random_inputs(
-    func: &PrimFunc,
-    num_outputs: usize,
-    seed: u64,
-) -> Result<Vec<Tensor>> {
+pub fn run_on_random_inputs(func: &PrimFunc, num_outputs: usize, seed: u64) -> Result<Vec<Tensor>> {
     let n = func.params.len();
     let args: Vec<Tensor> = func
         .params
@@ -499,18 +492,15 @@ mod tests {
             vec![b.full_region()],
             body,
         );
-        let realize = BlockRealize::with_predicate(
-            vec![Expr::from(&i)],
-            Expr::from(&i).lt(3),
-            block,
-        );
+        let realize =
+            BlockRealize::with_predicate(vec![Expr::from(&i)], Expr::from(&i).lt(3), block);
         let f = PrimFunc::new(
             "f",
             vec![b],
             Stmt::BlockRealize(Box::new(realize)).in_loop(i, 8),
         );
-        let out = Interpreter::run(&f, vec![Tensor::zeros(DataType::float32(), &[8])])
-            .expect("run");
+        let out =
+            Interpreter::run(&f, vec![Tensor::zeros(DataType::float32(), &[8])]).expect("run");
         let written: f64 = out[0].data().iter().sum();
         assert_eq!(written, 3.0);
     }
@@ -553,8 +543,7 @@ mod tests {
         assert!(matches!(err, ExecError::BadArguments(_)));
         let wrong = Tensor::zeros(DataType::float32(), &[3, 3]);
         let ok = Tensor::zeros(DataType::float32(), &[4, 4]);
-        let err =
-            Interpreter::run(&f, vec![wrong, ok.clone(), ok.clone()]).unwrap_err();
+        let err = Interpreter::run(&f, vec![wrong, ok.clone(), ok.clone()]).unwrap_err();
         assert!(matches!(err, ExecError::BadArguments(_)));
     }
 

@@ -6,6 +6,10 @@
 //! intrinsics, the bandwidth hierarchy between global/shared/register
 //! storage, and the parallelism exposed by thread bindings. See DESIGN.md
 //! §1 for the substitution argument.
+//!
+//! [`Machine`] is immutable plain data (`Send + Sync`), so the
+//! auto-scheduler's parallel candidate-evaluation pipeline shares one
+//! model across all worker threads by reference.
 
 use std::collections::HashMap;
 
@@ -135,9 +139,9 @@ impl Machine {
     /// Peak MAC throughput (MACs/second) of the named tensor unit, if
     /// present.
     pub fn tensor_peak(&self, intrin: &str) -> Option<f64> {
-        self.tensor_units.get(intrin).map(|t| {
-            t.macs_per_cycle_per_core * self.num_cores as f64 * self.clock_ghz * 1e9
-        })
+        self.tensor_units
+            .get(intrin)
+            .map(|t| t.macs_per_cycle_per_core * self.num_cores as f64 * self.clock_ghz * 1e9)
     }
 
     /// Peak scalar MAC throughput (MACs/second).
@@ -156,10 +160,23 @@ mod tests {
     use super::*;
 
     #[test]
+    fn machine_is_shareable_across_threads() {
+        // The parallel tuning pipeline borrows one Machine from every
+        // worker; this fails to compile if a field ever loses Send+Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Machine>();
+        assert_send_sync::<TensorUnitPerf>();
+        assert_send_sync::<MachineKind>();
+    }
+
+    #[test]
     fn gpu_tensor_core_ratio() {
         let m = Machine::sim_gpu();
         let tc = m.tensor_peak("wmma_16x16x16_f16").expect("wmma");
-        assert!(tc / m.scalar_peak() >= 4.0, "tensor cores must be much faster");
+        assert!(
+            tc / m.scalar_peak() >= 4.0,
+            "tensor cores must be much faster"
+        );
         assert!(m.tensor_peak("sdot_4x4x4_i8").is_none());
     }
 

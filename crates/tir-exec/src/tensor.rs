@@ -317,10 +317,7 @@ mod tests {
         // 1.0078125; round-to-nearest-even picks 1.0.
         assert_eq!(quantize(1.0 + 1.0 / 256.0, DataType::bfloat16()), 1.0);
         // 1 + 5/512 is closer to 1.0078125.
-        assert_eq!(
-            quantize(1.0 + 5.0 / 512.0, DataType::bfloat16()),
-            1.0078125
-        );
+        assert_eq!(quantize(1.0 + 5.0 / 512.0, DataType::bfloat16()), 1.0078125);
         // Exact bf16 values survive.
         assert_eq!(quantize(1.5, DataType::bfloat16()), 1.5);
     }

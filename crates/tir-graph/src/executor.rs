@@ -61,19 +61,21 @@ pub fn evaluate_model(
             (Some(func), _) => {
                 let entry = tuned.entry(layer.name.clone()).or_insert_with(|| {
                     let r = tune_workload(func, machine, intrins, strategy, opts);
-                    let fallback = layer.macs / machine.scalar_peak()
-                        + machine.launch_overhead_us * 1e-6;
+                    let fallback =
+                        layer.macs / machine.scalar_peak() + machine.launch_overhead_us * 1e-6;
                     (
-                        if r.best.is_some() { r.best_time } else { fallback },
+                        if r.best.is_some() {
+                            r.best_time
+                        } else {
+                            fallback
+                        },
                         r.tuning_cost_s,
                         r.trials_measured + r.wasted_measurements,
                     )
                 });
                 *entry
             }
-            (None, LayerKind::Memory) => {
-                (layer.min_bytes / (machine.global_bw_gbps * 1e9), 0.0, 0)
-            }
+            (None, LayerKind::Memory) => (layer.min_bytes / (machine.global_bw_gbps * 1e9), 0.0, 0),
             (None, _) => (0.0, 0.0, 0),
         };
         latency += time_s * layer.count as f64;
@@ -222,6 +224,9 @@ mod module_tests {
         // The tuned function still computes the same matmul.
         let reference = tir_workloads::gmm(64, 64, 64, dt, dt);
         tir_exec::assert_same_semantics(&reference, f, 1, 0.0);
-        assert!(module.get("relu").is_none(), "memory layers are not compiled");
+        assert!(
+            module.get("relu").is_none(),
+            "memory layers are not compiled"
+        );
     }
 }

@@ -63,11 +63,7 @@ impl Layer {
         macs: f64,
         count: i64,
     ) -> Layer {
-        let min_bytes: f64 = func
-            .params
-            .iter()
-            .map(|p| p.size_bytes() as f64)
-            .sum();
+        let min_bytes: f64 = func.params.iter().map(|p| p.size_bytes() as f64).sum();
         Layer {
             name: name.into(),
             kind,
@@ -93,10 +89,7 @@ pub struct ModelSpec {
 impl ModelSpec {
     /// Total MACs of one inference.
     pub fn total_macs(&self) -> f64 {
-        self.layers
-            .iter()
-            .map(|l| l.macs * l.count as f64)
-            .sum()
+        self.layers.iter().map(|l| l.macs * l.count as f64).sum()
     }
 
     /// Number of distinct tunable layers.

@@ -74,8 +74,7 @@ pub fn resnet50(dtype: DataType) -> ModelSpec {
     let mut layers = Vec::new();
     layers.push(conv("r50_conv1".into(), 112, 3, 64, 7, 2, 1, dtype));
     // Bottleneck stages: (spatial, width, blocks).
-    let stages: [(i64, i64, i64); 4] =
-        [(56, 64, 3), (28, 128, 4), (14, 256, 6), (7, 512, 3)];
+    let stages: [(i64, i64, i64); 4] = [(56, 64, 3), (28, 128, 4), (14, 256, 6), (7, 512, 3)];
     let mut cin = 64;
     for (si, (h, w, blocks)) in stages.iter().enumerate() {
         let out = w * 4;
@@ -100,7 +99,16 @@ pub fn resnet50(dtype: DataType) -> ModelSpec {
             1,
             dtype,
         ));
-        layers.push(conv(format!("r50_s{si}_c2"), *h, *w, *w, 3, 1, *blocks, dtype));
+        layers.push(conv(
+            format!("r50_s{si}_c2"),
+            *h,
+            *w,
+            *w,
+            3,
+            1,
+            *blocks,
+            dtype,
+        ));
         layers.push(conv(
             format!("r50_s{si}_c3"),
             *h,
@@ -170,7 +178,15 @@ pub fn mobilenet_v2(dtype: DataType) -> ModelSpec {
                 dtype,
             ));
         }
-        layers.push(dwconv(format!("mb2_b{bi}_dw"), h_out, hidden, 3, *s, *n, dtype));
+        layers.push(dwconv(
+            format!("mb2_b{bi}_dw"),
+            h_out,
+            hidden,
+            3,
+            *s,
+            *n,
+            dtype,
+        ));
         layers.push(conv(
             format!("mb2_b{bi}_project"),
             h_out,
@@ -325,12 +341,7 @@ pub fn vit_base(dtype: DataType) -> ModelSpec {
 /// The four GPU evaluation models (float16, Fig. 12 / Table 1).
 pub fn gpu_models() -> Vec<ModelSpec> {
     let dt = DataType::float16();
-    vec![
-        resnet50(dt),
-        mobilenet_v2(dt),
-        bert_large(dt),
-        vit_base(dt),
-    ]
+    vec![resnet50(dt), mobilenet_v2(dt), bert_large(dt), vit_base(dt)]
 }
 
 /// The ARM evaluation models (int8-quantized, Fig. 14).

@@ -98,10 +98,7 @@ impl Schedule {
                 };
                 // Verify separability: value == outer_part + inner_part.
                 let recomposed = simplify_expr(&(outer_part.clone() + inner_part.clone()));
-                if !tir::structural::expr_structural_eq(
-                    &recomposed,
-                    &simplify_expr(value),
-                ) {
+                if !tir::structural::expr_structural_eq(&recomposed, &simplify_expr(value)) {
                     return Err(ScheduleError::Precondition(format!(
                         "binding {value} is not separable into outer + inner parts"
                     )));
@@ -137,9 +134,8 @@ impl Schedule {
                     simplify_expr(&outer_part.floor_div(inner_extent))
                 };
                 outer_bindings.push(outer_binding);
-                new_inner_bindings.push(simplify_expr(
-                    &(Expr::from(&u) * inner_extent + inner_part),
-                ));
+                new_inner_bindings
+                    .push(simplify_expr(&(Expr::from(&u) * inner_extent + inner_part)));
                 outer_iter_vars.push(match iv.kind {
                     IterKind::Spatial => IterVar::spatial(u, outer_extent),
                     IterKind::Reduce => IterVar::reduce(u, outer_extent),

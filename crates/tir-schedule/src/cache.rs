@@ -7,8 +7,8 @@
 
 use tir::visit::replace_buffers;
 use tir::{
-    AnnValue, Block, BlockRealize, Buffer, BufferRegion, Expr, IterVar, MemScope, RangeExpr,
-    Stmt, Var,
+    AnnValue, Block, BlockRealize, Buffer, BufferRegion, Expr, IterVar, MemScope, RangeExpr, Stmt,
+    Var,
 };
 
 use crate::compute_location::{refresh_nested_signatures, required_region};
@@ -146,8 +146,7 @@ impl Schedule {
                 let nest = copy_block_nest(&cache_name, buffer, &cache, &region, &[])?;
                 self.rewrite_body(|body| match body {
                     Stmt::BlockRealize(mut root) => {
-                        root.block.body =
-                            Box::new(Stmt::seq(vec![nest, *root.block.body]));
+                        root.block.body = Box::new(Stmt::seq(vec![nest, *root.block.body]));
                         Ok(Stmt::BlockRealize(root))
                     }
                     other => Ok(Stmt::seq(vec![nest, other])),
@@ -253,8 +252,7 @@ impl Schedule {
             None => {
                 self.rewrite_body(|body| match body {
                     Stmt::BlockRealize(mut root) => {
-                        root.block.body =
-                            Box::new(Stmt::seq(vec![*root.block.body, nest]));
+                        root.block.body = Box::new(Stmt::seq(vec![*root.block.body, nest]));
                         Ok(Stmt::BlockRealize(root))
                     }
                     other => Ok(Stmt::seq(vec![other, nest])),
@@ -301,11 +299,7 @@ mod tests {
         assert_eq!(copy.name(), "A_shared");
         // The consumer now reads the staged copy.
         let br = tir::visit::find_block(&sch.func().body, "C").expect("C");
-        assert!(br
-            .block
-            .reads
-            .iter()
-            .all(|r| r.buffer.name() != "A"));
+        assert!(br.block.reads.iter().all(|r| r.buffer.name() != "A"));
         assert_same_semantics(&mm(), sch.func(), 1, 0.0);
         tir_analysis::assert_valid(sch.func());
     }

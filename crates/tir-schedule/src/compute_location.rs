@@ -498,8 +498,7 @@ impl Schedule {
         let br = self.take_block(block)?;
         let block_data = br.block.clone();
         let loop_var = loop_ref.var().clone();
-        let read_buffers: Vec<Buffer> =
-            br.block.reads.iter().map(|r| r.buffer.clone()).collect();
+        let read_buffers: Vec<Buffer> = br.block.reads.iter().map(|r| r.buffer.clone()).collect();
         let out_shape: Vec<i64> = br.block.writes[0].buffer.shape().to_vec();
         let result = self.rewrite_loop(loop_ref, |f: tir::For| {
             let mut produced_region = None;
@@ -625,8 +624,7 @@ impl Schedule {
                 // buffer (the inlined expression brings new inputs).
                 if b.reads.iter().any(|r| &r.buffer == self.buffer) {
                     let (reads, _) = tir::builder::derive_signature(&b.body, None);
-                    let writes: Vec<Buffer> =
-                        b.writes.iter().map(|w| w.buffer.clone()).collect();
+                    let writes: Vec<Buffer> = b.writes.iter().map(|w| w.buffer.clone()).collect();
                     b.reads = reads
                         .into_iter()
                         .filter(|r| !writes.contains(&r.buffer))
@@ -645,10 +643,7 @@ impl Schedule {
             let new_body = inliner.mutate_stmt(body);
             Ok(drop_alloc(new_body, &buffer))
         })?;
-        self.record(TraceStep::new(
-            "compute_inline",
-            vec![block.name().into()],
-        ));
+        self.record(TraceStep::new("compute_inline", vec![block.name().into()]));
         Ok(())
     }
 

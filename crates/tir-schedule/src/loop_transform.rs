@@ -30,7 +30,11 @@ fn add_predicate(s: Stmt, conjunct: &Expr) -> Stmt {
             f.body = add_predicate(f.body, conjunct);
             Stmt::For(f)
         }
-        Stmt::Seq(v) => Stmt::Seq(v.into_iter().map(|st| add_predicate(st, conjunct)).collect()),
+        Stmt::Seq(v) => Stmt::Seq(
+            v.into_iter()
+                .map(|st| add_predicate(st, conjunct))
+                .collect(),
+        ),
         Stmt::IfThenElse {
             cond,
             then_branch,
@@ -81,7 +85,13 @@ impl Schedule {
         let known: i64 = factors.iter().filter(|&&f| f > 0).product();
         let factors: Vec<i64> = factors
             .iter()
-            .map(|&f| if f == -1 { (extent + known - 1) / known } else { f })
+            .map(|&f| {
+                if f == -1 {
+                    (extent + known - 1) / known
+                } else {
+                    f
+                }
+            })
             .collect();
         let product: i64 = factors.iter().product();
         if product < extent {
@@ -199,9 +209,7 @@ impl Schedule {
         })?;
         self.record(TraceStep::new(
             "fuse",
-            vars.iter()
-                .map(|v| v.name().to_string().into())
-                .collect(),
+            vars.iter().map(|v| v.name().to_string().into()).collect(),
         ));
         Ok(LoopRef(fused))
     }
@@ -237,17 +245,10 @@ impl Schedule {
                     then_branch,
                     else_branch,
                     ..
-                } => find_head(then_branch, targets).or_else(|| {
-                    else_branch
-                        .as_ref()
-                        .and_then(|e| find_head(e, targets))
-                }),
+                } => find_head(then_branch, targets)
+                    .or_else(|| else_branch.as_ref().and_then(|e| find_head(e, targets))),
                 Stmt::BlockRealize(br) => {
-                    let from_init = br
-                        .block
-                        .init
-                        .as_ref()
-                        .and_then(|i| find_head(i, targets));
+                    let from_init = br.block.init.as_ref().and_then(|i| find_head(i, targets));
                     from_init.or_else(|| find_head(&br.block.body, targets))
                 }
                 _ => None,

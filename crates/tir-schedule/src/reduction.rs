@@ -131,10 +131,7 @@ impl Schedule {
             init_body,
         );
         // Only keep fresh loops actually used by the init bindings.
-        let used_vars: Vec<Var> = init_bindings
-            .iter()
-            .flat_map(collect_vars_expr)
-            .collect();
+        let used_vars: Vec<Var> = init_bindings.iter().flat_map(collect_vars_expr).collect();
         let kept_loops: Vec<(Var, i64)> = fresh_loops
             .into_iter()
             .filter(|(v, _)| used_vars.contains(v))
@@ -221,9 +218,7 @@ mod tests {
         sch.reorder(&[loops[2].clone(), loops[0].clone(), loops[1].clone()])
             .expect("reorder");
         let new_loops = sch.get_loops(&block).expect("loops");
-        let err = sch
-            .decompose_reduction(&block, &new_loops[2])
-            .unwrap_err();
+        let err = sch.decompose_reduction(&block, &new_loops[2]).unwrap_err();
         assert!(matches!(err, ScheduleError::Precondition(_)), "{err}");
     }
 
@@ -255,7 +250,11 @@ impl Schedule {
     /// # Errors
     ///
     /// Fails when the blocks do not form a decomposed-reduction pair.
-    pub fn merge_reduction(&mut self, init_block: &BlockRef, update_block: &BlockRef) -> Result<()> {
+    pub fn merge_reduction(
+        &mut self,
+        init_block: &BlockRef,
+        update_block: &BlockRef,
+    ) -> Result<()> {
         let init_name = init_block.name().to_string();
         let update_name = update_block.name().to_string();
         self.transactional(|sch| {
@@ -294,7 +293,10 @@ impl Schedule {
                 }
                 // The update block must reduce into the same buffer at its
                 // spatial iterators.
-                let Stmt::Store { buffer, indices, .. } = &*br.block.body else {
+                let Stmt::Store {
+                    buffer, indices, ..
+                } = &*br.block.body
+                else {
                     return Err(ScheduleError::Precondition(
                         "update block body must be a single store".into(),
                     ));

@@ -231,7 +231,8 @@ mod tests {
         sch.cache_write(&block, MemScope::Local, Some(&j[1]))
             .unwrap();
         sch.decompose_reduction(&block, &loops[2]).unwrap();
-        sch.annotate_block(&block, "custom", AnnValue::Int(7)).unwrap();
+        sch.annotate_block(&block, "custom", AnnValue::Int(7))
+            .unwrap();
 
         // Replay on a *fresh* alpha-equivalent function.
         let replayed = replay(mm(), sch.trace()).expect("replay");

@@ -127,10 +127,7 @@ impl Schedule {
 
     /// Runs `f`; on error, restores the program and trace to their prior
     /// state so failed primitives leave the schedule untouched.
-    pub(crate) fn transactional<T>(
-        &mut self,
-        f: impl FnOnce(&mut Self) -> Result<T>,
-    ) -> Result<T> {
+    pub(crate) fn transactional<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
         let backup = self.func.clone();
         let trace_len = self.trace.len();
         match f(self) {
@@ -495,13 +492,7 @@ fn rewrite_loop_in(
             }
             let fr = *fr;
             let (body, applied) = rewrite_loop_in(fr.body, var, f)?;
-            Ok((
-                Stmt::For(Box::new(tir::For {
-                    body,
-                    ..fr
-                })),
-                applied,
-            ))
+            Ok((Stmt::For(Box::new(tir::For { body, ..fr })), applied))
         }
         Stmt::Seq(v) => {
             let mut out = Vec::with_capacity(v.len());

@@ -23,8 +23,8 @@ use std::collections::HashMap;
 
 use tir::visit::subst_expr;
 use tir::{
-    AnnValue, Block, BlockRealize, Buffer, BufferRegion, Expr, IterKind, IterVar, PrimFunc,
-    Stmt, Var,
+    AnnValue, Block, BlockRealize, Buffer, BufferRegion, Expr, IterKind, IterVar, PrimFunc, Stmt,
+    Var,
 };
 use tir_schedule::{BlockRef, Schedule, ScheduleError};
 
@@ -738,8 +738,8 @@ mod tests {
         assert_eq!(t.padded_extents, vec![64, 64, 64]);
         assert!(t.paddings().is_empty());
         // The inner block carries the intrinsic annotation and is opaque.
-        let br = tir::visit::find_block(&t.schedule.func().body, t.inner_block.name())
-            .expect("inner");
+        let br =
+            tir::visit::find_block(&t.schedule.func().body, t.inner_block.name()).expect("inner");
         assert!(matches!(
             br.block.annotations.get(INTRIN_ANNOTATION),
             Some(AnnValue::Str(s)) if s == "dot_4x4x4_f32"
@@ -757,7 +757,14 @@ mod tests {
         let t = auto_tensorize(&func, "C", &dot4()).expect("tensorize");
         assert_eq!(t.padded_extents, vec![32, 32, 32]);
         assert_eq!(t.paddings().len(), 3);
-        assert_eq!(t.paddings()[0], PadInfo { dim: 0, valid: 30, padded: 32 });
+        assert_eq!(
+            t.paddings()[0],
+            PadInfo {
+                dim: 0,
+                valid: 30,
+                padded: 32
+            }
+        );
         assert_same_semantics(&func, t.schedule.func(), 1, 0.0);
         tir_analysis::assert_valid(t.schedule.func());
     }
@@ -773,8 +780,8 @@ mod tests {
         assert_same_semantics(&func, t.schedule.func(), 1, 0.0);
         // The warp exec-scope annotation is attached (threading validation
         // of exec scopes applies once the sketch binds threads).
-        let br = tir::visit::find_block(&t.schedule.func().body, t.inner_block.name())
-            .expect("inner");
+        let br =
+            tir::visit::find_block(&t.schedule.func().body, t.inner_block.name()).expect("inner");
         assert!(matches!(
             br.block.annotations.get("tir.exec_scope"),
             Some(AnnValue::Str(s)) if s == "warp"
@@ -806,12 +813,8 @@ mod tests {
         assert_eq!(t.fused_extents, vec![18, 8, 12]);
         assert_eq!(t.padded_extents, vec![20, 8, 12]);
         // The reindex stages exist.
-        assert!(t
-            .data_movement_blocks
-            .contains(&"A_reindex".to_string()));
-        assert!(t
-            .data_movement_blocks
-            .contains(&"C_writeback".to_string()));
+        assert!(t.data_movement_blocks.contains(&"A_reindex".to_string()));
+        assert!(t.data_movement_blocks.contains(&"C_writeback".to_string()));
         assert_same_semantics(&func, t.schedule.func(), 1, 0.0);
         tir_analysis::assert_valid(t.schedule.func());
     }

@@ -250,10 +250,7 @@ mod tests {
         let wmma = reg.get("wmma_16x16x16_f16").unwrap();
         assert_eq!(wmma.exec_scope.as_deref(), Some("warp"));
         assert_eq!(wmma.macs_per_invocation(), 16 * 16 * 16);
-        assert_eq!(
-            wmma.input_scopes[0],
-            Some(MemScope::WmmaMatrixA)
-        );
+        assert_eq!(wmma.input_scopes[0], Some(MemScope::WmmaMatrixA));
         assert_eq!(wmma.output_scope, Some(MemScope::WmmaAccumulator));
     }
 }

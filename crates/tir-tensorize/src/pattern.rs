@@ -83,13 +83,16 @@ pub fn extract_einsum(block: &Block) -> Result<Einsum, MatchError> {
     };
     let (lhs, lcast) = strip_cast(lhs);
     let (rhs, rcast) = strip_cast(rhs);
-    let (Expr::Load {
-        buffer: ba,
-        indices: ia,
-    }, Expr::Load {
-        buffer: bb,
-        indices: ib,
-    }) = (lhs, rhs)
+    let (
+        Expr::Load {
+            buffer: ba,
+            indices: ia,
+        },
+        Expr::Load {
+            buffer: bb,
+            indices: ib,
+        },
+    ) = (lhs, rhs)
     else {
         return Err(MatchError::NotMulAdd);
     };

@@ -81,7 +81,15 @@ pub fn batch_matmul(bs: i64, m: i64, n: i64, k: i64, dtype: DataType, acc: DataT
 }
 
 /// 1-D convolution (C1D), NWC layout, valid padding.
-pub fn c1d(n: i64, l: i64, ci: i64, co: i64, kernel: i64, stride: i64, dtype: DataType) -> PrimFunc {
+pub fn c1d(
+    n: i64,
+    l: i64,
+    ci: i64,
+    co: i64,
+    kernel: i64,
+    stride: i64,
+    dtype: DataType,
+) -> PrimFunc {
     let lo = (l - kernel) / stride + 1;
     let acc = accumulator_of(dtype);
     let a = Buffer::new("A", dtype, vec![n, l, ci]);
@@ -206,19 +214,27 @@ pub fn c3d(
     let w = Buffer::new("W", dtype, vec![k, k, k, ci, co]);
     let c = Buffer::new("C", acc, vec![n, do_, ho, wo, co]);
     let body = reduce_compute("C", &c, &[k, k, k, ci], zero(acc), |sp, rd| {
-        acc_cast(a.load(vec![
-            Expr::from(&sp[0]),
-            Expr::from(&sp[1]) * stride + Expr::from(&rd[0]),
-            Expr::from(&sp[2]) * stride + Expr::from(&rd[1]),
-            Expr::from(&sp[3]) * stride + Expr::from(&rd[2]),
-            Expr::from(&rd[3]),
-        ]), dtype, acc) * acc_cast(w.load(vec![
-            Expr::from(&rd[0]),
-            Expr::from(&rd[1]),
-            Expr::from(&rd[2]),
-            Expr::from(&rd[3]),
-            Expr::from(&sp[4]),
-        ]), dtype, acc)
+        acc_cast(
+            a.load(vec![
+                Expr::from(&sp[0]),
+                Expr::from(&sp[1]) * stride + Expr::from(&rd[0]),
+                Expr::from(&sp[2]) * stride + Expr::from(&rd[1]),
+                Expr::from(&sp[3]) * stride + Expr::from(&rd[2]),
+                Expr::from(&rd[3]),
+            ]),
+            dtype,
+            acc,
+        ) * acc_cast(
+            w.load(vec![
+                Expr::from(&rd[0]),
+                Expr::from(&rd[1]),
+                Expr::from(&rd[2]),
+                Expr::from(&rd[3]),
+                Expr::from(&sp[4]),
+            ]),
+            dtype,
+            acc,
+        )
     });
     PrimFunc::new("c3d", vec![a, w, c], body)
 }
@@ -286,19 +302,27 @@ pub fn grp(
     let w = Buffer::new("W", dtype, vec![groups, kh, kw, ci_g, co_g]);
     let c = Buffer::new("C", acc, vec![n, ho, wo, groups, co_g]);
     let body = reduce_compute("C", &c, &[kh, kw, ci_g], zero(acc), |sp, rd| {
-        acc_cast(a.load(vec![
-            Expr::from(&sp[0]),
-            Expr::from(&sp[1]) * stride + Expr::from(&rd[0]),
-            Expr::from(&sp[2]) * stride + Expr::from(&rd[1]),
-            Expr::from(&sp[3]),
-            Expr::from(&rd[2]),
-        ]), dtype, acc) * acc_cast(w.load(vec![
-            Expr::from(&sp[3]),
-            Expr::from(&rd[0]),
-            Expr::from(&rd[1]),
-            Expr::from(&rd[2]),
-            Expr::from(&sp[4]),
-        ]), dtype, acc)
+        acc_cast(
+            a.load(vec![
+                Expr::from(&sp[0]),
+                Expr::from(&sp[1]) * stride + Expr::from(&rd[0]),
+                Expr::from(&sp[2]) * stride + Expr::from(&rd[1]),
+                Expr::from(&sp[3]),
+                Expr::from(&rd[2]),
+            ]),
+            dtype,
+            acc,
+        ) * acc_cast(
+            w.load(vec![
+                Expr::from(&sp[3]),
+                Expr::from(&rd[0]),
+                Expr::from(&rd[1]),
+                Expr::from(&rd[2]),
+                Expr::from(&sp[4]),
+            ]),
+            dtype,
+            acc,
+        )
     });
     PrimFunc::new("grp", vec![a, w, c], body)
 }
@@ -361,18 +385,26 @@ pub fn t2d(
     });
 
     let body = reduce_compute("C", &c, &[kh, kw, ci], zero(acc), |sp, rd| {
-        acc_cast(p.load(vec![
-            Expr::from(&sp[0]),
-            Expr::from(&sp[1]) + Expr::from(&rd[0]),
-            Expr::from(&sp[2]) + Expr::from(&rd[1]),
-            Expr::from(&rd[2]),
-        ]), dtype, acc) * acc_cast(w.load(vec![
-            // Spatially flipped kernel.
-            Expr::int(kh - 1) - Expr::from(&rd[0]),
-            Expr::int(kw - 1) - Expr::from(&rd[1]),
-            Expr::from(&rd[2]),
-            Expr::from(&sp[3]),
-        ]), dtype, acc)
+        acc_cast(
+            p.load(vec![
+                Expr::from(&sp[0]),
+                Expr::from(&sp[1]) + Expr::from(&rd[0]),
+                Expr::from(&sp[2]) + Expr::from(&rd[1]),
+                Expr::from(&rd[2]),
+            ]),
+            dtype,
+            acc,
+        ) * acc_cast(
+            w.load(vec![
+                // Spatially flipped kernel.
+                Expr::int(kh - 1) - Expr::from(&rd[0]),
+                Expr::int(kw - 1) - Expr::from(&rd[1]),
+                Expr::from(&rd[2]),
+                Expr::from(&sp[3]),
+            ]),
+            dtype,
+            acc,
+        )
     });
     let mut f = PrimFunc::new("t2d", vec![a, w, c], Stmt::seq(vec![pad, body]));
     f.root_block_mut()
@@ -445,8 +477,7 @@ mod tests {
                     for rh in 0..k {
                         for rw in 0..k {
                             for rc in 0..ci {
-                                acc += a.get(&[0, y + rh, x + rw, rc])
-                                    * w.get(&[rh, rw, rc, f_]);
+                                acc += a.get(&[0, y + rh, x + rw, rc]) * w.get(&[rh, rw, rc, f_]);
                             }
                         }
                     }

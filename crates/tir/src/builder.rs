@@ -18,7 +18,10 @@ use crate::visit::{ExprVisitor, StmtVisitor};
 /// write region, keyed by buffer; duplicate (buffer, indices) accesses are
 /// deduplicated. This matches TVM's default signature for scalar blocks;
 /// range-precise regions are computed by `tir-analysis` when needed.
-pub fn derive_signature(body: &Stmt, init: Option<&Stmt>) -> (Vec<BufferRegion>, Vec<BufferRegion>) {
+pub fn derive_signature(
+    body: &Stmt,
+    init: Option<&Stmt>,
+) -> (Vec<BufferRegion>, Vec<BufferRegion>) {
     struct Scan {
         reads: Vec<BufferRegion>,
         writes: Vec<BufferRegion>,

@@ -14,7 +14,9 @@ use crate::dtype::{parse_dtype, DataType};
 use crate::expr::{BinOp, CmpOp, Expr, Var};
 use crate::func::PrimFunc;
 use crate::simplify::simplify_expr;
-use crate::stmt::{AnnValue, Block, BlockRealize, For, ForKind, IterKind, IterVar, Stmt, ThreadTag};
+use crate::stmt::{
+    AnnValue, Block, BlockRealize, For, ForKind, IterKind, IterVar, Stmt, ThreadTag,
+};
 
 /// A parse failure with a line number and message.
 #[derive(Clone, Debug)]
@@ -369,15 +371,15 @@ impl<'a> ExprParser<'a> {
                 }
                 if matches!(self.peek(), Some(Tok::Sym("["))) {
                     // Buffer load.
-                    let buffer = self
-                        .scope
-                        .buffers
-                        .get(&name)
-                        .cloned()
-                        .ok_or_else(|| ParseError {
-                            line: self.line,
-                            message: format!("unknown buffer {name}"),
-                        })?;
+                    let buffer =
+                        self.scope
+                            .buffers
+                            .get(&name)
+                            .cloned()
+                            .ok_or_else(|| ParseError {
+                                line: self.line,
+                                message: format!("unknown buffer {name}"),
+                            })?;
                     self.expect_sym("[")?;
                     let mut indices = Vec::new();
                     loop {
@@ -389,12 +391,15 @@ impl<'a> ExprParser<'a> {
                     }
                     return Ok(Expr::Load { buffer, indices });
                 }
-                let var = self.scope.vars.get(&name).cloned().ok_or_else(|| {
-                    ParseError {
+                let var = self
+                    .scope
+                    .vars
+                    .get(&name)
+                    .cloned()
+                    .ok_or_else(|| ParseError {
                         line: self.line,
                         message: format!("unknown variable {name}"),
-                    }
-                })?;
+                    })?;
                 Ok(Expr::Var(var))
             }
             other => self.err(format!("unexpected token {other:?}")),
@@ -437,9 +442,7 @@ impl<'a> ExprParser<'a> {
                         line: self.line,
                         message: format!("unknown dtype {s}"),
                     })?,
-                    other => {
-                        return self.err(format!("expected dtype string, got {other}"))
-                    }
+                    other => return self.err(format!("expected dtype string, got {other}")),
                 };
                 Ok(Expr::Cast(dt, Box::new(value)))
             }
@@ -855,7 +858,8 @@ impl Parser {
         let then_branch = Stmt::seq(self.parse_block_body(indent + 1)?);
         let mut else_branch = None;
         if let Some(line) = self.peek() {
-            if line.indent == indent && matches!(line.toks.first(), Some(Tok::Name(n)) if n == "else")
+            if line.indent == indent
+                && matches!(line.toks.first(), Some(Tok::Name(n)) if n == "else")
             {
                 self.pos += 1;
                 else_branch = Some(Box::new(Stmt::seq(self.parse_block_body(indent + 1)?)));
@@ -868,12 +872,7 @@ impl Parser {
         })
     }
 
-    fn parse_block_realize(
-        &mut self,
-        indent: usize,
-        toks: &[Tok],
-        lineno: usize,
-    ) -> Result<Stmt> {
+    fn parse_block_realize(&mut self, indent: usize, toks: &[Tok], lineno: usize) -> Result<Stmt> {
         // with T.block("name"):
         let Some(Tok::Str(name)) = toks.get(3) else {
             return Err(ParseError {
@@ -1176,8 +1175,9 @@ mod tests {
 
     #[test]
     fn parse_error_reports_line() {
-        let err = parse_func("@T.prim_func\ndef f(A: T.Buffer((4), \"float32\")):\n    garbage ???")
-            .unwrap_err();
+        let err =
+            parse_func("@T.prim_func\ndef f(A: T.Buffer((4), \"float32\")):\n    garbage ???")
+                .unwrap_err();
         assert!(err.line >= 3, "{err}");
     }
 
@@ -1196,12 +1196,7 @@ def f(A: T.Buffer((8), "float32")):
         A[i] = 1.0
 "#;
         let f = parse_func(src).expect("parse");
-        let fr = f
-            .root_block()
-            .unwrap()
-            .body
-            .as_for()
-            .expect("loop");
+        let fr = f.root_block().unwrap().body.as_for().expect("loop");
         assert_eq!(fr.kind, ForKind::Parallel);
     }
 
@@ -1264,7 +1259,10 @@ mod more_tests {
             }
         }
         let text = f.to_string();
-        assert!(text.contains("# annotation: software_pipeline = 2"), "{text}");
+        assert!(
+            text.contains("# annotation: software_pipeline = 2"),
+            "{text}"
+        );
         let parsed = parse_func(&text).expect("parse");
         assert!(
             func_structural_eq(&f, &parsed),
@@ -1277,14 +1275,12 @@ mod more_tests {
         let a = Buffer::new("A", DataType::float32(), vec![8]);
         let sh = Buffer::with_scope("S", DataType::float32(), vec![8], MemScope::Shared);
         let i = Var::int("i");
-        let body = crate::Stmt::seq(vec![
-            crate::Stmt::store(
-                sh.clone(),
-                vec![Expr::from(&i)],
-                a.load(vec![Expr::from(&i)]),
-            )
-            .in_loop(i.clone(), 8),
-        ]);
+        let body = crate::Stmt::seq(vec![crate::Stmt::store(
+            sh.clone(),
+            vec![Expr::from(&i)],
+            a.load(vec![Expr::from(&i)]),
+        )
+        .in_loop(i.clone(), 8)]);
         let mut f = PrimFunc::new("scoped", vec![a], body);
         f.root_block_mut().unwrap().alloc_buffers.push(sh);
         let parsed = parse_func(&f.to_string()).expect("parse");

@@ -159,11 +159,7 @@ fn simplify_bin(op: BinOp, a: Expr, b: Expr) -> Expr {
                     if let Expr::Bin(BinOp::Mul, x, c1) = &a {
                         if let Some(c1v) = c1.as_int() {
                             if c1v % c == 0 {
-                                return simplify_bin(
-                                    BinOp::Mul,
-                                    (**x).clone(),
-                                    Expr::int(c1v / c),
-                                );
+                                return simplify_bin(BinOp::Mul, (**x).clone(), Expr::int(c1v / c));
                             }
                         }
                     }
@@ -364,7 +360,10 @@ mod tests {
 
     #[test]
     fn booleans_and_select() {
-        assert_eq!(s(Expr::bool(true).and(Expr::bool(false))), Expr::bool(false));
+        assert_eq!(
+            s(Expr::bool(true).and(Expr::bool(false))),
+            Expr::bool(false)
+        );
         let x = Var::int("x");
         let c = Expr::from(&x).lt(5);
         assert_eq!(s(Expr::true_().and(c.clone())), s(c));

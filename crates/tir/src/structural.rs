@@ -1,9 +1,16 @@
-//! Alpha-equivalence (structural equality) of programs.
+//! Alpha-equivalence (structural equality and hashing) of programs.
 //!
 //! Two programs are structurally equal when they are identical up to a
 //! consistent renaming of variables and buffers. Used heavily by schedule
 //! tests: a transformation and its hand-written expected output never share
 //! variable identities, so plain `==` would always fail.
+//!
+//! [`structural_hash`] is the companion hash: alpha-equivalent programs
+//! hash identically (variables and buffers are numbered by first
+//! occurrence), so it can key caches of per-program results. The
+//! auto-scheduler's candidate-evaluation cache uses it to recognize that
+//! two distinct decision vectors materialized the same program and to skip
+//! re-measuring it.
 
 use std::collections::HashMap;
 
@@ -199,6 +206,268 @@ impl Matcher {
     }
 }
 
+/// FNV-1a accumulator with first-occurrence numbering of variables and
+/// buffers, so alpha-equivalent programs produce identical hashes.
+struct StructHasher {
+    state: u64,
+    vars: HashMap<usize, u64>,
+    bufs: HashMap<usize, u64>,
+}
+
+impl StructHasher {
+    fn new() -> Self {
+        StructHasher {
+            // FNV-1a 64-bit offset basis.
+            state: 0xcbf2_9ce4_8422_2325,
+            vars: HashMap::new(),
+            bufs: HashMap::new(),
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Tags a tree-node kind so different shapes never collide trivially.
+    fn tag(&mut self, t: u8) {
+        self.byte(t);
+    }
+
+    fn var(&mut self, v: &Var) {
+        let n = self.vars.len() as u64;
+        let idx = *self.vars.entry(v.id()).or_insert(n);
+        self.tag(1);
+        self.u64(idx);
+    }
+
+    fn buffer(&mut self, b: &Buffer) {
+        let n = self.bufs.len() as u64;
+        let idx = *self.bufs.entry(b.id()).or_insert(n);
+        self.tag(2);
+        self.u64(idx);
+        self.str(&format!("{:?}", b.dtype()));
+        self.str(&format!("{:?}", b.scope()));
+        for &d in b.shape() {
+            self.i64(d);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(v, d) => {
+                self.tag(10);
+                self.i64(*v);
+                self.str(&format!("{d:?}"));
+            }
+            Expr::Float(v, d) => {
+                self.tag(11);
+                self.u64(v.to_bits());
+                self.str(&format!("{d:?}"));
+            }
+            Expr::Str(s) => {
+                self.tag(12);
+                self.str(s);
+            }
+            Expr::Var(v) => {
+                self.tag(13);
+                self.var(v);
+            }
+            Expr::Cast(d, x) => {
+                self.tag(14);
+                self.str(&format!("{d:?}"));
+                self.expr(x);
+            }
+            Expr::Bin(op, a, b) => {
+                self.tag(15);
+                self.str(&format!("{op:?}"));
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Cmp(op, a, b) => {
+                self.tag(16);
+                self.str(&format!("{op:?}"));
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Not(x) => {
+                self.tag(17);
+                self.expr(x);
+            }
+            Expr::Select { cond, then, other } => {
+                self.tag(18);
+                self.expr(cond);
+                self.expr(then);
+                self.expr(other);
+            }
+            Expr::Load { buffer, indices } => {
+                self.tag(19);
+                self.buffer(buffer);
+                self.u64(indices.len() as u64);
+                for i in indices {
+                    self.expr(i);
+                }
+            }
+            Expr::Call { name, args, dtype } => {
+                self.tag(20);
+                self.str(name);
+                self.str(&format!("{dtype:?}"));
+                self.u64(args.len() as u64);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+        }
+    }
+
+    fn region(&mut self, r: &BufferRegion) {
+        self.tag(3);
+        self.buffer(&r.buffer);
+        self.u64(r.region.len() as u64);
+        for dim in &r.region {
+            self.expr(&dim.min);
+            self.expr(&dim.extent);
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.tag(4);
+        self.str(&b.name);
+        self.u64(b.iter_vars.len() as u64);
+        for iv in &b.iter_vars {
+            self.var(&iv.var);
+            self.i64(iv.extent);
+            self.str(&format!("{:?}", iv.kind));
+        }
+        self.u64(b.alloc_buffers.len() as u64);
+        for buf in &b.alloc_buffers {
+            self.buffer(buf);
+        }
+        self.u64(b.reads.len() as u64);
+        for r in &b.reads {
+            self.region(r);
+        }
+        self.u64(b.writes.len() as u64);
+        for w in &b.writes {
+            self.region(w);
+        }
+        self.u64(b.annotations.len() as u64);
+        for (k, v) in &b.annotations {
+            self.str(k);
+            self.str(&format!("{v:?}"));
+        }
+        match &b.init {
+            Some(init) => {
+                self.tag(5);
+                self.stmt(init);
+            }
+            None => self.tag(6),
+        }
+        self.stmt(&b.body);
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => {
+                self.tag(30);
+                self.buffer(buffer);
+                self.u64(indices.len() as u64);
+                for i in indices {
+                    self.expr(i);
+                }
+                self.expr(value);
+            }
+            Stmt::Eval(e) => {
+                self.tag(31);
+                self.expr(e);
+            }
+            Stmt::Seq(stmts) => {
+                self.tag(32);
+                self.u64(stmts.len() as u64);
+                for st in stmts {
+                    self.stmt(st);
+                }
+            }
+            Stmt::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.tag(33);
+                self.expr(cond);
+                self.stmt(then_branch);
+                match else_branch {
+                    Some(e) => {
+                        self.tag(5);
+                        self.stmt(e);
+                    }
+                    None => self.tag(6),
+                }
+            }
+            Stmt::For(f) => {
+                self.tag(34);
+                self.str(&format!("{:?}", f.kind));
+                self.var(&f.var);
+                self.expr(&f.extent);
+                self.u64(f.annotations.len() as u64);
+                for (k, v) in &f.annotations {
+                    self.str(k);
+                    self.str(&format!("{v:?}"));
+                }
+                self.stmt(&f.body);
+            }
+            Stmt::BlockRealize(br) => {
+                self.tag(35);
+                self.u64(br.iter_values.len() as u64);
+                for v in &br.iter_values {
+                    self.expr(v);
+                }
+                self.expr(&br.predicate);
+                self.block(&br.block);
+            }
+        }
+    }
+}
+
+/// Alpha-invariant structural hash of a function.
+///
+/// Guarantees `func_structural_eq(a, b)` implies
+/// `structural_hash(a) == structural_hash(b)` for functions whose
+/// parameters map positionally (variables and buffers are numbered by
+/// first occurrence rather than identity or name). Collisions between
+/// structurally different programs are possible but 2^-64-unlikely; the
+/// auto-scheduler uses the hash to key its candidate-evaluation cache.
+pub fn structural_hash(func: &PrimFunc) -> u64 {
+    let mut h = StructHasher::new();
+    h.u64(func.params.len() as u64);
+    for p in &func.params {
+        h.buffer(p);
+    }
+    h.stmt(&func.body);
+    h.state
+}
+
 /// Structural (alpha) equality of two expressions.
 pub fn expr_structural_eq(a: &Expr, b: &Expr) -> bool {
     Matcher::default().expr(a, b)
@@ -250,6 +519,41 @@ mod tests {
         let l = |b: &Buffer| b.load(vec![Expr::int(0)]);
         assert!(expr_structural_eq(&l(&a1), &l(&a2)));
         assert!(!expr_structural_eq(&l(&a1), &l(&a3)));
+    }
+
+    #[test]
+    fn structural_hash_is_alpha_invariant() {
+        use crate::builder::matmul_func;
+        // Independently constructed, alpha-equivalent programs hash
+        // identically; different shapes or dtypes do not.
+        let a = matmul_func("mm", 64, 64, 64, DataType::float16());
+        let b = matmul_func("other", 64, 64, 64, DataType::float16());
+        let c = matmul_func("mm", 64, 64, 32, DataType::float16());
+        let d = matmul_func("mm", 64, 64, 64, DataType::float32());
+        assert!(func_structural_eq(&a, &b));
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+        assert_ne!(structural_hash(&a), structural_hash(&c));
+        assert_ne!(structural_hash(&a), structural_hash(&d));
+    }
+
+    #[test]
+    fn structural_hash_tracks_inconsistent_renaming() {
+        let x1 = Var::int("x");
+        let x2 = Var::int("y");
+        let a = Buffer::new("A", DataType::float32(), vec![64]);
+        // x*4 + x vs x*4 + y: structurally different, must hash apart.
+        let mk = |e: Expr| {
+            Stmt::store(
+                a.clone(),
+                vec![Expr::int(0)],
+                Expr::f32(0.0) + e.cast(DataType::float32()),
+            )
+        };
+        let same = mk(Expr::from(&x1) * 4 + Expr::from(&x1));
+        let diff = mk(Expr::from(&x1) * 4 + Expr::from(&x2));
+        let fa = PrimFunc::new("f", vec![a.clone()], same);
+        let fb = PrimFunc::new("f", vec![a.clone()], diff);
+        assert_ne!(structural_hash(&fa), structural_hash(&fb));
     }
 
     #[test]

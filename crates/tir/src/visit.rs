@@ -158,11 +158,7 @@ pub trait StmtMutator: ExprMutator {
 
     /// Transforms a block, rebuilding signature regions, init and body.
     fn mutate_block(&mut self, mut b: Block) -> Block {
-        b.reads = b
-            .reads
-            .into_iter()
-            .map(|r| self.mutate_region(r))
-            .collect();
+        b.reads = b.reads.into_iter().map(|r| self.mutate_region(r)).collect();
         b.writes = b
             .writes
             .into_iter()

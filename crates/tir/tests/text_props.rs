@@ -1,7 +1,9 @@
-//! Property tests of the text dialect: randomly generated programs print
-//! and re-parse to structurally equal programs.
-
-use proptest::prelude::*;
+//! Property tests of the text dialect: generated programs print and
+//! re-parse to structurally equal programs.
+//!
+//! Originally written with `proptest`; rewritten as exhaustive/seeded
+//! sweeps over the same parameter ranges so the workspace builds with no
+//! external dependencies.
 
 use tir::builder::{compute, reduce_compute};
 use tir::parser::parse_func;
@@ -16,76 +18,80 @@ fn affine_index(vars: &[tir::Var], picks: &[i64]) -> Expr {
     Expr::from(v0) * c1 + c2
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Random spatial compute blocks with affine reads round-trip.
-    #[test]
-    fn random_compute_round_trips(
-        d0 in 2i64..9,
-        d1 in 2i64..9,
-        picks in proptest::collection::vec(-8i64..8, 6),
-    ) {
-        // Input sized so any affine index stays in bounds: max index is
-        // (d - 1) * 4 + 2.
-        let in_dim0 = (d0 - 1) * 4 + 3;
-        let in_dim1 = (d1 - 1) * 4 + 3;
-        let a = Buffer::new("A", DataType::float32(), vec![in_dim0, in_dim1]);
-        let b = Buffer::new("B", DataType::float32(), vec![d0, d1]);
-        let body = compute("B", &b, |iv| {
-            a.load(vec![
-                affine_index(iv, &picks[0..3]),
-                affine_index(iv, &picks[3..6]),
-            ]) * Expr::f32(2.0)
-                + Expr::f32(1.0)
-        });
-        let f = PrimFunc::new("rand_compute", vec![a, b], body);
-        let parsed = parse_func(&f.to_string())
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{f}")))?;
-        prop_assert!(func_structural_eq(&f, &parsed), "\n{}\nvs\n{}", f, parsed);
-    }
-
-    /// Random sum-reduction blocks (with init) round-trip.
-    #[test]
-    fn random_reduction_round_trips(
-        d in 2i64..8,
-        r in 2i64..6,
-        scale in 1i64..4,
-    ) {
-        let a = Buffer::new("A", DataType::float32(), vec![d, r * scale]);
-        let c = Buffer::new("C", DataType::float32(), vec![d]);
-        let body = reduce_compute("C", &c, &[r], Expr::f32(0.0), |sp, rd| {
-            a.load(vec![Expr::from(&sp[0]), Expr::from(&rd[0]) * scale])
-        });
-        let f = PrimFunc::new("rand_reduce", vec![a, c], body);
-        let parsed = parse_func(&f.to_string())
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{f}")))?;
-        prop_assert!(func_structural_eq(&f, &parsed));
-    }
-
-    /// Programs with nested sequences, predicates and ifs round-trip.
-    #[test]
-    fn control_flow_round_trips(cut in 1i64..7, extent in 2i64..10) {
-        prop_assume!(cut < extent);
-        let b = Buffer::new("B", DataType::float32(), vec![extent]);
-        let i = tir::Var::int("i");
-        let body = Stmt::IfThenElse {
-            cond: Expr::from(&i).lt(cut),
-            then_branch: Box::new(Stmt::store(
-                b.clone(),
-                vec![Expr::from(&i)],
-                Expr::f32(1.0),
-            )),
-            else_branch: Some(Box::new(Stmt::store(
-                b.clone(),
-                vec![Expr::from(&i)],
-                Expr::f32(-1.0),
-            ))),
+/// Spatial compute blocks with affine reads round-trip, over a grid of
+/// shapes and a seeded stream of affine-index coefficient picks.
+#[test]
+fn random_compute_round_trips() {
+    use tir_rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0x7e57);
+    for d0 in [2i64, 3, 5, 8] {
+        for d1 in [2i64, 4, 7, 8] {
+            for _rep in 0..2 {
+                let picks: Vec<i64> = (0..6).map(|_| rng.random_range(-8i64..8)).collect();
+                // Input sized so any affine index stays in bounds: max
+                // index is (d - 1) * 4 + 2.
+                let in_dim0 = (d0 - 1) * 4 + 3;
+                let in_dim1 = (d1 - 1) * 4 + 3;
+                let a = Buffer::new("A", DataType::float32(), vec![in_dim0, in_dim1]);
+                let b = Buffer::new("B", DataType::float32(), vec![d0, d1]);
+                let body = compute("B", &b, |iv| {
+                    a.load(vec![
+                        affine_index(iv, &picks[0..3]),
+                        affine_index(iv, &picks[3..6]),
+                    ]) * Expr::f32(2.0)
+                        + Expr::f32(1.0)
+                });
+                let f = PrimFunc::new("rand_compute", vec![a, b], body);
+                let parsed = parse_func(&f.to_string()).unwrap_or_else(|e| panic!("{e}\n{f}"));
+                assert!(func_structural_eq(&f, &parsed), "\n{}\nvs\n{}", f, parsed);
+            }
         }
-        .in_loop(i, extent);
-        let f = PrimFunc::new("cf", vec![b], body);
-        let parsed = parse_func(&f.to_string())
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{f}")))?;
-        prop_assert!(func_structural_eq(&f, &parsed));
+    }
+}
+
+/// Sum-reduction blocks (with init) round-trip, over all shapes in the
+/// original sampling ranges.
+#[test]
+fn random_reduction_round_trips() {
+    for d in 2i64..8 {
+        for r in 2i64..6 {
+            for scale in 1i64..4 {
+                let a = Buffer::new("A", DataType::float32(), vec![d, r * scale]);
+                let c = Buffer::new("C", DataType::float32(), vec![d]);
+                let body = reduce_compute("C", &c, &[r], Expr::f32(0.0), |sp, rd| {
+                    a.load(vec![Expr::from(&sp[0]), Expr::from(&rd[0]) * scale])
+                });
+                let f = PrimFunc::new("rand_reduce", vec![a, c], body);
+                let parsed = parse_func(&f.to_string()).unwrap_or_else(|e| panic!("{e}\n{f}"));
+                assert!(func_structural_eq(&f, &parsed));
+            }
+        }
+    }
+}
+
+/// Programs with nested sequences, predicates and ifs round-trip.
+#[test]
+fn control_flow_round_trips() {
+    for extent in 2i64..10 {
+        for cut in 1i64..7 {
+            if cut >= extent {
+                continue;
+            }
+            let b = Buffer::new("B", DataType::float32(), vec![extent]);
+            let i = tir::Var::int("i");
+            let body = Stmt::IfThenElse {
+                cond: Expr::from(&i).lt(cut),
+                then_branch: Box::new(Stmt::store(b.clone(), vec![Expr::from(&i)], Expr::f32(1.0))),
+                else_branch: Some(Box::new(Stmt::store(
+                    b.clone(),
+                    vec![Expr::from(&i)],
+                    Expr::f32(-1.0),
+                ))),
+            }
+            .in_loop(i, extent);
+            let f = PrimFunc::new("cf", vec![b], body);
+            let parsed = parse_func(&f.to_string()).unwrap_or_else(|e| panic!("{e}\n{f}"));
+            assert!(func_structural_eq(&f, &parsed));
+        }
     }
 }

@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let intrin = reg.get("dot_4x4x4_f32").expect("builtin");
     println!("--- input workload ---\n{func}");
 
-    let block = &tir::visit::find_block(&func.body, "C").expect("block C").block;
+    let block = &tir::visit::find_block(&func.body, "C")
+        .expect("block C")
+        .block;
     let einsum = extract_einsum(block).map_err(|e| e.to_string())?;
     println!(
         "einsum: {}[..] += {}[..] * {}[..]",

@@ -37,14 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Any matching workload now tensorizes automatically.
-    let func = tir_workloads::batch_matmul(
-        4,
-        24,
-        24,
-        24,
-        DataType::bfloat16(),
-        DataType::bfloat16(),
-    );
+    let func =
+        tir_workloads::batch_matmul(4, 24, 24, 24, DataType::bfloat16(), DataType::bfloat16());
     let block = find_tensorizable_block(&func, &intrin).expect("bmm matches the intrinsic");
     let t = auto_tensorize(&func, &block, &intrin)?;
     println!(

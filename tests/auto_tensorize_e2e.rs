@@ -14,14 +14,7 @@ use tir_tensorize::{auto_tensorize, builtin_registry, find_tensorizable_block};
 fn small_ops(dtype: DataType) -> Vec<tir::PrimFunc> {
     vec![
         tir_workloads::gmm(12, 10, 8, dtype, tir_workloads::ops::accumulator_of(dtype)),
-        tir_workloads::batch_matmul(
-            2,
-            6,
-            6,
-            6,
-            dtype,
-            tir_workloads::ops::accumulator_of(dtype),
-        ),
+        tir_workloads::batch_matmul(2, 6, 6, 6, dtype, tir_workloads::ops::accumulator_of(dtype)),
         tir_workloads::c1d(1, 14, 4, 6, 3, 1, dtype),
         tir_workloads::c2d(1, 8, 8, 4, 6, 3, 3, 1, dtype),
         tir_workloads::c3d(1, 5, 5, 5, 2, 4, 2, 1, dtype),
@@ -69,11 +62,11 @@ fn every_matchable_op_tensorizes_bit_exactly_int8() {
 
 #[test]
 fn gpu_sketches_are_semantics_preserving_on_conv() {
-    use rand::SeedableRng;
+    use tir_rand::SeedableRng;
     let func = tir_workloads::c2d(1, 10, 10, 16, 16, 3, 3, 1, DataType::float16());
     let reg = builtin_registry();
     let wmma = reg.get("wmma_16x16x16_f16").unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = tir_rand::rngs::StdRng::seed_from_u64(11);
     if let Ok(sketch) = GpuTensorSketch::new(&func, "C", wmma, true) {
         let mut checked = 0;
         for _ in 0..6 {
@@ -95,11 +88,11 @@ fn gpu_sketches_are_semantics_preserving_on_conv() {
 
 #[test]
 fn cpu_sketches_are_semantics_preserving_on_int8_conv() {
-    use rand::SeedableRng;
+    use tir_rand::SeedableRng;
     let func = tir_workloads::c2d(1, 10, 10, 8, 8, 3, 3, 1, DataType::int8());
     let reg = builtin_registry();
     let sdot = reg.get("sdot_4x4x4_i8").unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut rng = tir_rand::rngs::StdRng::seed_from_u64(13);
     let sketch = CpuTensorSketch::new(&func, "C", sdot).expect("tensor sketch");
     let mut checked = 0;
     for _ in 0..4 {

@@ -1,14 +1,18 @@
 //! Cross-crate property tests: randomly composed schedules must preserve
 //! program semantics exactly (interpreter-checked), and the iterator-map
 //! detector must agree with brute-force evaluation.
+//!
+//! Originally written with `proptest`; rewritten as exhaustive/seeded
+//! sweeps over the same parameter ranges so the workspace builds with no
+//! external dependencies.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 use tir::builder::matmul_func;
 use tir::{DataType, Expr, ThreadTag, Var};
 use tir_arith::iter_map::{detect_iter_map, eval_iter_sum};
 use tir_exec::assert_same_semantics;
+use tir_rand::{rngs::StdRng, RngExt, SeedableRng};
 use tir_schedule::Schedule;
 
 /// Factor pairs of n.
@@ -16,36 +20,34 @@ fn factor_pairs(n: i64) -> Vec<(i64, i64)> {
     (1..=n).filter(|d| n % d == 0).map(|d| (d, n / d)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any split of any loop of a matmul by exact factors preserves
-    /// semantics and passes validation.
-    #[test]
-    fn split_preserves_semantics(
-        loop_idx in 0usize..3,
-        pair_idx in 0usize..7,
-    ) {
-        let n = 12i64;
-        let reference = matmul_func("mm", n, n, n, DataType::float32());
-        let mut sch = Schedule::new(reference.clone());
-        let block = sch.get_block("C").unwrap();
-        let loops = sch.get_loops(&block).unwrap();
-        let pairs = factor_pairs(n);
-        let (a, b) = pairs[pair_idx % pairs.len()];
-        sch.split(&loops[loop_idx], &[a, b]).unwrap();
-        tir_analysis::validate(sch.func()).map_err(|e| {
-            TestCaseError::fail(format!("validation: {}", e[0]))
-        })?;
-        assert_same_semantics(&reference, sch.func(), 1, 0.0);
+/// Any split of any loop of a matmul by exact factors preserves semantics
+/// and passes validation (exhaustive over loops x factor pairs).
+#[test]
+fn split_preserves_semantics() {
+    let n = 12i64;
+    let reference = matmul_func("mm", n, n, n, DataType::float32());
+    for loop_idx in 0usize..3 {
+        for (a, b) in factor_pairs(n) {
+            let mut sch = Schedule::new(reference.clone());
+            let block = sch.get_block("C").unwrap();
+            let loops = sch.get_loops(&block).unwrap();
+            sch.split(&loops[loop_idx], &[a, b]).unwrap();
+            tir_analysis::validate(sch.func()).unwrap_or_else(|e| panic!("validation: {}", e[0]));
+            assert_same_semantics(&reference, sch.func(), 1, 0.0);
+        }
     }
+}
 
-    /// Random pipelines of split / fuse / reorder / parallel / bind keep
-    /// the matmul bit-exact.
-    #[test]
-    fn random_pipeline_preserves_semantics(ops in proptest::collection::vec(0u8..5, 1..6)) {
-        let n = 8i64;
-        let reference = matmul_func("mm", n, n, n, DataType::float32());
+/// Random pipelines of split / fuse / reorder / parallel / bind keep the
+/// matmul bit-exact (seeded random op sequences).
+#[test]
+fn random_pipeline_preserves_semantics() {
+    let n = 8i64;
+    let reference = matmul_func("mm", n, n, n, DataType::float32());
+    let mut rng = StdRng::seed_from_u64(0x5c4ed);
+    for _case in 0..24 {
+        let len = rng.random_range(1usize..6);
+        let ops: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..5)).collect();
         let mut sch = Schedule::new(reference.clone());
         let block = sch.get_block("C").unwrap();
         for (step, op) in ops.iter().enumerate() {
@@ -81,28 +83,36 @@ proptest! {
         }
         assert_same_semantics(&reference, sch.func(), 1, 0.0);
     }
+}
 
-    /// detect_iter_map's normalized sums evaluate identically to the raw
-    /// binding expressions on every point of the domain.
-    #[test]
-    fn iter_map_matches_bruteforce(e1 in 2i64..5, e2 in 2i64..5, cut in 1i64..5) {
-        let i = Var::int("i");
-        let j = Var::int("j");
-        let fused = Expr::from(&i) * e2 + Expr::from(&j);
-        let total = e1 * e2;
-        // Use only divisor-aligned cuts.
-        let c = (1..=total).filter(|d| total % d == 0 && e2 % d == 0)
-            .nth(cut as usize % 2).unwrap_or(1);
-        let bindings = vec![fused.clone().floor_div(c), fused.floor_mod(c)];
-        let dom = vec![(i.clone(), e1), (j.clone(), e2)];
-        if let Ok(map) = detect_iter_map(&bindings, &dom) {
-            for iv in 0..e1 {
-                for jv in 0..e2 {
-                    let vals: HashMap<Var, i64> =
-                        [(i.clone(), iv), (j.clone(), jv)].into_iter().collect();
-                    let f = iv * e2 + jv;
-                    prop_assert_eq!(eval_iter_sum(&map.sums[0], &vals), f / c);
-                    prop_assert_eq!(eval_iter_sum(&map.sums[1], &vals), f % c);
+/// detect_iter_map's normalized sums evaluate identically to the raw
+/// binding expressions on every point of the domain (exhaustive).
+#[test]
+fn iter_map_matches_bruteforce() {
+    for e1 in 2i64..5 {
+        for e2 in 2i64..5 {
+            for cut in 1i64..5 {
+                let i = Var::int("i");
+                let j = Var::int("j");
+                let fused = Expr::from(&i) * e2 + Expr::from(&j);
+                let total = e1 * e2;
+                // Use only divisor-aligned cuts.
+                let c = (1..=total)
+                    .filter(|d| total % d == 0 && e2 % d == 0)
+                    .nth(cut as usize % 2)
+                    .unwrap_or(1);
+                let bindings = vec![fused.clone().floor_div(c), fused.floor_mod(c)];
+                let dom = vec![(i.clone(), e1), (j.clone(), e2)];
+                if let Ok(map) = detect_iter_map(&bindings, &dom) {
+                    for iv in 0..e1 {
+                        for jv in 0..e2 {
+                            let vals: HashMap<Var, i64> =
+                                [(i.clone(), iv), (j.clone(), jv)].into_iter().collect();
+                            let f = iv * e2 + jv;
+                            assert_eq!(eval_iter_sum(&map.sums[0], &vals), f / c);
+                            assert_eq!(eval_iter_sum(&map.sums[1], &vals), f % c);
+                        }
+                    }
                 }
             }
         }

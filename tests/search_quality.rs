@@ -85,3 +85,80 @@ fn more_trials_never_hurt() {
     let long = tune_workload(&func, &machine, &reg, Strategy::TensorIr, &opts(32));
     assert!(long.best_time <= short.best_time * 1.0001);
 }
+
+#[test]
+fn thread_count_invariance_end_to_end() {
+    // The full workload path (multi-sketch, budget split) must find the
+    // byte-identical best program at any thread count.
+    let func = tir_workloads::gmm(128, 128, 128, DataType::float16(), DataType::float16());
+    let machine = Machine::sim_gpu();
+    let reg = builtin_registry();
+    let serial = tune_workload(
+        &func,
+        &machine,
+        &reg,
+        Strategy::TensorIr,
+        &TuneOptions {
+            trials: 24,
+            num_threads: 1,
+            ..Default::default()
+        },
+    );
+    let parallel = tune_workload(
+        &func,
+        &machine,
+        &reg,
+        Strategy::TensorIr,
+        &TuneOptions {
+            trials: 24,
+            num_threads: 4,
+            ..Default::default()
+        },
+    );
+    assert_eq!(serial.best_time, parallel.best_time);
+    assert_eq!(serial.history, parallel.history);
+    assert_eq!(
+        serial.best.as_ref().expect("serial best").to_string(),
+        parallel.best.as_ref().expect("parallel best").to_string(),
+        "best programs must match byte-for-byte"
+    );
+}
+
+#[test]
+fn candidate_cache_invariance_end_to_end() {
+    // C2D has real structural-duplicate candidates; the cache must change
+    // only the accounted tuning cost, never what the search finds.
+    let func = tir_workloads::c2d(1, 30, 30, 64, 64, 3, 3, 1, DataType::float16());
+    let machine = Machine::sim_gpu();
+    let reg = builtin_registry();
+    let with_cache = tune_workload(
+        &func,
+        &machine,
+        &reg,
+        Strategy::TensorIr,
+        &TuneOptions {
+            trials: 32,
+            use_candidate_cache: true,
+            ..Default::default()
+        },
+    );
+    let without_cache = tune_workload(
+        &func,
+        &machine,
+        &reg,
+        Strategy::TensorIr,
+        &TuneOptions {
+            trials: 32,
+            use_candidate_cache: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(without_cache.cache_hits, 0);
+    assert_eq!(with_cache.best_time, without_cache.best_time);
+    assert_eq!(with_cache.history, without_cache.history);
+    assert_eq!(
+        with_cache.best.as_ref().expect("best").to_string(),
+        without_cache.best.as_ref().expect("best").to_string()
+    );
+    assert!(with_cache.tuning_cost_s <= without_cache.tuning_cost_s);
+}

@@ -2,10 +2,7 @@
 //! the evolutionary search relies on being filtered.
 
 use tir::builder::matmul_func;
-use tir::{
-    Block, BlockRealize, Buffer, DataType, Expr, IterVar, PrimFunc, Stmt, ThreadTag,
-    Var,
-};
+use tir::{Block, BlockRealize, Buffer, DataType, Expr, IterVar, PrimFunc, Stmt, ThreadTag, Var};
 use tir_analysis::validate::{check_loop_nests, validate, ValidationError};
 use tir_schedule::Schedule;
 
