@@ -1,0 +1,126 @@
+//! Tree-walk interpreter vs bytecode VM: execution throughput per
+//! workload.
+//!
+//! Runs each workload to completion on both backends (the VM time
+//! includes bytecode compilation, matching what `Interpreter::run` pays
+//! per call), reports ns per interpreter step (one store/eval), and
+//! emits `BENCH_interp.json` with the per-workload numbers so CI can
+//! track the VM speedup.
+
+use std::time::Instant;
+
+use tir::DataType;
+use tir_exec::{run_with, ExecBackend, Tensor};
+use tir_workloads::ops;
+
+struct Row {
+    name: &'static str,
+    steps: u64,
+    tw_ns_per_step: f64,
+    vm_ns_per_step: f64,
+}
+
+/// Median wall-time (ns) of `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_case(name: &'static str, func: &tir::PrimFunc) -> Row {
+    let args: Vec<Tensor> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i + 1 == func.params.len() {
+                Tensor::zeros(p.dtype(), p.shape())
+            } else {
+                Tensor::random(p.dtype(), p.shape(), 42 + i as u64)
+            }
+        })
+        .collect();
+    // One verification pass: bit-exact outputs, and the step count that
+    // normalizes the timings.
+    let tw = run_with(func, args.clone(), ExecBackend::TreeWalk, None).expect("tree-walk");
+    let vm = run_with(func, args.clone(), ExecBackend::Vm, None).expect("vm");
+    assert_eq!(tw.outputs, vm.outputs, "backends diverge on {name}");
+    assert_eq!(tw.steps, vm.steps, "step counts diverge on {name}");
+    let steps = tw.steps;
+
+    let reps = 5;
+    let tw_ns = median_ns(reps, || {
+        let out = run_with(func, args.clone(), ExecBackend::TreeWalk, None).expect("tree-walk");
+        std::hint::black_box(out);
+    });
+    let vm_ns = median_ns(reps, || {
+        let out = run_with(func, args.clone(), ExecBackend::Vm, None).expect("vm");
+        std::hint::black_box(out);
+    });
+    Row {
+        name,
+        steps,
+        tw_ns_per_step: tw_ns / steps as f64,
+        vm_ns_per_step: vm_ns / steps as f64,
+    }
+}
+
+fn main() {
+    let f32_ = DataType::float32();
+    let f16 = DataType::float16();
+    let cases: Vec<(&'static str, tir::PrimFunc)> = vec![
+        ("gmm_64x64x64_f32", ops::gmm(64, 64, 64, f32_, f32_)),
+        ("gmm_64x64x64_f16", ops::gmm(64, 64, 64, f16, f16)),
+        (
+            "c2d_18x18x32_f32",
+            ops::c2d(1, 18, 18, 32, 32, 3, 3, 1, f32_),
+        ),
+        ("dep_32x32x16_f32", ops::dep(1, 32, 32, 16, 3, 3, 1, f32_)),
+        ("c1d_64x64_f32", ops::c1d(4, 66, 64, 64, 3, 1, f32_)),
+    ];
+
+    println!("Interpreter backends: tree-walk vs bytecode VM (release, per-step cost)");
+    println!(
+        "{:<20} {:>12} {:>16} {:>16} {:>10}",
+        "workload", "steps", "tree-walk ns", "vm ns", "speedup"
+    );
+    let mut rows = Vec::new();
+    for (name, func) in &cases {
+        let row = bench_case(name, func);
+        println!(
+            "{:<20} {:>12} {:>16.1} {:>16.1} {:>9.2}x",
+            row.name,
+            row.steps,
+            row.tw_ns_per_step,
+            row.vm_ns_per_step,
+            row.tw_ns_per_step / row.vm_ns_per_step
+        );
+        rows.push(row);
+    }
+
+    // Hand-rolled JSON (the workspace has no serde dependency).
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"interp_vm\",\n  \"unit\": \"ns_per_step\",\n  \"workloads\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"steps\": {}, \"tree_walk\": {:.2}, \"vm\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.steps,
+            r.tw_ns_per_step,
+            r.vm_ns_per_step,
+            r.tw_ns_per_step / r.vm_ns_per_step,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Emit at the workspace root regardless of the bench's cwd.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interp.json");
+    std::fs::write(path, &json).expect("write BENCH_interp.json");
+    println!("wrote {path}");
+}

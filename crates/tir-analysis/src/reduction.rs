@@ -79,8 +79,6 @@ pub fn detect_reduction_store(stmt: &Stmt) -> Option<ReductionInfo> {
         };
         let term = if self_load(a) {
             (**b).clone()
-        } else if self_load(b) && *op == BinOp::Add {
-            (**a).clone()
         } else if self_load(b) {
             (**a).clone()
         } else {

@@ -189,12 +189,14 @@ pub fn relaxed_region(
     include_reads: bool,
     include_writes: bool,
 ) -> Option<BufferRegion> {
+    /// Collected access sites: (indices, enclosing loop vars + extents).
+    type Sites = Vec<(Vec<Expr>, Vec<(Var, i64)>)>;
     struct Collector<'a> {
         buffer: &'a Buffer,
         include_reads: bool,
         include_writes: bool,
         inner: Vec<(Var, i64)>,
-        found: Vec<(Vec<Expr>, Vec<(Var, i64)>)>,
+        found: Sites,
     }
     impl ExprVisitor for Collector<'_> {
         fn visit_expr(&mut self, e: &Expr) {

@@ -84,7 +84,7 @@ impl IterSum {
             return None;
         }
         let mut sorted = self.terms.clone();
-        sorted.sort_by(|a, b| b.scale.cmp(&a.scale));
+        sorted.sort_by_key(|t| std::cmp::Reverse(t.scale));
         for w in sorted.windows(2) {
             if w[0].scale != w[1].scale * w[1].extent {
                 return None;

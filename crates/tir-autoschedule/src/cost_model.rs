@@ -282,7 +282,7 @@ mod tests {
 
     #[test]
     fn single_tree_predicts_leaf_means() {
-        let data = vec![
+        let data = [
             (vec![0.0], 1.0),
             (vec![0.1], 1.0),
             (vec![0.9], 5.0),

@@ -1,0 +1,744 @@
+//! Lowering of [`PrimFunc`]s into register bytecode for the VM.
+//!
+//! The tree-walking interpreter pays a `HashMap` lookup per variable read,
+//! a `HashMap` lookup per buffer access, and a fresh `Vec<i64>` per index
+//! evaluation. This module removes all of that *once, at compile time*:
+//!
+//! * variables become dense slots in a flat frame (`Vec<f64>`),
+//! * buffers become dense ids into a flat storage table,
+//! * every load/store is lowered to precomputed row-major stride
+//!   arithmetic — constant index dimensions fold into a static base
+//!   offset, and loop-invariant index subterms are hoisted out of inner
+//!   loops into dedicated accumulator slots recomputed only when the
+//!   outermost variable they depend on changes,
+//! * control flow (loops, block predicates, reduction-init guards,
+//!   `select`) becomes jumps over a flat `Op` array.
+//!
+//! Semantics are bit-identical to the tree-walker by construction: the
+//! same `f64` arithmetic runs in the same order, errors
+//! ([`ExecError`](crate::ExecError)) fire at the same evaluation points,
+//! and the fuel counter ticks on exactly the same statements. The only
+//! programs rejected (see [`CompileError`]) are ones where lexical and
+//! dynamic variable scope could diverge; [`run_with`](crate::run_with)
+//! falls back to the tree-walker for those.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tir::{BinOp, Block, BlockRealize, Buffer, CmpOp, DataType, Expr, IterKind, PrimFunc, Stmt};
+
+use crate::interp::MathFn;
+
+/// A program the compiler cannot lower; execution falls back to the
+/// tree-walking backend.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// A variable is bound by two nested binders (loop or block). The
+    /// tree-walker's dynamic environment un-binds the variable when the
+    /// inner binder exits, which lexical frame slots cannot reproduce.
+    ShadowedBinding(String),
+    /// The same buffer appears twice in the parameter list.
+    DuplicateParam(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::ShadowedBinding(v) => {
+                write!(f, "variable {v} is bound by two nested binders")
+            }
+            CompileError::DuplicateParam(b) => {
+                write!(f, "buffer {b} appears twice in the parameter list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Arithmetic flavor of a binary op, resolved from static operand dtypes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    /// True division, float semantics (no zero check).
+    DivF,
+    /// True division on integers: truncating, zero-checked.
+    DivI,
+    FloorDivF,
+    FloorDivI,
+    FloorModF,
+    FloorModI,
+    Min,
+    Max,
+    And,
+    Or,
+}
+
+/// One lowered buffer access site: `offset = base + Σ hoist_slots +
+/// Σ round(reg) * stride`.
+#[derive(Clone, Debug)]
+pub(crate) struct Access {
+    /// Dense buffer id.
+    pub buf: u32,
+    /// Compile-time-folded part of the offset (constant index dims).
+    pub base: i64,
+    /// Hoist slots whose current values are added to the offset.
+    pub hoists: Box<[u32]>,
+    /// Per remaining dimension: the register holding the index value and
+    /// its row-major stride.
+    pub inline: Box<[(u32, i64)]>,
+}
+
+/// One bytecode instruction. Registers, frame slots, loop states, hoist
+/// slots and access sites are all dense `u32` indices into per-program
+/// tables.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// `regs[dst] = val`
+    Const { dst: u32, val: f64 },
+    /// `regs[dst] = frame[slot]`
+    LoadVar { dst: u32, slot: u32 },
+    /// `frame[slot] = regs[src]`
+    SetVar { slot: u32, src: u32 },
+    /// Raise `UnboundVar(names[name])`.
+    ThrowUnboundVar { name: u32 },
+    /// Raise `UnknownIntrinsic(names[name])`.
+    ThrowUnknownIntrinsic { name: u32 },
+    /// Cast with the tree-walker's quantization semantics.
+    Cast {
+        dst: u32,
+        src: u32,
+        dtype: DataType,
+        trunc: bool,
+    },
+    /// `regs[dst] = regs[a] <kind> regs[b]`
+    Bin {
+        kind: BinKind,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// `regs[dst] = (regs[a] <op> regs[b]) as i64 as f64`
+    Cmp { op: CmpOp, dst: u32, a: u32, b: u32 },
+    /// `regs[dst] = (regs[src] == 0.0) as i64 as f64`
+    Not { dst: u32, src: u32 },
+    /// `regs[dst] = f(regs[first .. first + n])`
+    Call {
+        dst: u32,
+        f: MathFn,
+        first: u32,
+        n: u32,
+    },
+    /// `regs[dst] = storage[access.buf][offset(access)]`; errors with
+    /// `UnboundBuffer` if the buffer was never allocated.
+    Load { dst: u32, access: u32 },
+    /// `storage[access.buf][offset(access)] = quantize(regs[val])`,
+    /// allocating the buffer on first store (tree-walker `ensure_alloc`).
+    Store { access: u32, val: u32 },
+    /// One fuel step (a store or eval statement begins).
+    Tick,
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Jump if `regs[reg] == 0.0`.
+    JumpIfZero { reg: u32, target: u32 },
+    /// Enter a loop: latch `round(regs[extent])`, reset the counter, bind
+    /// the loop variable to 0, or jump to `end` when the extent is empty.
+    ForSetup {
+        loop_id: u32,
+        extent: u32,
+        var: u32,
+        end: u32,
+    },
+    /// Loop back-edge: advance the counter, rebind, jump to `body` while
+    /// iterations remain.
+    ForNext { loop_id: u32, var: u32, body: u32 },
+    /// `reduce_at_start = true` (entering a reduction block realize).
+    ResetReduceFlag,
+    /// `reduce_at_start &= regs[reg] == 0.0` (a reduce iter binding).
+    UpdateReduceFlag { reg: u32 },
+    /// Skip the init statement unless every reduce iter is at its start.
+    JumpIfReduceFlagFalse { target: u32 },
+    /// Zero-fill and (re)allocate a block-local buffer.
+    AllocBuf { buf: u32 },
+    /// `hoist[slot] = round(regs[src]) * stride` — a loop-invariant index
+    /// term recomputed at the binder that owns its outermost variable.
+    HoistSet { slot: u32, src: u32, stride: i64 },
+}
+
+/// A compiled program: flat bytecode plus the table sizes the VM needs to
+/// preallocate its entire runtime state up front (zero per-step
+/// allocation).
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub(crate) func_name: String,
+    pub(crate) params: Vec<Buffer>,
+    /// All buffers the program touches; params occupy the first ids.
+    pub(crate) buffers: Vec<Buffer>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) accesses: Vec<Access>,
+    pub(crate) names: Vec<String>,
+    pub(crate) num_regs: usize,
+    pub(crate) num_slots: usize,
+    pub(crate) num_loops: usize,
+    pub(crate) num_hoists: usize,
+}
+
+impl Program {
+    /// Number of bytecode instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Compiles a function into VM bytecode.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for programs whose dynamic-scoping corner
+/// cases the bytecode cannot represent; callers fall back to the
+/// tree-walking backend for those.
+pub fn compile(func: &PrimFunc) -> Result<Program, CompileError> {
+    let mut c = Compiler::new(func)?;
+    c.compile_stmt(&func.body)?;
+    Ok(c.finish(func))
+}
+
+/// One lexical binder (the function root, a `for`, or a block) and the
+/// variables it currently has in scope.
+struct BinderFrame {
+    /// Variable ids bound by this binder (filled incrementally, matching
+    /// the tree-walker's one-at-a-time environment inserts).
+    vars: Vec<usize>,
+    /// Op index where hoisted terms for this binder are spliced in. For a
+    /// loop this is the body head (re-run every iteration); for the root it is
+    /// the program prologue.
+    insert_pos: usize,
+}
+
+struct Compiler {
+    ops: Vec<Op>,
+    accesses: Vec<Access>,
+    names: Vec<String>,
+    buf_ids: HashMap<Buffer, u32>,
+    buffers: Vec<Buffer>,
+    slot_of: HashMap<usize, u32>,
+    binders: Vec<BinderFrame>,
+    /// Hoisted op sequences pending insertion: `(position, ops)`.
+    insertions: Vec<(usize, Vec<Op>)>,
+    num_regs: u32,
+    num_loops: u32,
+    num_hoists: u32,
+}
+
+impl Compiler {
+    fn new(func: &PrimFunc) -> Result<Self, CompileError> {
+        let mut c = Compiler {
+            ops: Vec::new(),
+            accesses: Vec::new(),
+            names: Vec::new(),
+            buf_ids: HashMap::new(),
+            buffers: Vec::new(),
+            slot_of: HashMap::new(),
+            binders: vec![BinderFrame {
+                vars: Vec::new(),
+                insert_pos: 0,
+            }],
+            insertions: Vec::new(),
+            num_regs: 0,
+            num_loops: 0,
+            num_hoists: 0,
+        };
+        for p in &func.params {
+            if c.buf_ids.contains_key(p) {
+                return Err(CompileError::DuplicateParam(p.name().to_string()));
+            }
+            c.buf_id(p);
+        }
+        Ok(c)
+    }
+
+    fn buf_id(&mut self, b: &Buffer) -> u32 {
+        if let Some(&id) = self.buf_ids.get(b) {
+            return id;
+        }
+        let id = self.buffers.len() as u32;
+        self.buffers.push(b.clone());
+        self.buf_ids.insert(b.clone(), id);
+        id
+    }
+
+    fn name_id(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return i as u32;
+        }
+        self.names.push(name.to_string());
+        (self.names.len() - 1) as u32
+    }
+
+    fn touch_reg(&mut self, r: u32) {
+        self.num_regs = self.num_regs.max(r + 1);
+    }
+
+    /// The frame slot of a variable (allocated on first binding).
+    fn slot(&mut self, var: &tir::Var) -> u32 {
+        let next = self.slot_of.len() as u32;
+        *self.slot_of.entry(var.id()).or_insert(next)
+    }
+
+    /// The binder-stack level where `var` is currently bound, if any.
+    fn find_var(&self, var: &tir::Var) -> Option<usize> {
+        self.binders
+            .iter()
+            .rposition(|f| f.vars.contains(&var.id()))
+    }
+
+    /// Registers `var` as bound by the innermost binder.
+    fn bind(&mut self, var: &tir::Var) -> Result<u32, CompileError> {
+        if self.find_var(var).is_some() {
+            return Err(CompileError::ShadowedBinding(var.name().to_string()));
+        }
+        let slot = self.slot(var);
+        self.binders
+            .last_mut()
+            .expect("root binder")
+            .vars
+            .push(var.id());
+        Ok(slot)
+    }
+
+    fn unbind_all(&mut self, frame: BinderFrame) {
+        // Dropping the frame removes its vars from lexical scope.
+        drop(frame);
+    }
+
+    /// Deepest binder level whose variable the expression references, if
+    /// the expression is pure arithmetic (cannot error, cannot tick) with
+    /// every variable in scope — the conditions for hoisting.
+    fn hoist_level(&self, e: &Expr) -> Option<usize> {
+        let both = |a: &Expr, b: &Expr| Some(self.hoist_level(a)?.max(self.hoist_level(b)?));
+        match e {
+            Expr::Int(..) | Expr::Float(..) => Some(0),
+            Expr::Str(_) => None,
+            Expr::Var(v) => self.find_var(v),
+            Expr::Cast(_, x) | Expr::Not(x) => self.hoist_level(x),
+            Expr::Bin(op, a, b) => match op {
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Min
+                | BinOp::Max
+                | BinOp::And
+                | BinOp::Or => both(a, b),
+                BinOp::FloorDiv | BinOp::FloorMod => {
+                    let nonzero_const = matches!(**b, Expr::Int(v, _) if v != 0)
+                        || matches!(**b, Expr::Float(v, _) if v != 0.0);
+                    if nonzero_const {
+                        self.hoist_level(a)
+                    } else {
+                        None
+                    }
+                }
+                BinOp::Div => None,
+            },
+            Expr::Cmp(_, a, b) => both(a, b),
+            Expr::Select { .. } | Expr::Load { .. } | Expr::Call { .. } => None,
+        }
+    }
+
+    /// Compiles `e` so its value lands in register `base`; scratch
+    /// registers `> base` may be clobbered.
+    fn compile_expr(&mut self, e: &Expr, base: u32) -> Result<(), CompileError> {
+        self.touch_reg(base);
+        match e {
+            Expr::Int(v, _) => self.ops.push(Op::Const {
+                dst: base,
+                val: *v as f64,
+            }),
+            Expr::Float(v, _) => self.ops.push(Op::Const { dst: base, val: *v }),
+            Expr::Str(_) => self.ops.push(Op::Const {
+                dst: base,
+                val: 0.0,
+            }),
+            Expr::Var(v) => match self.find_var(v) {
+                Some(_) => {
+                    let slot = self.slot(v);
+                    self.ops.push(Op::LoadVar { dst: base, slot });
+                }
+                None => {
+                    let name = self.name_id(v.name());
+                    self.ops.push(Op::ThrowUnboundVar { name });
+                }
+            },
+            Expr::Cast(dt, x) => {
+                self.compile_expr(x, base)?;
+                self.ops.push(Op::Cast {
+                    dst: base,
+                    src: base,
+                    dtype: *dt,
+                    trunc: dt.is_int() || dt.is_bool(),
+                });
+            }
+            Expr::Bin(op, a, b) => {
+                self.compile_expr(a, base)?;
+                self.compile_expr(b, base + 1)?;
+                let int_op = a.dtype().is_int() && b.dtype().is_int();
+                let kind = match (op, int_op) {
+                    (BinOp::Add, _) => BinKind::Add,
+                    (BinOp::Sub, _) => BinKind::Sub,
+                    (BinOp::Mul, _) => BinKind::Mul,
+                    (BinOp::Div, true) => BinKind::DivI,
+                    (BinOp::Div, false) => BinKind::DivF,
+                    (BinOp::FloorDiv, true) => BinKind::FloorDivI,
+                    (BinOp::FloorDiv, false) => BinKind::FloorDivF,
+                    (BinOp::FloorMod, true) => BinKind::FloorModI,
+                    (BinOp::FloorMod, false) => BinKind::FloorModF,
+                    (BinOp::Min, _) => BinKind::Min,
+                    (BinOp::Max, _) => BinKind::Max,
+                    (BinOp::And, _) => BinKind::And,
+                    (BinOp::Or, _) => BinKind::Or,
+                };
+                self.ops.push(Op::Bin {
+                    kind,
+                    dst: base,
+                    a: base,
+                    b: base + 1,
+                });
+            }
+            Expr::Cmp(op, a, b) => {
+                self.compile_expr(a, base)?;
+                self.compile_expr(b, base + 1)?;
+                self.ops.push(Op::Cmp {
+                    op: *op,
+                    dst: base,
+                    a: base,
+                    b: base + 1,
+                });
+            }
+            Expr::Not(x) => {
+                self.compile_expr(x, base)?;
+                self.ops.push(Op::Not {
+                    dst: base,
+                    src: base,
+                });
+            }
+            Expr::Select { cond, then, other } => {
+                self.compile_expr(cond, base)?;
+                let jz = self.ops.len();
+                self.ops.push(Op::JumpIfZero {
+                    reg: base,
+                    target: 0,
+                });
+                self.compile_expr(then, base)?;
+                let jmp = self.ops.len();
+                self.ops.push(Op::Jump { target: 0 });
+                let else_at = self.ops.len() as u32;
+                self.compile_expr(other, base)?;
+                let end_at = self.ops.len() as u32;
+                if let Op::JumpIfZero { target, .. } = &mut self.ops[jz] {
+                    *target = else_at;
+                }
+                if let Op::Jump { target } = &mut self.ops[jmp] {
+                    *target = end_at;
+                }
+            }
+            Expr::Load { buffer, indices } => {
+                let access = self.compile_access(buffer, indices, base)?;
+                self.ops.push(Op::Load { dst: base, access });
+            }
+            Expr::Call { name, args, .. } => {
+                for (i, a) in args.iter().enumerate() {
+                    self.compile_expr(a, base + i as u32)?;
+                }
+                match MathFn::from_name(name) {
+                    Some(f) => self.ops.push(Op::Call {
+                        dst: base,
+                        f,
+                        first: base,
+                        n: args.len() as u32,
+                    }),
+                    None => {
+                        let name = self.name_id(name);
+                        self.ops.push(Op::ThrowUnknownIntrinsic { name });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers one access site. Constant dims fold into `base`; pure
+    /// loop-invariant dims hoist to the binder owning their deepest
+    /// variable; the rest evaluate inline into registers starting at
+    /// `first_reg` (in dimension order, preserving error order).
+    fn compile_access(
+        &mut self,
+        buffer: &Buffer,
+        indices: &[Expr],
+        first_reg: u32,
+    ) -> Result<u32, CompileError> {
+        let buf = self.buf_id(buffer);
+        let shape = buffer.shape();
+        // Row-major strides.
+        let mut strides = vec![1i64; shape.len()];
+        for d in (0..shape.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1];
+        }
+        let mut base = 0i64;
+        let mut hoists = Vec::new();
+        let mut inline = Vec::new();
+        let mut next = first_reg;
+        let depth = self.binders.len() - 1;
+        for (e, &stride) in indices.iter().zip(&strides) {
+            match e {
+                Expr::Int(v, _) => base += v * stride,
+                Expr::Float(v, _) => base += (v.round() as i64) * stride,
+                _ => match self.hoist_level(e) {
+                    Some(level) if level < depth => {
+                        let slot = self.num_hoists;
+                        self.num_hoists += 1;
+                        // Compile the term into a side sequence executed at
+                        // the owning binder's head (registers are free
+                        // there: binder heads sit between statements).
+                        let start = self.ops.len();
+                        self.compile_expr(e, 0)?;
+                        self.ops.push(Op::HoistSet {
+                            slot,
+                            src: 0,
+                            stride,
+                        });
+                        let seq: Vec<Op> = self.ops.drain(start..).collect();
+                        self.insertions.push((self.binders[level].insert_pos, seq));
+                        hoists.push(slot);
+                    }
+                    _ => {
+                        self.compile_expr(e, next)?;
+                        inline.push((next, stride));
+                        next += 1;
+                    }
+                },
+            }
+        }
+        let id = self.accesses.len() as u32;
+        self.accesses.push(Access {
+            buf,
+            base,
+            hoists: hoists.into_boxed_slice(),
+            inline: inline.into_boxed_slice(),
+        });
+        Ok(id)
+    }
+
+    fn compile_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => {
+                self.ops.push(Op::Tick);
+                let access = self.compile_access(buffer, indices, 0)?;
+                let val_reg = self.accesses[access as usize].inline.len() as u32;
+                self.compile_expr(value, val_reg)?;
+                self.ops.push(Op::Store {
+                    access,
+                    val: val_reg,
+                });
+            }
+            Stmt::Eval(e) => {
+                self.ops.push(Op::Tick);
+                self.compile_expr(e, 0)?;
+            }
+            Stmt::Seq(v) => {
+                for st in v {
+                    self.compile_stmt(st)?;
+                }
+            }
+            Stmt::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.compile_expr(cond, 0)?;
+                let jz = self.ops.len();
+                self.ops.push(Op::JumpIfZero { reg: 0, target: 0 });
+                self.compile_stmt(then_branch)?;
+                let end = match else_branch {
+                    Some(eb) => {
+                        let jmp = self.ops.len();
+                        self.ops.push(Op::Jump { target: 0 });
+                        let else_at = self.ops.len() as u32;
+                        if let Op::JumpIfZero { target, .. } = &mut self.ops[jz] {
+                            *target = else_at;
+                        }
+                        self.compile_stmt(eb)?;
+                        let end = self.ops.len() as u32;
+                        if let Op::Jump { target } = &mut self.ops[jmp] {
+                            *target = end;
+                        }
+                        None
+                    }
+                    None => Some(self.ops.len() as u32),
+                };
+                if let (Some(end), Op::JumpIfZero { target, .. }) = (end, &mut self.ops[jz]) {
+                    *target = end;
+                }
+            }
+            Stmt::For(f) => {
+                self.compile_expr(&f.extent, 0)?;
+                let loop_id = self.num_loops;
+                self.num_loops += 1;
+                self.binders.push(BinderFrame {
+                    vars: Vec::new(),
+                    insert_pos: 0,
+                });
+                let var_slot = self.bind(&f.var)?;
+                let setup = self.ops.len();
+                self.ops.push(Op::ForSetup {
+                    loop_id,
+                    extent: 0,
+                    var: var_slot,
+                    end: 0,
+                });
+                let body_at = self.ops.len();
+                self.binders.last_mut().expect("frame").insert_pos = body_at;
+                self.compile_stmt(&f.body)?;
+                self.ops.push(Op::ForNext {
+                    loop_id,
+                    var: var_slot,
+                    body: body_at as u32,
+                });
+                let end = self.ops.len() as u32;
+                if let Op::ForSetup { end: e, .. } = &mut self.ops[setup] {
+                    *e = end;
+                }
+                let frame = self.binders.pop().expect("frame");
+                self.unbind_all(frame);
+            }
+            Stmt::BlockRealize(br) => self.compile_block_realize(br)?,
+        }
+        Ok(())
+    }
+
+    fn compile_block_realize(&mut self, br: &BlockRealize) -> Result<(), CompileError> {
+        self.compile_expr(&br.predicate, 0)?;
+        let jz = self.ops.len();
+        self.ops.push(Op::JumpIfZero { reg: 0, target: 0 });
+        let block: &Block = &br.block;
+        let has_init = block.init.is_some();
+        let has_reduce = block.is_reduction();
+        if has_init && has_reduce {
+            self.ops.push(Op::ResetReduceFlag);
+        }
+        self.binders.push(BinderFrame {
+            vars: Vec::new(),
+            insert_pos: 0,
+        });
+        // Bind iterators one at a time: the tree-walker inserts each into
+        // the environment before evaluating the next binding value.
+        for (iv, value) in block.iter_vars.iter().zip(&br.iter_values) {
+            self.compile_expr(value, 0)?;
+            let slot = self.bind(&iv.var)?;
+            self.ops.push(Op::SetVar { slot, src: 0 });
+            if has_init && has_reduce && iv.kind == IterKind::Reduce {
+                self.ops.push(Op::UpdateReduceFlag { reg: 0 });
+            }
+        }
+        let head = self.ops.len();
+        self.binders.last_mut().expect("frame").insert_pos = head;
+        for b in &block.alloc_buffers {
+            let buf = self.buf_id(b);
+            self.ops.push(Op::AllocBuf { buf });
+        }
+        if let Some(init) = &block.init {
+            let guard = if has_reduce {
+                let at = self.ops.len();
+                self.ops.push(Op::JumpIfReduceFlagFalse { target: 0 });
+                Some(at)
+            } else {
+                None
+            };
+            self.compile_stmt(init)?;
+            if let Some(at) = guard {
+                let target = self.ops.len() as u32;
+                if let Op::JumpIfReduceFlagFalse { target: t } = &mut self.ops[at] {
+                    *t = target;
+                }
+            }
+        }
+        self.compile_stmt(&block.body)?;
+        let frame = self.binders.pop().expect("frame");
+        self.unbind_all(frame);
+        let end = self.ops.len() as u32;
+        if let Op::JumpIfZero { target, .. } = &mut self.ops[jz] {
+            *target = end;
+        }
+        Ok(())
+    }
+
+    /// Splices pending hoisted sequences into the op stream and remaps
+    /// every jump target across the insertions.
+    fn finish(mut self, func: &PrimFunc) -> Program {
+        if !self.insertions.is_empty() {
+            self.insertions.sort_by_key(|(pos, _)| *pos);
+            // Prefix sums: inserted(t) = ops inserted at positions < t. A
+            // jump to position t lands on the first op inserted *at* t, so
+            // only strictly-earlier insertions shift it.
+            let positions: Vec<usize> = self.insertions.iter().map(|(p, _)| *p).collect();
+            let lens: Vec<usize> = self.insertions.iter().map(|(_, ops)| ops.len()).collect();
+            let remap = |t: u32| -> u32 {
+                let t = t as usize;
+                let mut shift = 0usize;
+                for (p, l) in positions.iter().zip(&lens) {
+                    if *p < t {
+                        shift += l;
+                    } else {
+                        break;
+                    }
+                }
+                (t + shift) as u32
+            };
+            let old = std::mem::take(&mut self.ops);
+            let mut new_ops = Vec::with_capacity(old.len() + lens.iter().sum::<usize>());
+            let mut ins = self.insertions.drain(..).peekable();
+            for (i, op) in old.into_iter().enumerate() {
+                while ins.peek().is_some_and(|(p, _)| *p == i) {
+                    new_ops.extend(ins.next().expect("peeked").1);
+                }
+                new_ops.push(op);
+            }
+            for (_, seq) in ins {
+                new_ops.extend(seq);
+            }
+            for op in &mut new_ops {
+                match op {
+                    Op::Jump { target }
+                    | Op::JumpIfZero { target, .. }
+                    | Op::JumpIfReduceFlagFalse { target } => *target = remap(*target),
+                    Op::ForSetup { end, .. } => *end = remap(*end),
+                    Op::ForNext { body, .. } => *body = remap(*body),
+                    _ => {}
+                }
+            }
+            self.ops = new_ops;
+        }
+        Program {
+            func_name: func.name.clone(),
+            params: func.params.clone(),
+            buffers: self.buffers,
+            ops: self.ops,
+            accesses: self.accesses,
+            names: self.names,
+            num_regs: self.num_regs as usize,
+            num_slots: self.slot_of.len(),
+            num_loops: self.num_loops as usize,
+            num_hoists: self.num_hoists as usize,
+        }
+    }
+}

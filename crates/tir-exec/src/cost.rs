@@ -206,11 +206,8 @@ impl Walker {
                 };
                 let saved_mult = self.mult;
                 self.mult /= coop;
-                let result = self.walk_block_realize(br);
+                let _handled = self.walk_block_realize(br);
                 self.mult = saved_mult;
-                if result {
-                    return;
-                }
             }
         }
     }
@@ -249,7 +246,6 @@ impl Walker {
                     return true; // opaque: do not descend
                 }
                 if let Some(init) = &br.block.init {
-                    let init = init;
                     // Init runs once per reduction sweep: approximate by
                     // dividing out the reduction loop extents is complex;
                     // charge it at 1/reduce_extent of the full multiplier.

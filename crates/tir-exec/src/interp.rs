@@ -24,6 +24,9 @@ pub enum ExecError {
     UnknownIntrinsic(String),
     /// An unbound variable was referenced.
     UnboundVar(String),
+    /// A load from a buffer that was never allocated (neither a parameter,
+    /// nor in any `alloc_buffers`, nor previously stored to).
+    UnboundBuffer(String),
     /// Division by zero in index arithmetic.
     DivisionByZero,
     /// The step budget was exhausted (runaway program guard).
@@ -36,6 +39,7 @@ impl fmt::Display for ExecError {
             ExecError::BadArguments(s) => write!(f, "bad arguments: {s}"),
             ExecError::UnknownIntrinsic(s) => write!(f, "unknown intrinsic: {s}"),
             ExecError::UnboundVar(s) => write!(f, "unbound variable: {s}"),
+            ExecError::UnboundBuffer(s) => write!(f, "load from unallocated buffer: {s}"),
             ExecError::DivisionByZero => write!(f, "division by zero"),
             ExecError::OutOfFuel => write!(f, "execution step budget exhausted"),
         }
@@ -46,25 +50,73 @@ impl std::error::Error for ExecError {}
 
 type Result<T> = std::result::Result<T, ExecError>;
 
+/// The default step budget of both execution backends.
+pub(crate) const DEFAULT_FUEL: u64 = 2_000_000_000;
+
+/// A pure math intrinsic, resolved from its name at compile time so both
+/// backends evaluate the exact same code path per call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum MathFn {
+    Exp,
+    Log,
+    Sqrt,
+    Rsqrt,
+    Tanh,
+    Sigmoid,
+    Erf,
+    Abs,
+    Floor,
+    Ceil,
+    Round,
+    Pow,
+    Fma,
+}
+
+impl MathFn {
+    /// Resolves an intrinsic name, `None` if unknown.
+    pub(crate) fn from_name(name: &str) -> Option<MathFn> {
+        Some(match name {
+            "exp" => MathFn::Exp,
+            "log" => MathFn::Log,
+            "sqrt" => MathFn::Sqrt,
+            "rsqrt" => MathFn::Rsqrt,
+            "tanh" => MathFn::Tanh,
+            "sigmoid" => MathFn::Sigmoid,
+            "erf" => MathFn::Erf,
+            "abs" => MathFn::Abs,
+            "floor" => MathFn::Floor,
+            "ceil" => MathFn::Ceil,
+            "round" => MathFn::Round,
+            "pow" => MathFn::Pow,
+            "fma" => MathFn::Fma,
+            _ => return None,
+        })
+    }
+
+    /// Applies the intrinsic; missing arguments default to `0.0`.
+    pub(crate) fn eval(self, args: &[f64]) -> f64 {
+        let a = |i: usize| args.get(i).copied().unwrap_or(0.0);
+        match self {
+            MathFn::Exp => a(0).exp(),
+            MathFn::Log => a(0).ln(),
+            MathFn::Sqrt => a(0).sqrt(),
+            MathFn::Rsqrt => 1.0 / a(0).sqrt(),
+            MathFn::Tanh => a(0).tanh(),
+            MathFn::Sigmoid => 1.0 / (1.0 + (-a(0)).exp()),
+            MathFn::Erf => erf(a(0)),
+            MathFn::Abs => a(0).abs(),
+            MathFn::Floor => a(0).floor(),
+            MathFn::Ceil => a(0).ceil(),
+            MathFn::Round => a(0).round(),
+            MathFn::Pow => a(0).powf(a(1)),
+            MathFn::Fma => a(0) * a(1) + a(2),
+        }
+    }
+}
+
 /// Evaluates a pure math intrinsic by name.
 pub fn eval_math_intrinsic(name: &str, args: &[f64]) -> Option<f64> {
-    let a = |i: usize| args.get(i).copied().unwrap_or(0.0);
-    Some(match name {
-        "exp" => a(0).exp(),
-        "log" => a(0).ln(),
-        "sqrt" => a(0).sqrt(),
-        "rsqrt" => 1.0 / a(0).sqrt(),
-        "tanh" => a(0).tanh(),
-        "sigmoid" => 1.0 / (1.0 + (-a(0)).exp()),
-        "erf" => erf(a(0)),
-        "abs" => a(0).abs(),
-        "floor" => a(0).floor(),
-        "ceil" => a(0).ceil(),
-        "round" => a(0).round(),
-        "pow" => a(0).powf(a(1)),
-        "fma" => a(0) * a(1) + a(2),
-        _ => return None,
-    })
+    Some(MathFn::from_name(name)?.eval(args))
 }
 
 /// Abramowitz–Stegun rational approximation of erf (max error ~1.5e-7).
@@ -95,7 +147,7 @@ impl Interpreter {
         Interpreter {
             buffers: HashMap::new(),
             env: HashMap::new(),
-            fuel: 2_000_000_000,
+            fuel: DEFAULT_FUEL,
             steps: 0,
         }
     }
@@ -194,7 +246,10 @@ impl Interpreter {
             }
             Expr::Load { buffer, indices } => {
                 let idx = self.eval_indices(indices)?;
-                self.buffers.get(buffer).map(|t| t.get(&idx)).unwrap_or(0.0)
+                self.buffers
+                    .get(buffer)
+                    .ok_or_else(|| ExecError::UnboundBuffer(buffer.name().to_string()))?
+                    .get(&idx)
             }
             Expr::Call { name, args, .. } => {
                 let mut vals = Vec::with_capacity(args.len());
@@ -312,47 +367,20 @@ impl Interpreter {
         Ok(())
     }
 
-    fn check_arg(buffer: &Buffer, t: &Tensor) -> Result<()> {
-        if t.shape() != buffer.shape() || t.dtype() != buffer.dtype() {
-            return Err(ExecError::BadArguments(format!(
-                "param {} expects {:?} {}, got {:?} {}",
-                buffer.name(),
-                buffer.shape(),
-                buffer.dtype(),
-                t.shape(),
-                t.dtype()
-            )));
-        }
-        Ok(())
-    }
-
     /// Runs a function on positional tensor arguments (one per parameter,
     /// including outputs) and returns the final value of every parameter.
+    ///
+    /// Executes on the default backend: the program is compiled once into
+    /// register bytecode and run on the VM ([`ExecBackend::Vm`]), falling
+    /// back to the tree-walking evaluator for the rare programs the
+    /// compiler rejects. Semantics are bit-identical between backends.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::BadArguments`] on arity/shape/dtype mismatch and
     /// propagates any execution failure.
     pub fn run(func: &PrimFunc, args: Vec<Tensor>) -> Result<Vec<Tensor>> {
-        if args.len() != func.params.len() {
-            return Err(ExecError::BadArguments(format!(
-                "{} expects {} arguments, got {}",
-                func.name,
-                func.params.len(),
-                args.len()
-            )));
-        }
-        let mut interp = Interpreter::new();
-        for (p, t) in func.params.iter().zip(args) {
-            Self::check_arg(p, &t)?;
-            interp.buffers.insert(p.clone(), t);
-        }
-        interp.exec(&func.body)?;
-        Ok(func
-            .params
-            .iter()
-            .map(|p| interp.buffers.remove(p).expect("param bound"))
-            .collect())
+        Ok(run_with(func, args, ExecBackend::default(), None)?.outputs)
     }
 }
 
@@ -360,6 +388,110 @@ impl Default for Interpreter {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Validates argument count against the parameter list.
+pub(crate) fn check_arity(name: &str, params: &[Buffer], args: &[Tensor]) -> Result<()> {
+    if args.len() != params.len() {
+        return Err(ExecError::BadArguments(format!(
+            "{} expects {} arguments, got {}",
+            name,
+            params.len(),
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Validates one argument tensor against its parameter buffer.
+pub(crate) fn check_arg(buffer: &Buffer, t: &Tensor) -> Result<()> {
+    if t.shape() != buffer.shape() || t.dtype() != buffer.dtype() {
+        return Err(ExecError::BadArguments(format!(
+            "param {} expects {:?} {}, got {:?} {}",
+            buffer.name(),
+            buffer.shape(),
+            buffer.dtype(),
+            t.shape(),
+            t.dtype()
+        )));
+    }
+    Ok(())
+}
+
+/// Which execution engine runs a [`PrimFunc`].
+///
+/// Both backends implement the exact same semantics — identical outputs
+/// bit-for-bit, identical [`ExecError`]s, identical step counts — which the
+/// `vm_differential` suite enforces. The VM is the fast default; the
+/// tree-walker is the simple reference the VM is checked against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecBackend {
+    /// Compile once to register bytecode, then execute on the VM.
+    #[default]
+    Vm,
+    /// The original tree-walking evaluator (reference semantics).
+    TreeWalk,
+}
+
+/// The result of a successful execution: final parameter tensors plus the
+/// number of store/eval steps it took.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Final value of every parameter, in signature order.
+    pub outputs: Vec<Tensor>,
+    /// Store/eval steps executed (the fuel metric).
+    pub steps: u64,
+}
+
+/// Runs a function on an explicit backend with an optional fuel budget
+/// (`None` = the default budget), returning outputs and the step count.
+///
+/// This is the instrumented entry point behind [`Interpreter::run`]; the
+/// differential test harness and the microbenches use it to pit the two
+/// backends against each other.
+///
+/// # Errors
+///
+/// Returns [`ExecError::BadArguments`] on arity/shape/dtype mismatch and
+/// propagates any execution failure.
+pub fn run_with(
+    func: &PrimFunc,
+    args: Vec<Tensor>,
+    backend: ExecBackend,
+    fuel: Option<u64>,
+) -> Result<RunOutcome> {
+    let fuel = fuel.unwrap_or(DEFAULT_FUEL);
+    match backend {
+        ExecBackend::Vm => match crate::compile::compile(func) {
+            Ok(prog) => prog.run_with_fuel(args, fuel),
+            // Programs the compiler rejects (e.g. a variable bound by two
+            // nested binders, where dynamic and lexical scope diverge) run
+            // on the reference backend instead.
+            Err(_) => tree_walk_run(func, args, fuel),
+        },
+        ExecBackend::TreeWalk => tree_walk_run(func, args, fuel),
+    }
+}
+
+/// The tree-walking execution path shared by [`run_with`] and the VM
+/// fallback.
+fn tree_walk_run(func: &PrimFunc, args: Vec<Tensor>, fuel: u64) -> Result<RunOutcome> {
+    check_arity(&func.name, &func.params, &args)?;
+    let mut interp = Interpreter::new().with_fuel(fuel);
+    for (p, t) in func.params.iter().zip(args) {
+        check_arg(p, &t)?;
+        interp.buffers.insert(p.clone(), t);
+    }
+    interp.exec(&func.body)?;
+    let outputs = func
+        .params
+        .iter()
+        .map(|p| interp.buffers.remove(p).expect("param bound"))
+        .collect();
+    Ok(RunOutcome {
+        outputs,
+        steps: interp.steps(),
+    })
 }
 
 /// Runs `func` on deterministic random inputs (zeros for the last
@@ -473,7 +605,7 @@ mod tests {
         let zero = Tensor::zeros(DataType::float32(), &[8]);
         let out = Interpreter::run(&f, vec![input.clone(), zero]).expect("run");
         for i in 0..8 {
-            let expect = quantize((input.get(&[i]) as f64).exp(), DataType::float32());
+            let expect = quantize(input.get(&[i]).exp(), DataType::float32());
             assert!((out[1].get(&[i]) - expect).abs() < 1e-12);
         }
     }

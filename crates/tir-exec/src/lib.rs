@@ -2,8 +2,13 @@
 //!
 //! Two back ends stand in for the paper's real hardware:
 //!
-//! * [`interp`] — a complete interpreter used as the *correctness oracle*:
-//!   schedules must leave its output unchanged;
+//! * [`interp`] / [`mod@compile`] / [`vm`] — a complete executor used as
+//!   the *correctness oracle*: schedules must leave its output unchanged.
+//!   The fast path compiles a `PrimFunc` once into register bytecode
+//!   ([`compile()`]) and runs it on a VM with zero per-step allocation
+//!   ([`vm`]); the tree-walking [`interp`] is the reference backend the VM
+//!   is differentially tested against (and the fallback for the rare
+//!   programs the compiler rejects);
 //! * [`machine`] / [`cost`] — an analytic roofline simulator of the paper's
 //!   evaluation platforms (an RTX-3080-class GPU with Tensor Cores, a
 //!   Graviton2-class ARM CPU with `sdot`), used as the *performance oracle*
@@ -14,12 +19,18 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod cost;
 pub mod interp;
 pub mod machine;
 pub mod tensor;
+pub mod vm;
 
+pub use compile::{compile, CompileError, Program};
 pub use cost::{estimate_time, simulate, summarize, CostSummary};
-pub use interp::{assert_same_semantics, run_on_random_inputs, ExecError, Interpreter};
+pub use interp::{
+    assert_same_semantics, run_on_random_inputs, run_with, ExecBackend, ExecError, Interpreter,
+    RunOutcome,
+};
 pub use machine::{Machine, MachineKind};
 pub use tensor::Tensor;

@@ -210,14 +210,22 @@ impl Tensor {
         &self.data
     }
 
+    /// Collapses a multi-dimensional index to a row-major flat offset.
+    ///
+    /// Per-dimension bounds are checked in debug builds only; release
+    /// builds rely on the flat `data` slice bound. Hot paths that already
+    /// know the flat offset (the bytecode VM, stride-precomputed loops)
+    /// should use [`Tensor::get_flat`] / [`Tensor::set_flat`] instead and
+    /// skip the per-call multi-dimensional collapse entirely.
     fn offset(&self, indices: &[i64]) -> usize {
         debug_assert_eq!(indices.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0i64;
         for (i, (&idx, &dim)) in indices.iter().zip(&self.shape).enumerate() {
-            assert!(
+            debug_assert!(
                 (0..dim).contains(&idx),
                 "index {idx} out of bounds for dim {i} (extent {dim})"
             );
+            let _ = i;
             off = off * dim + idx;
         }
         off as usize
@@ -227,7 +235,8 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if an index is out of bounds.
+    /// Panics if an index is out of bounds (per-dimension in debug builds,
+    /// via the flat data bound in release builds).
     pub fn get(&self, indices: &[i64]) -> f64 {
         self.data[self.offset(indices)]
     }
@@ -236,10 +245,38 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if an index is out of bounds.
+    /// Panics if an index is out of bounds (per-dimension in debug builds,
+    /// via the flat data bound in release builds).
     pub fn set(&mut self, indices: &[i64], value: f64) {
         let off = self.offset(indices);
         self.data[off] = quantize(value, self.dtype);
+    }
+
+    /// Reads the element at a row-major flat offset, skipping the
+    /// multi-dimensional offset computation of [`Tensor::get`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is outside the flat data.
+    #[inline]
+    pub fn get_flat(&self, off: usize) -> f64 {
+        self.data[off]
+    }
+
+    /// Writes the element at a row-major flat offset, quantizing through
+    /// the tensor's dtype — the flat counterpart of [`Tensor::set`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is outside the flat data.
+    #[inline]
+    pub fn set_flat(&mut self, off: usize, value: f64) {
+        self.data[off] = quantize(value, self.dtype);
+    }
+
+    /// Resets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
     }
 
     /// Whether two tensors agree elementwise within `tol` (absolute or

@@ -1,0 +1,457 @@
+//! The register-based bytecode VM.
+//!
+//! Executes a [`Program`] produced by [`compile`](crate::compile::compile)
+//! with **zero per-step allocation**: every table the dispatch loop touches
+//! — registers, the variable frame, loop counters, hoist accumulators, and
+//! tensor storage — is sized from the program header and allocated once
+//! before the first instruction runs. The loop itself is a flat `match`
+//! over `Op`s driven by a program counter.
+//!
+//! Semantics are bit-identical to the tree-walking
+//! [`Interpreter`](crate::Interpreter): the same `f64` arithmetic in the
+//! same order, the same quantization on casts and stores, the same
+//! [`ExecError`]s at the same points, and a fuel counter that ticks on
+//! exactly the same statements (so `OutOfFuel` fires at identical step
+//! counts). The `vm_differential` test suite enforces this across every
+//! workload family and hundreds of scheduled variants.
+
+use tir::simplify::{floor_div_i64, floor_mod_i64};
+
+use crate::compile::{Access, BinKind, Op, Program};
+use crate::interp::{check_arg, check_arity, ExecError, RunOutcome, DEFAULT_FUEL};
+use crate::tensor::Tensor;
+
+type Result<T> = std::result::Result<T, ExecError>;
+
+/// Flat runtime offset of one access site.
+#[inline]
+fn offset(acc: &Access, regs: &[f64], hoists: &[i64]) -> i64 {
+    let mut off = acc.base;
+    for &h in acc.hoists.iter() {
+        off += hoists[h as usize];
+    }
+    for &(r, stride) in acc.inline.iter() {
+        off += (regs[r as usize].round() as i64) * stride;
+    }
+    off
+}
+
+impl Program {
+    /// Runs the program on positional tensor arguments with the default
+    /// fuel budget, returning the final value of every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadArguments`] on arity/shape/dtype mismatch
+    /// and propagates any execution failure.
+    pub fn run(&self, args: Vec<Tensor>) -> Result<Vec<Tensor>> {
+        Ok(self.run_with_fuel(args, DEFAULT_FUEL)?.outputs)
+    }
+
+    /// Runs the program with an explicit fuel budget, returning outputs
+    /// plus the number of store/eval steps executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadArguments`] on arity/shape/dtype mismatch
+    /// and propagates any execution failure ([`ExecError::OutOfFuel`] when
+    /// the budget is exhausted, at the exact step count the tree-walker
+    /// would report).
+    pub fn run_with_fuel(&self, args: Vec<Tensor>, fuel: u64) -> Result<RunOutcome> {
+        check_arity(&self.func_name, &self.params, &args)?;
+        for (p, t) in self.params.iter().zip(&args) {
+            check_arg(p, t)?;
+        }
+        let nparams = self.params.len();
+
+        // The whole runtime state, allocated once up front.
+        let mut store: Vec<Tensor> = args;
+        for b in &self.buffers[nparams..] {
+            store.push(Tensor::zeros(b.dtype(), b.shape()));
+        }
+        let mut alive = vec![false; self.buffers.len()];
+        alive[..nparams].fill(true);
+        let mut regs = vec![0.0f64; self.num_regs];
+        let mut frame = vec![0.0f64; self.num_slots];
+        let mut counters = vec![0i64; self.num_loops];
+        let mut extents = vec![0i64; self.num_loops];
+        let mut hoists = vec![0i64; self.num_hoists];
+        let mut reduce_at_start = true;
+        let mut steps: u64 = 0;
+
+        let ops = &self.ops;
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            match &ops[pc] {
+                Op::Const { dst, val } => regs[*dst as usize] = *val,
+                Op::LoadVar { dst, slot } => regs[*dst as usize] = frame[*slot as usize],
+                Op::SetVar { slot, src } => frame[*slot as usize] = regs[*src as usize],
+                Op::ThrowUnboundVar { name } => {
+                    return Err(ExecError::UnboundVar(self.names[*name as usize].clone()));
+                }
+                Op::ThrowUnknownIntrinsic { name } => {
+                    return Err(ExecError::UnknownIntrinsic(
+                        self.names[*name as usize].clone(),
+                    ));
+                }
+                Op::Cast {
+                    dst,
+                    src,
+                    dtype,
+                    trunc,
+                } => {
+                    let x = regs[*src as usize];
+                    regs[*dst as usize] = if *trunc {
+                        crate::tensor::quantize(x.trunc(), *dtype)
+                    } else {
+                        crate::tensor::quantize(x, *dtype)
+                    };
+                }
+                Op::Bin { kind, dst, a, b } => {
+                    let x = regs[*a as usize];
+                    let y = regs[*b as usize];
+                    regs[*dst as usize] = match kind {
+                        BinKind::Add => x + y,
+                        BinKind::Sub => x - y,
+                        BinKind::Mul => x * y,
+                        BinKind::DivF => x / y,
+                        BinKind::DivI => {
+                            if y == 0.0 {
+                                return Err(ExecError::DivisionByZero);
+                            }
+                            (x as i64 / y as i64) as f64
+                        }
+                        BinKind::FloorDivF => {
+                            if y == 0.0 {
+                                return Err(ExecError::DivisionByZero);
+                            }
+                            (x / y).floor()
+                        }
+                        BinKind::FloorDivI => {
+                            if y == 0.0 {
+                                return Err(ExecError::DivisionByZero);
+                            }
+                            floor_div_i64(x as i64, y as i64) as f64
+                        }
+                        BinKind::FloorModF => {
+                            if y == 0.0 {
+                                return Err(ExecError::DivisionByZero);
+                            }
+                            x - (x / y).floor() * y
+                        }
+                        BinKind::FloorModI => {
+                            if y == 0.0 {
+                                return Err(ExecError::DivisionByZero);
+                            }
+                            floor_mod_i64(x as i64, y as i64) as f64
+                        }
+                        BinKind::Min => x.min(y),
+                        BinKind::Max => x.max(y),
+                        BinKind::And => ((x != 0.0) && (y != 0.0)) as i64 as f64,
+                        BinKind::Or => ((x != 0.0) || (y != 0.0)) as i64 as f64,
+                    };
+                }
+                Op::Cmp { op, dst, a, b } => {
+                    let x = regs[*a as usize];
+                    let y = regs[*b as usize];
+                    regs[*dst as usize] = op.apply(x, y) as i64 as f64;
+                }
+                Op::Not { dst, src } => {
+                    regs[*dst as usize] = (regs[*src as usize] == 0.0) as i64 as f64;
+                }
+                Op::Call { dst, f, first, n } => {
+                    let lo = *first as usize;
+                    let v = f.eval(&regs[lo..lo + *n as usize]);
+                    regs[*dst as usize] = v;
+                }
+                Op::Load { dst, access } => {
+                    let acc = &self.accesses[*access as usize];
+                    let buf = acc.buf as usize;
+                    if !alive[buf] {
+                        return Err(ExecError::UnboundBuffer(
+                            self.buffers[buf].name().to_string(),
+                        ));
+                    }
+                    let off = offset(acc, &regs, &hoists);
+                    regs[*dst as usize] = store[buf].get_flat(off as usize);
+                }
+                Op::Store { access, val } => {
+                    let acc = &self.accesses[*access as usize];
+                    let buf = acc.buf as usize;
+                    let off = offset(acc, &regs, &hoists);
+                    // First store allocates (the storage is pre-zeroed, so
+                    // marking it live is the whole allocation).
+                    alive[buf] = true;
+                    store[buf].set_flat(off as usize, regs[*val as usize]);
+                }
+                Op::Tick => {
+                    steps += 1;
+                    if steps > fuel {
+                        return Err(ExecError::OutOfFuel);
+                    }
+                }
+                Op::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Op::JumpIfZero { reg, target } => {
+                    if regs[*reg as usize] == 0.0 {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::ForSetup {
+                    loop_id,
+                    extent,
+                    var,
+                    end,
+                } => {
+                    let l = *loop_id as usize;
+                    extents[l] = regs[*extent as usize].round() as i64;
+                    counters[l] = 0;
+                    if extents[l] <= 0 {
+                        pc = *end as usize;
+                        continue;
+                    }
+                    frame[*var as usize] = 0.0;
+                }
+                Op::ForNext { loop_id, var, body } => {
+                    let l = *loop_id as usize;
+                    counters[l] += 1;
+                    if counters[l] < extents[l] {
+                        frame[*var as usize] = counters[l] as f64;
+                        pc = *body as usize;
+                        continue;
+                    }
+                }
+                Op::ResetReduceFlag => reduce_at_start = true,
+                Op::UpdateReduceFlag { reg } => {
+                    if regs[*reg as usize] != 0.0 {
+                        reduce_at_start = false;
+                    }
+                }
+                Op::JumpIfReduceFlagFalse { target } => {
+                    if !reduce_at_start {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::AllocBuf { buf } => {
+                    let b = *buf as usize;
+                    store[b].fill_zero();
+                    alive[b] = true;
+                }
+                Op::HoistSet { slot, src, stride } => {
+                    hoists[*slot as usize] = (regs[*src as usize].round() as i64) * stride;
+                }
+            }
+            pc += 1;
+        }
+
+        store.truncate(nparams);
+        Ok(RunOutcome {
+            outputs: store,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tir::builder::matmul_func;
+    use tir::{Buffer, DataType, Expr, PrimFunc, Stmt, Var};
+
+    use crate::compile::{compile, CompileError};
+    use crate::interp::{run_with, ExecBackend, ExecError};
+    use crate::tensor::Tensor;
+
+    /// Runs `func` on both backends with identical inputs and asserts
+    /// bit-exact outputs and identical step counts; returns the steps.
+    fn backends_agree(func: &PrimFunc, num_outputs: usize, seed: u64) -> u64 {
+        let n = func.params.len();
+        let args: Vec<Tensor> = func
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i + num_outputs >= n {
+                    Tensor::zeros(p.dtype(), p.shape())
+                } else {
+                    Tensor::random(p.dtype(), p.shape(), seed.wrapping_add(i as u64))
+                }
+            })
+            .collect();
+        let tw = run_with(func, args.clone(), ExecBackend::TreeWalk, None).expect("tree-walk");
+        let vm = run_with(func, args, ExecBackend::Vm, None).expect("vm");
+        assert_eq!(tw.outputs, vm.outputs, "outputs diverge on {}", func.name);
+        assert_eq!(tw.steps, vm.steps, "step counts diverge on {}", func.name);
+        tw.steps
+    }
+
+    #[test]
+    fn matmul_bit_exact_and_step_exact() {
+        for dt in [
+            DataType::float32(),
+            DataType::float16(),
+            DataType::bfloat16(),
+            DataType::int8(),
+        ] {
+            let f = matmul_func("mm", 6, 5, 4, dt);
+            backends_agree(&f, 1, 7);
+        }
+    }
+
+    #[test]
+    fn fuel_boundary_is_identical() {
+        let f = matmul_func("mm", 4, 4, 4, DataType::float32());
+        let steps = backends_agree(&f, 1, 3);
+        let args: Vec<Tensor> = f
+            .params
+            .iter()
+            .map(|p| Tensor::zeros(p.dtype(), p.shape()))
+            .collect();
+        for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+            let ok = run_with(&f, args.clone(), backend, Some(steps)).expect("exact fuel");
+            assert_eq!(ok.steps, steps);
+            let err = run_with(&f, args.clone(), backend, Some(steps - 1)).unwrap_err();
+            assert!(matches!(err, ExecError::OutOfFuel), "{backend:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn loop_invariant_index_terms_are_hoisted() {
+        // B[i] += A[i] inside a j-loop: the A/B index is invariant in j,
+        // so it must compile to hoist slots, and still match the walker.
+        let a = Buffer::new("A", DataType::float32(), vec![8]);
+        let b = Buffer::new("B", DataType::float32(), vec![8]);
+        let i = Var::int("i");
+        let j = Var::int("j");
+        let body = Stmt::store(
+            b.clone(),
+            vec![Expr::from(&i)],
+            b.load(vec![Expr::from(&i)]) + a.load(vec![Expr::from(&i)]),
+        )
+        .in_loop(j.clone(), 4)
+        .in_loop(i.clone(), 8);
+        let f = PrimFunc::new("accum", vec![a, b], body);
+        let prog = compile(&f).expect("compiles");
+        assert!(
+            prog.num_hoists >= 3,
+            "expected hoisted index terms, got {}",
+            prog.num_hoists
+        );
+        backends_agree(&f, 1, 11);
+    }
+
+    #[test]
+    fn shadowed_binding_falls_back_to_tree_walk() {
+        // The same var bound by two nested loops: dynamic scope (the inner
+        // loop un-binds on exit) cannot map to lexical frame slots, so the
+        // compiler refuses and run_with silently uses the reference path.
+        let b = Buffer::new("B", DataType::float32(), vec![4]);
+        let i = Var::int("i");
+        let body = Stmt::store(b.clone(), vec![Expr::from(&i)], Expr::f32(1.0))
+            .in_loop(i.clone(), 4)
+            .in_loop(i.clone(), 4);
+        let f = PrimFunc::new("shadow", vec![b], body);
+        assert!(matches!(compile(&f), Err(CompileError::ShadowedBinding(_))));
+        backends_agree(&f, 1, 0);
+    }
+
+    #[test]
+    fn unbound_buffer_errors_on_both_backends() {
+        // Loading from a buffer that is neither a param nor allocated must
+        // fail instead of yielding phantom zeros.
+        let phantom = Buffer::new("P", DataType::float32(), vec![4]);
+        let b = Buffer::new("B", DataType::float32(), vec![4]);
+        let i = Var::int("i");
+        let body = Stmt::store(
+            b.clone(),
+            vec![Expr::from(&i)],
+            phantom.load(vec![Expr::from(&i)]),
+        )
+        .in_loop(i, 4);
+        let f = PrimFunc::new("phantom", vec![b], body);
+        for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+            let args = vec![Tensor::zeros(DataType::float32(), &[4])];
+            let err = run_with(&f, args, backend, None).unwrap_err();
+            assert!(
+                matches!(&err, ExecError::UnboundBuffer(n) if n == "P"),
+                "{backend:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_errors_are_identical() {
+        let b = Buffer::new("B", DataType::float32(), vec![4]);
+        let mk = |value: Expr| {
+            let i = Var::int("i");
+            PrimFunc::new(
+                "err",
+                vec![b.clone()],
+                Stmt::store(b.clone(), vec![Expr::from(&i)], value).in_loop(i.clone(), 4),
+            )
+        };
+        let free = Var::int("free");
+        type Check = fn(&ExecError) -> bool;
+        let cases: Vec<(PrimFunc, Check)> = vec![
+            (mk(Expr::int(1).floor_div(Expr::int(0))), |e| {
+                matches!(e, ExecError::DivisionByZero)
+            }),
+            (mk(Expr::from(&free)), |e| {
+                matches!(e, ExecError::UnboundVar(_))
+            }),
+            (
+                mk(Expr::Call {
+                    name: "bogus".into(),
+                    args: vec![Expr::f32(1.0)],
+                    dtype: DataType::float32(),
+                }),
+                |e| matches!(e, ExecError::UnknownIntrinsic(_)),
+            ),
+        ];
+        for (f, check) in cases {
+            for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+                let args = vec![Tensor::zeros(DataType::float32(), &[4])];
+                let err = run_with(&f, args, backend, None).unwrap_err();
+                assert!(check(&err), "{backend:?}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn expression_zoo_matches() {
+        // One store exercising select (branch-only evaluation), logic ops
+        // (no short-circuit), comparisons, casts, min/max, floor ops on
+        // floats and ints, and math intrinsics.
+        let a = Buffer::new("A", DataType::float32(), vec![16]);
+        let b = Buffer::new("B", DataType::float32(), vec![16]);
+        let i = Var::int("i");
+        let iv = || Expr::from(&i);
+        let x = || a.load(vec![iv()]);
+        let value = Expr::select(
+            iv().floor_mod(Expr::int(2))
+                .eq_(0)
+                .and(x().lt(Expr::f32(0.5))),
+            Expr::Call {
+                name: "sqrt".into(),
+                args: vec![x() * x() + Expr::f32(1.0)],
+                dtype: DataType::float32(),
+            },
+            Expr::Cast(DataType::int8(), Box::new(x() * Expr::f32(100.0)))
+                + Expr::Bin(
+                    tir::BinOp::Max,
+                    Box::new(x()),
+                    Box::new(Expr::Bin(
+                        tir::BinOp::Min,
+                        Box::new(iv().floor_div(Expr::int(3))),
+                        Box::new(Expr::Not(Box::new(x().lt(Expr::f32(0.0))))),
+                    )),
+                ),
+        );
+        let body = Stmt::store(b.clone(), vec![iv()], value).in_loop(i.clone(), 16);
+        let f = PrimFunc::new("zoo", vec![a, b], body);
+        backends_agree(&f, 1, 99);
+    }
+}

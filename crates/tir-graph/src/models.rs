@@ -218,56 +218,33 @@ pub fn mobilenet_v2(dtype: DataType) -> ModelSpec {
 pub fn bert_large(dtype: DataType) -> ModelSpec {
     let (layers_n, hidden, heads, seq, ffn) = (24i64, 1024i64, 16i64, 128i64, 4096i64);
     let head_dim = hidden / heads;
-    let mut layers = Vec::new();
-    layers.push(dense(
-        "bert_qkv".into(),
-        seq,
-        3 * hidden,
-        hidden,
-        layers_n,
-        dtype,
-    ));
-    layers.push(bmm(
-        "bert_scores".into(),
-        heads,
-        seq,
-        seq,
-        head_dim,
-        layers_n,
-        dtype,
-    ));
-    layers.push(bmm(
-        "bert_context".into(),
-        heads,
-        seq,
-        head_dim,
-        seq,
-        layers_n,
-        dtype,
-    ));
-    layers.push(dense(
-        "bert_attn_out".into(),
-        seq,
-        hidden,
-        hidden,
-        layers_n,
-        dtype,
-    ));
-    layers.push(dense("bert_ffn1".into(), seq, ffn, hidden, layers_n, dtype));
-    layers.push(dense("bert_ffn2".into(), seq, hidden, ffn, layers_n, dtype));
-    // Softmax, layernorms, residuals.
-    layers.push(elem(
-        "bert_eltwise".into(),
-        seq * hidden,
-        dtype,
-        6 * layers_n,
-    ));
-    layers.push(elem(
-        "bert_softmax".into(),
-        heads * seq * seq,
-        dtype,
-        layers_n,
-    ));
+    let layers = vec![
+        dense("bert_qkv".into(), seq, 3 * hidden, hidden, layers_n, dtype),
+        bmm(
+            "bert_scores".into(),
+            heads,
+            seq,
+            seq,
+            head_dim,
+            layers_n,
+            dtype,
+        ),
+        bmm(
+            "bert_context".into(),
+            heads,
+            seq,
+            head_dim,
+            seq,
+            layers_n,
+            dtype,
+        ),
+        dense("bert_attn_out".into(), seq, hidden, hidden, layers_n, dtype),
+        dense("bert_ffn1".into(), seq, ffn, hidden, layers_n, dtype),
+        dense("bert_ffn2".into(), seq, hidden, ffn, layers_n, dtype),
+        // Softmax, layernorms, residuals.
+        elem("bert_eltwise".into(), seq * hidden, dtype, 6 * layers_n),
+        elem("bert_softmax".into(), heads * seq * seq, dtype, layers_n),
+    ];
     ModelSpec {
         name: "BERT-large".into(),
         dtype,
@@ -279,58 +256,33 @@ pub fn bert_large(dtype: DataType) -> ModelSpec {
 pub fn vit_base(dtype: DataType) -> ModelSpec {
     let (layers_n, hidden, heads, seq, mlp) = (12i64, 768i64, 12i64, 196i64, 3072i64);
     let head_dim = hidden / heads;
-    let mut layers = Vec::new();
-    // Patch embedding: a 16x16/16 conv = a 196 x 768 x 768 matmul.
-    layers.push(dense(
-        "vit_patch_embed".into(),
-        seq,
-        hidden,
-        16 * 16 * 3,
-        1,
-        dtype,
-    ));
-    layers.push(dense(
-        "vit_qkv".into(),
-        seq,
-        3 * hidden,
-        hidden,
-        layers_n,
-        dtype,
-    ));
-    layers.push(bmm(
-        "vit_scores".into(),
-        heads,
-        seq,
-        seq,
-        head_dim,
-        layers_n,
-        dtype,
-    ));
-    layers.push(bmm(
-        "vit_context".into(),
-        heads,
-        seq,
-        head_dim,
-        seq,
-        layers_n,
-        dtype,
-    ));
-    layers.push(dense(
-        "vit_attn_out".into(),
-        seq,
-        hidden,
-        hidden,
-        layers_n,
-        dtype,
-    ));
-    layers.push(dense("vit_mlp1".into(), seq, mlp, hidden, layers_n, dtype));
-    layers.push(dense("vit_mlp2".into(), seq, hidden, mlp, layers_n, dtype));
-    layers.push(elem(
-        "vit_eltwise".into(),
-        seq * hidden,
-        dtype,
-        6 * layers_n,
-    ));
+    let layers = vec![
+        // Patch embedding: a 16x16/16 conv = a 196 x 768 x 768 matmul.
+        dense("vit_patch_embed".into(), seq, hidden, 16 * 16 * 3, 1, dtype),
+        dense("vit_qkv".into(), seq, 3 * hidden, hidden, layers_n, dtype),
+        bmm(
+            "vit_scores".into(),
+            heads,
+            seq,
+            seq,
+            head_dim,
+            layers_n,
+            dtype,
+        ),
+        bmm(
+            "vit_context".into(),
+            heads,
+            seq,
+            head_dim,
+            seq,
+            layers_n,
+            dtype,
+        ),
+        dense("vit_attn_out".into(), seq, hidden, hidden, layers_n, dtype),
+        dense("vit_mlp1".into(), seq, mlp, hidden, layers_n, dtype),
+        dense("vit_mlp2".into(), seq, hidden, mlp, layers_n, dtype),
+        elem("vit_eltwise".into(), seq * hidden, dtype, 6 * layers_n),
+    ];
     ModelSpec {
         name: "ViT-Base/16".into(),
         dtype,

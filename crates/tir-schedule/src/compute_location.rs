@@ -403,7 +403,7 @@ impl Schedule {
         let mut out = None;
         let name = block.name().to_string();
         self.rewrite_body(|body| Ok(prune_empty(extract_block(body, &name, &mut out))))?;
-        out.ok_or_else(|| ScheduleError::BlockNotFound(name))
+        out.ok_or(ScheduleError::BlockNotFound(name))
     }
 
     /// Puts a previously extracted realize back at the end of the root

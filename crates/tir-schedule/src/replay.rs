@@ -18,7 +18,7 @@ use tir::{AnnValue, MemScope, PrimFunc, ThreadTag};
 use crate::schedule::{LoopRef, Result, Schedule, ScheduleError};
 use crate::trace::{Trace, TraceArg, TraceStep};
 
-fn arg_str<'a>(step: &'a TraceStep, idx: usize) -> Result<&'a str> {
+fn arg_str(step: &TraceStep, idx: usize) -> Result<&str> {
     match step.args.get(idx) {
         Some(TraceArg::Str(s)) => Ok(s),
         other => Err(ScheduleError::Precondition(format!(
@@ -28,7 +28,7 @@ fn arg_str<'a>(step: &'a TraceStep, idx: usize) -> Result<&'a str> {
     }
 }
 
-fn arg_ints<'a>(step: &'a TraceStep, idx: usize) -> Result<&'a [i64]> {
+fn arg_ints(step: &TraceStep, idx: usize) -> Result<&[i64]> {
     match step.args.get(idx) {
         Some(TraceArg::Ints(v)) => Ok(v),
         other => Err(ScheduleError::Precondition(format!(

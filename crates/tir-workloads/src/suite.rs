@@ -83,56 +83,56 @@ pub fn bench_suite(dtype: DataType) -> Vec<BenchCase> {
     } else {
         dtype
     };
-    let mut cases = Vec::new();
-    // C1D: sequence conv: N=8, L=512, ci=co=256, k=3.
-    cases.push(BenchCase {
-        kind: OpKind::C1D,
-        func: ops::c1d(8, 514, 256, 256, 3, 1, dtype),
-        macs: conv_macs(8 * 512, 256, 3 * 256),
-    });
-    // C2D: ResNet-style block: 8x58x58x128 -> 56x56x128, 3x3.
-    cases.push(BenchCase {
-        kind: OpKind::C2D,
-        func: ops::c2d(8, 58, 58, 128, 128, 3, 3, 1, dtype),
-        macs: conv_macs(8 * 56 * 56, 128, 3 * 3 * 128),
-    });
-    // C3D: video conv: 4x18x18x18x64 -> 16x16x16x64, 3x3x3.
-    cases.push(BenchCase {
-        kind: OpKind::C3D,
-        func: ops::c3d(4, 18, 18, 18, 64, 64, 3, 1, dtype),
-        macs: conv_macs(4 * 16 * 16 * 16, 64, 27 * 64),
-    });
-    // DEP: MobileNet-style depthwise: 8x114x114x256, 3x3.
-    cases.push(BenchCase {
-        kind: OpKind::DEP,
-        func: ops::dep(8, 114, 114, 256, 3, 3, 1, dtype),
-        macs: 8 * 112 * 112 * 256 * 9,
-    });
-    // DIL: dilated 3x3, dilation 2, same output volume as C2D.
-    cases.push(BenchCase {
-        kind: OpKind::DIL,
-        func: ops::dil(8, 60, 60, 128, 128, 3, 3, 2, dtype),
-        macs: conv_macs(8 * 56 * 56, 128, 9 * 128),
-    });
-    // GMM: 1024 x 1024 x 1024.
-    cases.push(BenchCase {
-        kind: OpKind::GMM,
-        func: ops::gmm(1024, 1024, 1024, dtype, acc),
-        macs: 1024 * 1024 * 1024,
-    });
-    // GRP: grouped conv: 8 groups of 32 -> 32 channels at 28x28.
-    cases.push(BenchCase {
-        kind: OpKind::GRP,
-        func: ops::grp(8, 30, 30, 8, 32, 32, 3, 3, 1, dtype),
-        macs: 8 * 28 * 28 * 8 * 32 * 9 * 32,
-    });
-    // T2D: GAN-style upsampling: 8x16x16x256 -> 34x34x128, 4x4 stride 2.
-    cases.push(BenchCase {
-        kind: OpKind::T2D,
-        func: ops::t2d(8, 16, 16, 256, 128, 4, 4, 2, dtype),
-        macs: 8 * 34 * 34 * 128 * 16 * 256,
-    });
-    cases
+    vec![
+        // C1D: sequence conv: N=8, L=512, ci=co=256, k=3.
+        BenchCase {
+            kind: OpKind::C1D,
+            func: ops::c1d(8, 514, 256, 256, 3, 1, dtype),
+            macs: conv_macs(8 * 512, 256, 3 * 256),
+        },
+        // C2D: ResNet-style block: 8x58x58x128 -> 56x56x128, 3x3.
+        BenchCase {
+            kind: OpKind::C2D,
+            func: ops::c2d(8, 58, 58, 128, 128, 3, 3, 1, dtype),
+            macs: conv_macs(8 * 56 * 56, 128, 3 * 3 * 128),
+        },
+        // C3D: video conv: 4x18x18x18x64 -> 16x16x16x64, 3x3x3.
+        BenchCase {
+            kind: OpKind::C3D,
+            func: ops::c3d(4, 18, 18, 18, 64, 64, 3, 1, dtype),
+            macs: conv_macs(4 * 16 * 16 * 16, 64, 27 * 64),
+        },
+        // DEP: MobileNet-style depthwise: 8x114x114x256, 3x3.
+        BenchCase {
+            kind: OpKind::DEP,
+            func: ops::dep(8, 114, 114, 256, 3, 3, 1, dtype),
+            macs: 8 * 112 * 112 * 256 * 9,
+        },
+        // DIL: dilated 3x3, dilation 2, same output volume as C2D.
+        BenchCase {
+            kind: OpKind::DIL,
+            func: ops::dil(8, 60, 60, 128, 128, 3, 3, 2, dtype),
+            macs: conv_macs(8 * 56 * 56, 128, 9 * 128),
+        },
+        // GMM: 1024 x 1024 x 1024.
+        BenchCase {
+            kind: OpKind::GMM,
+            func: ops::gmm(1024, 1024, 1024, dtype, acc),
+            macs: 1024 * 1024 * 1024,
+        },
+        // GRP: grouped conv: 8 groups of 32 -> 32 channels at 28x28.
+        BenchCase {
+            kind: OpKind::GRP,
+            func: ops::grp(8, 30, 30, 8, 32, 32, 3, 3, 1, dtype),
+            macs: 8 * 28 * 28 * 8 * 32 * 9 * 32,
+        },
+        // T2D: GAN-style upsampling: 8x16x16x256 -> 34x34x128, 4x4 stride 2.
+        BenchCase {
+            kind: OpKind::T2D,
+            func: ops::t2d(8, 16, 16, 256, 128, 4, 4, 2, dtype),
+            macs: 8 * 34 * 34 * 128 * 16 * 256,
+        },
+    ]
 }
 
 #[cfg(test)]

@@ -12,9 +12,10 @@ use crate::dtype::DataType;
 use crate::expr::Expr;
 
 /// Memory scope of a buffer, mirroring GPU/accelerator storage hierarchies.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
 pub enum MemScope {
     /// Device-global memory (DRAM).
+    #[default]
     Global,
     /// Shared memory, visible to one thread block.
     Shared,
@@ -68,12 +69,6 @@ impl MemScope {
             self,
             MemScope::WmmaMatrixA | MemScope::WmmaMatrixB | MemScope::WmmaAccumulator
         )
-    }
-}
-
-impl Default for MemScope {
-    fn default() -> Self {
-        MemScope::Global
     }
 }
 

@@ -895,8 +895,7 @@ impl Parser {
 
         // Header lines: axis decls, T.where, T.reads, T.writes,
         // alloc_buffer, T.block_attr, with T.init().
-        loop {
-            let Some(line) = self.peek() else { break };
+        while let Some(line) = self.peek() {
             if line.indent != inner || line.toks.is_empty() {
                 break;
             }

@@ -310,6 +310,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)]
     fn identities() {
         let x = Var::int("x");
         let xe = || Expr::from(&x);

@@ -1,0 +1,180 @@
+//! Differential testing of the two execution backends.
+//!
+//! The bytecode VM (`ExecBackend::Vm`) must be observationally identical
+//! to the tree-walking interpreter (`ExecBackend::TreeWalk`): bit-exact
+//! output tensors (`==`, not allclose) and identical step counts on every
+//! run. This suite drives both backends over
+//!
+//! * small-shape instances of **every** `tir-workloads` operator family
+//!   (gmm, batch_matmul, c1d, c2d, c3d, dep, dil, grp, t2d) across
+//!   float32/float16/int8, executed to completion;
+//! * the real `bench_suite` entries (too large to execute fully in a
+//!   test), fuel-capped so both backends must agree on hitting
+//!   `OutOfFuel`;
+//! * 100+ randomly-traced scheduled variants (seeded split / fuse /
+//!   reorder / parallel / unroll pipelines plus GPU-style
+//!   bind + cache_read + cache_write pipelines) of a matmul.
+
+use tir::builder::matmul_func;
+use tir::{DataType, PrimFunc, ThreadTag};
+use tir_exec::{run_with, ExecBackend, ExecError, Tensor};
+use tir_rand::{rngs::StdRng, RngExt, SeedableRng};
+use tir_schedule::Schedule;
+use tir_workloads::{bench_suite, ops};
+
+/// Runs `func` on both backends with identical inputs; asserts bit-exact
+/// outputs and identical step counts.
+fn backends_agree(func: &PrimFunc, seed: u64) {
+    let n = func.params.len();
+    let args: Vec<Tensor> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i + 1 >= n {
+                Tensor::zeros(p.dtype(), p.shape())
+            } else {
+                Tensor::random(p.dtype(), p.shape(), seed.wrapping_add(i as u64))
+            }
+        })
+        .collect();
+    let tw = run_with(func, args.clone(), ExecBackend::TreeWalk, None)
+        .unwrap_or_else(|e| panic!("tree-walk failed on {}: {e}", func.name));
+    let vm = run_with(func, args, ExecBackend::Vm, None)
+        .unwrap_or_else(|e| panic!("vm failed on {}: {e}", func.name));
+    assert_eq!(
+        tw.steps, vm.steps,
+        "step counts diverge on {}: tree-walk {} vs vm {}",
+        func.name, tw.steps, vm.steps
+    );
+    for (i, (a, b)) in tw.outputs.iter().zip(&vm.outputs).enumerate() {
+        assert_eq!(a, b, "output {i} of {} is not bit-identical", func.name);
+    }
+}
+
+/// Every operator family in `tir-workloads`, at shapes small enough to
+/// execute to completion, across representative dtypes.
+#[test]
+fn all_workload_families_bit_exact() {
+    for (i, dt) in [DataType::float32(), DataType::float16(), DataType::int8()]
+        .into_iter()
+        .enumerate()
+    {
+        let acc = ops::accumulator_of(dt);
+        let seed = 0xd1f5 + i as u64;
+        backends_agree(&ops::gmm(8, 7, 6, dt, acc), seed);
+        backends_agree(&ops::batch_matmul(2, 4, 5, 6, dt, acc), seed);
+        backends_agree(&ops::c1d(2, 18, 4, 5, 3, 2, dt), seed);
+        backends_agree(&ops::c2d(1, 10, 10, 4, 4, 3, 3, 1, dt), seed);
+        backends_agree(&ops::c3d(1, 6, 6, 6, 2, 2, 3, 1, dt), seed);
+        backends_agree(&ops::dep(1, 10, 10, 4, 3, 3, 2, dt), seed);
+        backends_agree(&ops::dil(1, 12, 12, 2, 2, 3, 3, 2, dt), seed);
+        backends_agree(&ops::grp(1, 8, 8, 2, 2, 2, 3, 3, 1, dt), seed);
+        backends_agree(&ops::t2d(1, 5, 5, 2, 2, 3, 3, 2, dt), seed);
+    }
+}
+
+/// The real (large) bench-suite entries: both backends must hit the fuel
+/// guard — neither may finish, diverge into a different error, or panic.
+#[test]
+fn bench_suite_fuel_parity() {
+    for dt in [DataType::float16(), DataType::int8()] {
+        for case in bench_suite(dt) {
+            let args: Vec<Tensor> = case
+                .func
+                .params
+                .iter()
+                .map(|p| Tensor::zeros(p.dtype(), p.shape()))
+                .collect();
+            for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+                let err = run_with(&case.func, args.clone(), backend, Some(4096))
+                    .err()
+                    .unwrap_or_else(|| {
+                        panic!("{:?} finished {} under tiny fuel", backend, case.func.name)
+                    });
+                assert!(
+                    matches!(err, ExecError::OutOfFuel),
+                    "{:?} on {}: expected OutOfFuel, got {err}",
+                    backend,
+                    case.func.name
+                );
+            }
+        }
+    }
+}
+
+/// 112 seeded random schedule pipelines over a matmul (alternating f32 /
+/// f16), mirroring the transform mix of `schedule_semantics.rs`.
+#[test]
+fn random_scheduled_variants_bit_exact() {
+    let n = 8i64;
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for case in 0..112u64 {
+        let dt = if case % 2 == 0 {
+            DataType::float32()
+        } else {
+            DataType::float16()
+        };
+        let reference = matmul_func("mm", n, n, n, dt);
+        let len = rng.random_range(1usize..6);
+        let ops: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..5)).collect();
+        let mut sch = Schedule::new(reference);
+        let block = sch.get_block("C").unwrap();
+        for (step, op) in ops.iter().enumerate() {
+            let loops = sch.get_loops(&block).unwrap();
+            match op {
+                0 => {
+                    for l in &loops {
+                        let e = sch.loop_extent(l).unwrap_or(1);
+                        if e % 2 == 0 && e > 2 {
+                            let _ = sch.split(l, &[2, -1]);
+                            break;
+                        }
+                    }
+                }
+                1 if loops.len() >= 2 => {
+                    let _ = sch.fuse(&loops[..2]);
+                }
+                2 if loops.len() >= 2 => {
+                    let mut order = loops.clone();
+                    order.swap(0, 1);
+                    let _ = sch.reorder(&order[..2]);
+                }
+                3 if step == 0 => {
+                    let _ = sch.parallel(&loops[0]);
+                }
+                _ => {
+                    let _ = sch.unroll(loops.last().unwrap());
+                }
+            }
+        }
+        backends_agree(sch.func(), 0xace + case);
+    }
+}
+
+/// GPU-style pipelines (split + reorder + fuse + thread binds +
+/// cache_read + cache_write) across a grid of tile factors.
+#[test]
+fn gpu_scheduled_variants_bit_exact() {
+    for (v, fi) in [2i64, 4, 8].into_iter().enumerate() {
+        for (w, fj) in [2i64, 4, 8, 16].into_iter().enumerate() {
+            let reference = matmul_func("mm", 16, 16, 16, DataType::float32());
+            let mut sch = Schedule::new(reference);
+            let block = sch.get_block("C").unwrap();
+            let loops = sch.get_loops(&block).unwrap();
+            let i = sch.split(&loops[0], &[fi, -1]).unwrap();
+            let j = sch.split(&loops[1], &[fj, -1]).unwrap();
+            sch.reorder(&[i[0].clone(), j[0].clone(), i[1].clone(), j[1].clone()])
+                .unwrap();
+            let bid = sch.fuse(&[i[0].clone(), j[0].clone()]).unwrap();
+            sch.bind(&bid, ThreadTag::BlockIdxX).unwrap();
+            sch.bind(&i[1], ThreadTag::ThreadIdxX).unwrap();
+            let a = sch.func().param("A").unwrap().clone();
+            sch.cache_read(&block, &a, tir::MemScope::Shared, Some(&j[1]))
+                .unwrap();
+            sch.cache_write(&block, tir::MemScope::Local, Some(&j[1]))
+                .unwrap();
+            backends_agree(sch.func(), 0xca0 + (v * 4 + w) as u64);
+        }
+    }
+}
