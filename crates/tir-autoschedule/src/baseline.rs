@@ -18,7 +18,8 @@ use tir::PrimFunc;
 use tir_exec::machine::{Machine, MachineKind};
 use tir_tensorize::{find_tensorizable_block, IntrinRegistry};
 
-use crate::search::{tune_multi, TuneOptions, TuneResult};
+use crate::measure::Measurer;
+use crate::search::{tune_multi_with, TuneOptions, TuneResult};
 use crate::sketch::SketchRule;
 use crate::sketch_cpu::{CpuScalarSketch, CpuTensorSketch};
 use crate::sketch_gpu::{GpuScalarSketch, GpuTensorSketch};
@@ -92,7 +93,8 @@ pub fn build_sketches(
     sketches
 }
 
-/// Tunes one workload under a strategy.
+/// Tunes one workload under a strategy on the default fault-free
+/// simulator backend.
 pub fn tune_workload(
     func: &PrimFunc,
     machine: &Machine,
@@ -100,9 +102,23 @@ pub fn tune_workload(
     strategy: Strategy,
     opts: &TuneOptions,
 ) -> TuneResult {
+    tune_workload_with(func, machine, intrins, strategy, opts, &crate::SimMeasurer)
+}
+
+/// Tunes one workload under a strategy against an arbitrary [`Measurer`]
+/// backend — how the fault-tolerance benches drive a whole-workload
+/// search through a [`crate::FaultInjector`].
+pub fn tune_workload_with(
+    func: &PrimFunc,
+    machine: &Machine,
+    intrins: &IntrinRegistry,
+    strategy: Strategy,
+    opts: &TuneOptions,
+    measurer: &dyn Measurer,
+) -> TuneResult {
     let sketches = build_sketches(func, machine, intrins, strategy);
     let refs: Vec<&dyn SketchRule> = sketches.iter().map(|s| s.as_ref()).collect();
-    tune_multi(&refs, machine, opts)
+    tune_multi_with(&refs, machine, opts, measurer)
 }
 
 /// Roofline oracle for a vendor library kernel: the kernel reaches

@@ -10,6 +10,11 @@
 //!   deterministic parallel candidate-evaluation pipeline, and a
 //!   structural-hash measurement cache;
 //! * [`parallel`] — the fork-join primitive backing that pipeline;
+//! * [`measure`] — the fallible measurement abstraction: the [`Measurer`]
+//!   backend trait, deterministic fault injection, and the
+//!   retry/backoff/outlier-rejection harness;
+//! * [`checkpoint`] — generation-granularity checkpoint/resume of tuning
+//!   runs, bit-identical to uninterrupted runs;
 //! * [`cost_model`] — a from-scratch gradient-boosted-tree cost model
 //!   trained online from simulator measurements;
 //! * [`feature`] — program feature extraction;
@@ -20,18 +25,25 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod cost_model;
 pub mod database;
 pub mod feature;
+pub mod measure;
 pub mod parallel;
 pub mod search;
 pub mod sketch;
 pub mod sketch_cpu;
 pub mod sketch_gpu;
 
-pub use baseline::{build_sketches, oracle_time, tune_workload, Strategy};
+pub use baseline::{build_sketches, oracle_time, tune_workload, tune_workload_with, Strategy};
+pub use checkpoint::TuneCheckpoint;
 pub use cost_model::CostModel;
 pub use database::{workload_key, TuningDatabase};
-pub use parallel::{effective_threads, parallel_map};
-pub use search::{tune, tune_multi, TuneOptions, TuneResult};
+pub use measure::{
+    measure_with_retries, FaultInjector, FaultPlan, MeasureCtx, MeasureError, MeasureOutcome,
+    Measurer, RetryPolicy, SimMeasurer,
+};
+pub use parallel::{effective_threads, parallel_map, try_parallel_map};
+pub use search::{tune, tune_multi, tune_multi_with, tune_with, TuneOptions, TuneResult};
 pub use sketch::{Decision, DecisionKind, SketchRule};

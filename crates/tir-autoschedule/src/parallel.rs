@@ -17,7 +17,10 @@
 //! index, so uneven per-candidate costs (e.g. early construction failures
 //! vs. full schedule materialization) still balance across the pool.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::measure::panic_message;
 
 /// Resolves a thread-count request: `0` means "all available cores".
 pub fn effective_threads(requested: usize) -> usize {
@@ -44,18 +47,47 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    try_parallel_map(items, num_threads, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(msg) => panic!("parallel_map worker panicked: {msg}"),
+        })
+        .collect()
+}
+
+/// Panic-isolating variant of [`parallel_map`]: each per-item invocation
+/// of `f` runs under [`catch_unwind`], so a panicking item yields
+/// `Err(panic message)` at its index instead of poisoning the pool and
+/// aborting the whole run. All non-panicking items still complete.
+///
+/// The serial (`num_threads <= 1`) and parallel paths are behaviorally
+/// identical, including which items are `Err` — panics are a property of
+/// `(index, item)`, not of scheduling.
+pub fn try_parallel_map<T, R, F>(items: &[T], num_threads: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let guarded =
+        |i: usize, item: &T| catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message);
     let workers = num_threads.min(items.len());
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| guarded(i, t))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut results: Vec<Option<Result<R, String>>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
-                let f = &f;
+                let guarded = &guarded;
                 s.spawn(move || {
                     let mut out = Vec::new();
                     loop {
@@ -63,20 +95,25 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        out.push((i, guarded(i, &items[i])));
                     }
                     out
                 })
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
+            // Workers cannot themselves panic — every call into user code
+            // is wrapped — so a join failure is a harness bug.
+            for (i, r) in h.join().expect("queue worker is panic-free") {
                 results[i] = Some(r);
             }
         }
     });
     results
         .into_iter()
+        // Infallible: the atomic queue hands out every index in
+        // [0, items.len()) exactly once, and each worker records a result
+        // for every index it takes.
         .map(|r| r.expect("every index produced"))
         .collect()
 }
@@ -117,5 +154,38 @@ mod tests {
     fn effective_threads_resolves_zero() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn panicking_item_fails_alone() {
+        let items: Vec<usize> = (0..20).collect();
+        for threads in [1, 4] {
+            let out = try_parallel_map(&items, threads, |_, &v| {
+                if v == 7 {
+                    panic!("candidate {v} exploded");
+                }
+                v * 2
+            });
+            assert_eq!(out.len(), 20);
+            for (i, r) in out.iter().enumerate() {
+                if i == 7 {
+                    let msg = r.as_ref().expect_err("index 7 panicked");
+                    assert!(msg.contains("candidate 7 exploded"), "got: {msg}");
+                } else {
+                    assert_eq!(r.as_ref().expect("survives"), &(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_map worker panicked")]
+    fn parallel_map_still_propagates_panics() {
+        parallel_map(&[1, 2, 3], 1, |_, &v: &i32| {
+            if v == 2 {
+                panic!("boom");
+            }
+            v
+        });
     }
 }

@@ -41,20 +41,51 @@
 //! Because the simulator is deterministic, the reused value equals what
 //! re-measurement would produce, so the cache changes *only* the cost of
 //! tuning (wall-clock and simulated `tuning_cost_s`), never the result.
+//!
+//! # Fault tolerance
+//!
+//! Measurements go through the [`crate::measure`] harness: any
+//! [`Measurer`] backend (by default the analytic simulator, optionally
+//! wrapped in a [`crate::measure::FaultInjector`]) with capped
+//! exponential retry/backoff for transient failures, repeat-until-
+//! agreement outlier rejection for corrupt readings, and `catch_unwind`
+//! isolation so a panicking candidate fails alone. Candidates that fail
+//! *deterministically* (compile rejects) are quarantined by structural
+//! hash and never re-measured. All retry/backoff delay is charged to
+//! `tuning_cost_s`, preserving the key invariant: under any transient
+//! fault rate the search trajectory — `best`, `history`, every counter
+//! except `tuning_cost_s`/`retries`/`failed_measurements` — is
+//! bit-identical to the fault-free run.
+//!
+//! # Checkpoint/resume
+//!
+//! With `TuneOptions::checkpoint_path` set, the complete coordinator
+//! state is persisted after every generation ([`crate::checkpoint`]), and
+//! a later run with the same options resumes from it: a killed-and-
+//! resumed run returns the bit-identical result as an uninterrupted one,
+//! because fault draws and per-slot RNGs are pure functions of
+//! `(seed, candidate, attempt)` / `(seed, generation, slot)` — never of
+//! how many times the process restarted.
 
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 
 use tir_rand::rngs::StdRng;
 use tir_rand::{derive_seed, SeedableRng};
 
 use tir::structural::structural_hash;
 use tir::PrimFunc;
-use tir_exec::cost::{estimate_time, summarize};
+use tir_exec::cost::summarize;
 use tir_exec::machine::Machine;
 
+use crate::checkpoint::{self, TuneCheckpoint};
 use crate::cost_model::CostModel;
 use crate::feature::features_of_summary;
-use crate::parallel::{effective_threads, parallel_map};
+use crate::measure::{
+    measure_with_retries, MeasureError, MeasureOutcome, Measurer, RetryPolicy, SimMeasurer,
+    COMPILE_OVERHEAD_S,
+};
+use crate::parallel::{effective_threads, parallel_map, try_parallel_map};
 use crate::sketch::{Decision, SketchRule};
 
 /// Search configuration.
@@ -95,6 +126,20 @@ pub struct TuneOptions {
     /// simulator is deterministic); only reduces tuning cost. Disable to
     /// model a tuner that re-profiles duplicates.
     pub use_candidate_cache: bool,
+    /// Retry/backoff policy for transient measurement failures (see
+    /// [`crate::measure`]). The defaults make transient-fault exhaustion
+    /// astronomically unlikely, preserving the fault-rate invariant.
+    pub retry: RetryPolicy,
+    /// When set, the complete coordinator state is checkpointed to this
+    /// file after every generation, and a run starting with a valid
+    /// matching checkpoint (same seed/machine/sketch) resumes from it
+    /// bit-identically. Save failures are ignored (resumability is lost,
+    /// the run is not).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Stop after this many generations even if trial budget remains —
+    /// the hook the kill-and-resume tests use to interrupt a run at a
+    /// generation boundary. `None` (the default) runs to budget.
+    pub max_generations: Option<u64>,
 }
 
 impl Default for TuneOptions {
@@ -108,6 +153,9 @@ impl Default for TuneOptions {
             validate_before_measure: true,
             num_threads: 0,
             use_candidate_cache: true,
+            retry: RetryPolicy::default(),
+            checkpoint_path: None,
+            max_generations: None,
         }
     }
 }
@@ -138,6 +186,19 @@ pub struct TuneResult {
     pub history: Vec<f64>,
     /// Measurements served from the structural-hash candidate cache.
     pub cache_hits: usize,
+    /// Candidates whose measurement failed even after retries (transient
+    /// exhaustion) or deterministically (compile reject). Each consumes
+    /// one unit of trial budget — a farm pays for failures too.
+    pub failed_measurements: usize,
+    /// Extra measurement attempts beyond the minimum: transient-failure
+    /// retries plus repeat readings taken for outlier rejection.
+    pub retries: u64,
+    /// Candidates quarantined after a deterministic failure; structurally
+    /// identical re-proposals are skipped without consuming budget.
+    pub quarantined: usize,
+    /// The generation this run resumed from, when it started from a valid
+    /// checkpoint; `None` for an uninterrupted run.
+    pub resumed_from_generation: Option<u64>,
 }
 
 impl Default for TuneResult {
@@ -151,23 +212,31 @@ impl Default for TuneResult {
             tuning_cost_s: 0.0,
             history: Vec::new(),
             cache_hits: 0,
+            failed_measurements: 0,
+            retries: 0,
+            quarantined: 0,
+            resumed_from_generation: None,
         }
     }
 }
-
-/// Simulated repetitions per hardware measurement (profilers average).
-const PROFILE_REPEATS: f64 = 300.0;
-/// Simulated per-candidate compile + launch overhead, seconds.
-const COMPILE_OVERHEAD_S: f64 = 0.1;
 
 /// Simulated wall-clock of a measurement batch distributed over `workers`
 /// parallel build+measure slots: greedy assignment of each candidate (in
 /// slot order) to the least-loaded worker, returning the longest worker's
 /// load. One worker degenerates to the serial sum. Deterministic — ties
 /// pick the lowest worker index.
+///
+/// Hardened against bad inputs: a non-finite or negative cost (e.g. a
+/// `NaN` measurement of an unvalidated candidate) charges only the
+/// compile overhead, so `NaN` can never poison `tuning_cost_s`.
 fn batch_makespan(costs: &[f64], workers: usize) -> f64 {
     let mut load = vec![0.0f64; workers.clamp(1, costs.len().max(1))];
     for &c in costs {
+        let c = if c.is_finite() && c >= 0.0 {
+            c
+        } else {
+            COMPILE_OVERHEAD_S
+        };
         let min = load
             .iter()
             .enumerate()
@@ -205,31 +274,182 @@ struct CandidateEval {
     hash: u64,
     /// Feature vector (empty when invalid).
     features: Vec<f64>,
-    /// Simulated execution time (NaN when invalid).
+    /// Cached measurement time; `NaN` unless `cached` (measurement of
+    /// uncached candidates happens after batch selection, through the
+    /// fault-tolerant harness).
     time: f64,
     /// Whether features/time were served from the candidate cache.
     cached: bool,
 }
 
-/// Runs evolutionary search over one sketch.
+/// The complete mutable coordinator state of a tuning run — everything a
+/// checkpoint must capture for a resumed run to be bit-identical.
+struct SearchState {
+    result: TuneResult,
+    model: CostModel,
+    /// Every decision vector ever proposed (dedup set).
+    seen: HashSet<Vec<Decision>>,
+    /// Elite pool of (decisions, measured time), in coordinator order.
+    elites: Vec<(Vec<Decision>, f64)>,
+    /// Structural-hash cache of completed measurements. Owned by the
+    /// coordinator; each generation reads a frozen snapshot in parallel
+    /// and new measurements are folded in afterwards.
+    cache: HashMap<u64, CachedMeasurement>,
+    /// Structural hashes of deterministically failing candidates.
+    quarantine: HashSet<u64>,
+    /// Decision vector of the current best (for checkpointing: the best
+    /// program itself is re-materialized from this on resume).
+    best_decisions: Option<Vec<Decision>>,
+    /// Next generation to execute.
+    generation: u64,
+}
+
+impl SearchState {
+    fn fresh() -> Self {
+        SearchState {
+            result: TuneResult::default(),
+            model: CostModel::new(),
+            seen: HashSet::new(),
+            elites: Vec::new(),
+            cache: HashMap::new(),
+            quarantine: HashSet::new(),
+            best_decisions: None,
+            generation: 0,
+        }
+    }
+
+    /// Trial budget consumed so far: successful, wasted, and failed
+    /// measurements all count (a farm pays for failures too).
+    fn budget_used(&self) -> usize {
+        self.result.trials_measured
+            + self.result.wasted_measurements
+            + self.result.failed_measurements
+    }
+
+    /// Rebuilds the run state recorded in a checkpoint. Returns `None` if
+    /// the checkpoint is internally inconsistent (its best decision
+    /// vector no longer materializes) — the run then starts fresh.
+    fn from_checkpoint(ck: TuneCheckpoint, sketch: &dyn SketchRule) -> Option<Self> {
+        let (best, best_decisions) = match ck.best_decisions {
+            None => (None, None),
+            Some(d) => (Some(sketch.apply(&d).ok()?), Some(d)),
+        };
+        let mut model = CostModel::new();
+        // The GBDT refit is a deterministic function of the sample
+        // sequence, so restoring the samples restores the exact ensemble.
+        model.set_samples(ck.model_samples);
+        Some(SearchState {
+            result: TuneResult {
+                best,
+                best_time: ck.best_time,
+                trials_measured: ck.trials_measured,
+                invalid_filtered: ck.invalid_filtered,
+                wasted_measurements: ck.wasted_measurements,
+                tuning_cost_s: ck.tuning_cost_s,
+                history: ck.history,
+                cache_hits: ck.cache_hits,
+                failed_measurements: ck.failed_measurements,
+                retries: ck.retries,
+                quarantined: ck.quarantined,
+                resumed_from_generation: Some(ck.generation),
+            },
+            model,
+            seen: ck.seen.into_iter().collect(),
+            elites: ck.elites,
+            cache: ck
+                .cache
+                .into_iter()
+                .map(|(h, features, time)| (h, CachedMeasurement { features, time }))
+                .collect(),
+            quarantine: ck.quarantine.into_iter().collect(),
+            best_decisions,
+            generation: ck.generation,
+        })
+    }
+
+    fn to_checkpoint(&self, seed: u64, machine: &str, sketch: &str) -> TuneCheckpoint {
+        TuneCheckpoint {
+            seed,
+            machine: machine.to_string(),
+            sketch: sketch.to_string(),
+            generation: self.generation,
+            trials_measured: self.result.trials_measured,
+            invalid_filtered: self.result.invalid_filtered,
+            wasted_measurements: self.result.wasted_measurements,
+            failed_measurements: self.result.failed_measurements,
+            retries: self.result.retries,
+            cache_hits: self.result.cache_hits,
+            quarantined: self.result.quarantined,
+            best_time: self.result.best_time,
+            tuning_cost_s: self.result.tuning_cost_s,
+            history: self.result.history.clone(),
+            best_decisions: self.best_decisions.clone(),
+            elites: self.elites.clone(),
+            seen: self.seen.iter().cloned().collect(),
+            cache: self
+                .cache
+                .iter()
+                .map(|(h, m)| (*h, m.features.clone(), m.time))
+                .collect(),
+            quarantine: self.quarantine.iter().copied().collect(),
+            model_samples: self.model.samples().to_vec(),
+        }
+    }
+}
+
+/// Runs evolutionary search over one sketch on the default (fault-free,
+/// noise-free) simulator backend.
 ///
 /// Deterministic for a given `opts` (including across `num_threads`
 /// values); see the module docs for how the parallel pipeline and the
 /// candidate cache preserve that.
 pub fn tune(sketch: &dyn SketchRule, machine: &Machine, opts: &TuneOptions) -> TuneResult {
-    let threads = effective_threads(opts.num_threads);
-    let mut model = CostModel::new();
-    let mut result = TuneResult::default();
-    let mut seen: HashSet<Vec<Decision>> = HashSet::new();
-    // Elite pool of (decisions, measured time).
-    let mut elites: Vec<(Vec<Decision>, f64)> = Vec::new();
-    // Structural-hash cache of completed measurements. Owned by the
-    // coordinator; each generation reads a frozen snapshot in parallel and
-    // new measurements are folded in afterwards.
-    let mut cache: HashMap<u64, CachedMeasurement> = HashMap::new();
+    tune_with(sketch, machine, opts, &SimMeasurer)
+}
 
-    let mut generation: u64 = 0;
-    while result.trials_measured + result.wasted_measurements < opts.trials {
+/// Runs evolutionary search over one sketch against an arbitrary
+/// [`Measurer`] backend — the entry point the fault-tolerance tests and
+/// benches drive with a [`crate::measure::FaultInjector`].
+///
+/// Measurement failures are retried (transient), quarantined
+/// (deterministic), or counted as failed after exhaustion; all simulated
+/// delay lands in `tuning_cost_s`. Under a purely transient fault plan
+/// the returned `best`/`history` are bit-identical to the fault-free run.
+pub fn tune_with(
+    sketch: &dyn SketchRule,
+    machine: &Machine,
+    opts: &TuneOptions,
+    measurer: &dyn Measurer,
+) -> TuneResult {
+    // Degenerate budgets: nothing to search. Guarded explicitly — a zero
+    // `measure_per_generation` would otherwise loop forever without ever
+    // consuming budget, and a zero `population` would spin proposing
+    // nothing.
+    if opts.trials == 0 || opts.population == 0 || opts.measure_per_generation == 0 {
+        return TuneResult::default();
+    }
+    let threads = effective_threads(opts.num_threads);
+    let mut state = opts
+        .checkpoint_path
+        .as_ref()
+        .and_then(|p| checkpoint::load(p, opts.seed, &machine.name, sketch.name()))
+        .and_then(|ck| SearchState::from_checkpoint(ck, sketch))
+        .unwrap_or_else(SearchState::fresh);
+
+    while state.budget_used() < opts.trials
+        && opts.max_generations.is_none_or(|g| state.generation < g)
+    {
+        let generation = state.generation;
+        let SearchState {
+            result,
+            model,
+            seen,
+            elites,
+            cache,
+            quarantine,
+            best_decisions,
+            ..
+        } = &mut state;
         // Coordinator: fix each slot's derivation plan (half evolved from
         // elites, half random).
         let plans: Vec<Plan> = (0..opts.population)
@@ -247,7 +467,7 @@ pub fn tune(sketch: &dyn SketchRule, machine: &Machine, opts: &TuneOptions) -> T
         // Fan-out 1: sampling / mutation / crossover. Each slot owns a
         // generator derived from (seed, generation, slot), so the outcome
         // is independent of thread interleaving.
-        let elites_ref = &elites;
+        let elites_ref: &Vec<(Vec<Decision>, f64)> = elites;
         let proposals: Vec<Vec<Decision>> = parallel_map(&plans, threads, |slot, plan| {
             let mut rng = StdRng::seed_from_u64(derive_seed(opts.seed, &[generation, slot as u64]));
             match *plan {
@@ -272,26 +492,31 @@ pub fn tune(sketch: &dyn SketchRule, machine: &Machine, opts: &TuneOptions) -> T
         }
 
         // Fan-out 2: materialize + validate + summarize + extract features,
-        // with cache lookups against the frozen snapshot.
-        let cache_ref = &cache;
+        // with cache lookups against the frozen snapshot. A panic while
+        // materializing a candidate marks that candidate invalid instead
+        // of aborting the run.
+        let cache_ref: &HashMap<u64, CachedMeasurement> = cache;
+        let invalid = |d: &Vec<Decision>| CandidateEval {
+            decisions: d.clone(),
+            func: None,
+            hash: 0,
+            features: Vec::new(),
+            time: f64::NAN,
+            cached: false,
+        };
         let evals: Vec<CandidateEval> =
-            parallel_map(&population, threads, |_, d| match sketch.apply(d) {
-                Err(_) => CandidateEval {
-                    decisions: d.clone(),
-                    func: None,
-                    hash: 0,
-                    features: Vec::new(),
-                    time: f64::NAN,
-                    cached: false,
-                },
+            try_parallel_map(&population, threads, |_, d| match sketch.apply(d) {
+                Err(_) => invalid(d),
                 Ok(f) => {
                     let hash = structural_hash(&f);
                     let (features, time, cached) = match cache_ref.get(&hash) {
                         Some(m) if opts.use_candidate_cache => (m.features.clone(), m.time, true),
                         _ => {
                             let s = summarize(&f);
-                            let t = estimate_time(&s, machine);
-                            (features_of_summary(&f, &s), t, false)
+                            // The actual measurement happens after batch
+                            // selection, through the fault-tolerant
+                            // harness; until then the time is unknown.
+                            (features_of_summary(&f, &s), f64::NAN, false)
                         }
                     };
                     CandidateEval {
@@ -303,7 +528,11 @@ pub fn tune(sketch: &dyn SketchRule, machine: &Machine, opts: &TuneOptions) -> T
                         cached,
                     }
                 }
-            });
+            })
+            .into_iter()
+            .zip(&population)
+            .map(|(r, d)| r.unwrap_or_else(|_| invalid(d)))
+            .collect();
 
         // Coordinator: validation-filter accounting, in slot order.
         let mut candidates: Vec<CandidateEval> = Vec::new();
@@ -320,67 +549,138 @@ pub fn tune(sketch: &dyn SketchRule, machine: &Machine, opts: &TuneOptions) -> T
         }
 
         // Fan-out 3: batched cost-model ranking over the whole generation.
+        // A panicking scorer ranks its candidate neutrally (score 0)
+        // rather than aborting the run.
         let model_ready = opts.use_cost_model && model.num_samples() >= 4;
-        let model_ref = &model;
-        let mut scored: Vec<(f64, usize)> = parallel_map(&candidates, threads, |i, eval| {
-            let score = match &eval.func {
+        let model_ref: &CostModel = model;
+        let mut scored: Vec<(f64, usize)> = try_parallel_map(&candidates, threads, |_, eval| {
+            match &eval.func {
                 Some(_) if model_ready => model_ref.predict(&eval.features),
                 // Without the validation filter, an invalid candidate is
                 // indistinguishable from a promising one until it fails
                 // on the device: rank it like any unscored candidate.
                 None => f64::MAX / 2.0,
                 _ => 0.0,
-            };
-            (score, i)
-        });
+            }
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r.unwrap_or(0.0), i))
+        .collect();
         // Stable sort: equal scores keep slot order, preserving
         // determinism.
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
-        // Coordinator: measure the top-ranked batch. The measurement
-        // itself was computed in the fan-out (or served from cache); this
-        // loop is pure accounting.
-        let budget_left = opts.trials - result.trials_measured - result.wasted_measurements;
-        let batch = scored
+        // Coordinator: select the top-ranked batch. Quarantined
+        // candidates (deterministic failures, keyed by structural hash)
+        // are skipped without consuming any budget.
+        let budget_left = opts.trials
+            - (result.trials_measured + result.wasted_measurements + result.failed_measurements);
+        let batch: Vec<usize> = scored
             .into_iter()
-            .take(opts.measure_per_generation.min(budget_left));
+            .map(|(_, i)| i)
+            .filter(|&i| {
+                let e = &candidates[i];
+                e.hash == 0 || !quarantine.contains(&e.hash)
+            })
+            .take(opts.measure_per_generation.min(budget_left))
+            .collect();
+
+        // Fan-out 4: measure the uncached members of the batch through
+        // the fault-tolerant harness. The harness already converts panics
+        // into per-candidate RunnerCrash errors; `try_parallel_map` is
+        // the backstop for panics outside it.
+        let jobs: Vec<usize> = batch
+            .iter()
+            .copied()
+            .filter(|&i| candidates[i].func.is_some() && !candidates[i].cached)
+            .collect();
+        let candidates_ref = &candidates;
+        let outcomes = try_parallel_map(&jobs, threads, |_, &i| {
+            let eval = &candidates_ref[i];
+            match &eval.func {
+                Some(f) => measure_with_retries(measurer, f, machine, eval.hash, &opts.retry),
+                // Unreachable: `jobs` only holds valid candidates (the
+                // filter above); degrade to a crash, never panic.
+                None => MeasureOutcome {
+                    reading: Err(MeasureError::RunnerCrash("candidate vanished".to_string())),
+                    cost_s: COMPILE_OVERHEAD_S,
+                    retries: 0,
+                },
+            }
+        });
+        let mut outcome_of: HashMap<usize, MeasureOutcome> = jobs
+            .into_iter()
+            .zip(outcomes.into_iter().map(|r| {
+                r.unwrap_or_else(|msg| MeasureOutcome {
+                    reading: Err(MeasureError::RunnerCrash(format!(
+                        "measurement worker panicked: {msg}"
+                    ))),
+                    cost_s: COMPILE_OVERHEAD_S,
+                    retries: 0,
+                })
+            }))
+            .collect();
+
+        // Coordinator: accounting over the batch, in rank order.
         let mut new_samples = Vec::new();
         let mut new_records: Vec<(u64, CachedMeasurement)> = Vec::new();
         let mut batch_costs: Vec<f64> = Vec::new();
-        for (_, i) in batch {
+        for i in batch {
             let eval = &candidates[i];
-            match &eval.func {
-                Some(f) => {
-                    let t = eval.time;
-                    result.trials_measured += 1;
-                    if eval.cached {
-                        // Reused measurement: no profile repeats, no
-                        // recompilation.
-                        result.cache_hits += 1;
-                    } else {
-                        batch_costs.push(t * PROFILE_REPEATS + COMPILE_OVERHEAD_S);
-                        new_records.push((
-                            eval.hash,
-                            CachedMeasurement {
-                                features: eval.features.clone(),
-                                time: t,
-                            },
-                        ));
+            let Some(f) = &eval.func else {
+                // Sent to the farm unvalidated; failed at build time.
+                result.wasted_measurements += 1;
+                batch_costs.push(COMPILE_OVERHEAD_S);
+                result.history.push(result.best_time);
+                continue;
+            };
+            let (t, outcome) = if eval.cached {
+                // Reused measurement: no profile repeats, no
+                // recompilation, and by construction a trusted reading.
+                result.cache_hits += 1;
+                (eval.time, None)
+            } else {
+                let outcome = outcome_of.remove(&i).unwrap_or_else(|| MeasureOutcome {
+                    // Unreachable by construction (every uncached valid
+                    // batch member was submitted as a job); degrade to a
+                    // failed measurement rather than panic.
+                    reading: Err(MeasureError::RunnerCrash("missing outcome".to_string())),
+                    cost_s: COMPILE_OVERHEAD_S,
+                    retries: 0,
+                });
+                result.retries += outcome.retries;
+                batch_costs.push(outcome.cost_s);
+                match outcome.reading {
+                    Ok(t) => (t, Some(())),
+                    Err(e) => {
+                        result.failed_measurements += 1;
+                        if !e.is_transient() && eval.hash != 0 && quarantine.insert(eval.hash) {
+                            result.quarantined += 1;
+                        }
+                        result.history.push(result.best_time);
+                        continue;
                     }
-                    new_samples.push((eval.features.clone(), -(t.max(1e-12)).ln()));
-                    if t < result.best_time {
-                        result.best_time = t;
-                        result.best = Some(f.clone());
-                    }
-                    result.history.push(result.best_time);
-                    elites.push((eval.decisions.clone(), t));
                 }
-                None => {
-                    result.wasted_measurements += 1;
-                    batch_costs.push(COMPILE_OVERHEAD_S);
-                    result.history.push(result.best_time);
-                }
+            };
+            if outcome.is_some() {
+                new_records.push((
+                    eval.hash,
+                    CachedMeasurement {
+                        features: eval.features.clone(),
+                        time: t,
+                    },
+                ));
             }
+            result.trials_measured += 1;
+            new_samples.push((eval.features.clone(), -(t.max(1e-12)).ln()));
+            if t < result.best_time {
+                result.best_time = t;
+                result.best = Some(f.clone());
+                *best_decisions = Some(eval.decisions.clone());
+            }
+            result.history.push(result.best_time);
+            elites.push((eval.decisions.clone(), t));
         }
         result.tuning_cost_s += batch_makespan(&batch_costs, threads);
         for (hash, record) in new_records {
@@ -391,9 +691,16 @@ pub fn tune(sketch: &dyn SketchRule, machine: &Machine, opts: &TuneOptions) -> T
         }
         elites.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         elites.truncate(8);
-        generation += 1;
+        state.generation += 1;
+        if let Some(path) = &opts.checkpoint_path {
+            // A failed save only loses resumability, never the run.
+            let _ = checkpoint::save(
+                path,
+                &state.to_checkpoint(opts.seed, &machine.name, sketch.name()),
+            );
+        }
     }
-    result
+    state.result
 }
 
 /// Tunes several alternative sketches and returns the best result, merging
@@ -403,6 +710,20 @@ pub fn tune_multi(
     sketches: &[&dyn SketchRule],
     machine: &Machine,
     opts: &TuneOptions,
+) -> TuneResult {
+    tune_multi_with(sketches, machine, opts, &SimMeasurer)
+}
+
+/// [`tune_multi`] against an arbitrary [`Measurer`] backend.
+///
+/// When `opts.checkpoint_path` is set, each sketch checkpoints to its own
+/// derived file (`<name>.sketch<i>`), so a killed multi-sketch run
+/// resumes every sub-search from wherever it got to.
+pub fn tune_multi_with(
+    sketches: &[&dyn SketchRule],
+    machine: &Machine,
+    opts: &TuneOptions,
+    measurer: &dyn Measurer,
 ) -> TuneResult {
     let mut merged: Option<TuneResult> = None;
     // Budget split across sketches. Each sketch gets at least one trial so
@@ -415,9 +736,14 @@ pub fn tune_multi(
     for (i, sketch) in sketches.iter().enumerate() {
         let o = TuneOptions {
             seed: opts.seed.wrapping_add(i as u64 * 101),
+            checkpoint_path: opts.checkpoint_path.as_ref().map(|p| {
+                let mut name = p.file_name().unwrap_or_default().to_os_string();
+                name.push(format!(".sketch{i}"));
+                p.with_file_name(name)
+            }),
             ..per_sketch.clone()
         };
-        let r = tune(*sketch, machine, &o);
+        let r = tune_with(*sketch, machine, &o, measurer);
         merged = Some(match merged.take() {
             None => r,
             Some(mut m) => {
@@ -431,6 +757,10 @@ pub fn tune_multi(
                 m.tuning_cost_s += r.tuning_cost_s;
                 m.history.extend(r.history);
                 m.cache_hits += r.cache_hits;
+                m.failed_measurements += r.failed_measurements;
+                m.retries += r.retries;
+                m.quarantined += r.quarantined;
+                m.resumed_from_generation = m.resumed_from_generation.or(r.resumed_from_generation);
                 m
             }
         });
@@ -460,6 +790,62 @@ mod tests {
         assert_eq!(batch_makespan(&[1.0, 1.0, 1.0, 1.0], 4), 1.0);
         assert_eq!(batch_makespan(&[3.0, 1.0, 1.0, 1.0], 2), 3.0);
         assert_eq!(batch_makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn batch_makespan_rejects_nan_and_negative_costs() {
+        // Regression: a NaN candidate time (reachable when
+        // `validate_before_measure` is off and a degenerate machine
+        // yields non-finite estimates) must charge only the compile
+        // overhead, never poison the accounting.
+        let m = batch_makespan(&[f64::NAN, 1.0], 1);
+        assert!(m.is_finite());
+        assert_eq!(m, 1.0 + COMPILE_OVERHEAD_S);
+        assert_eq!(
+            batch_makespan(&[f64::INFINITY, -2.0], 1),
+            2.0 * COMPILE_OVERHEAD_S
+        );
+        // All-NaN batches still schedule deterministically.
+        assert_eq!(batch_makespan(&[f64::NAN, f64::NAN], 2), COMPILE_OVERHEAD_S);
+    }
+
+    #[test]
+    fn zero_population_means_no_search() {
+        let s = sketch();
+        let machine = Machine::sim_gpu();
+        let r = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                population: 0,
+                ..Default::default()
+            },
+        );
+        assert!(r.best.is_none());
+        assert_eq!(r.trials_measured, 0);
+        assert_eq!(r.tuning_cost_s, 0.0);
+        assert!(r.history.is_empty());
+    }
+
+    #[test]
+    fn zero_measure_per_generation_means_no_search() {
+        // Regression: without the degenerate-options guard this spun
+        // forever — generations proposed candidates but never consumed
+        // any trial budget.
+        let s = sketch();
+        let machine = Machine::sim_gpu();
+        let r = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                measure_per_generation: 0,
+                ..Default::default()
+            },
+        );
+        assert!(r.best.is_none());
+        assert_eq!(r.trials_measured, 0);
+        assert_eq!(r.tuning_cost_s, 0.0);
+        assert!(r.history.is_empty());
     }
 
     #[test]

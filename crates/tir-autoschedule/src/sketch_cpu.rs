@@ -23,8 +23,7 @@ pub(crate) fn cpu_flat_schedule(
         return Ok(());
     }
     sch.parallel(&loops[0])?;
-    if loops.len() >= 2 {
-        let last = loops.last().expect("nonempty");
+    if let [_, .., last] = loops.as_slice() {
         let extent = sch.loop_extent(last)?;
         if extent % vector_width == 0 && extent > vector_width {
             let parts = sch.split(last, &[-1, vector_width])?;

@@ -1,0 +1,277 @@
+//! Kill-and-resume tests: a tuning run checkpointed at a generation
+//! boundary and resumed in a fresh process state must produce the
+//! bit-identical result — best program, history, and all accounting,
+//! including `tuning_cost_s` down to the last bit — as an uninterrupted
+//! run. Fault injection composes with resume because fault draws are
+//! keyed on `(seed, candidate, attempt)`, not on process lifetime.
+
+use std::path::PathBuf;
+
+use tir::DataType;
+use tir_autoschedule::sketch_gpu::GpuTensorSketch;
+use tir_autoschedule::{
+    tune, tune_with, FaultInjector, FaultPlan, SimMeasurer, TuneOptions, TuneResult,
+};
+use tir_exec::machine::Machine;
+use tir_tensorize::builtin_registry;
+
+fn mm_sketch() -> GpuTensorSketch {
+    let func = tir::builder::matmul_func("mm", 128, 128, 128, DataType::float16());
+    let reg = builtin_registry();
+    let wmma = reg.get("wmma_16x16x16_f16").unwrap();
+    GpuTensorSketch::new(&func, "C", wmma, true).expect("sketch")
+}
+
+fn ckpt_path(name: &str) -> PathBuf {
+    // CARGO_TARGET_TMPDIR lives under the workspace target directory and
+    // is per-integration-test-binary, so parallel test binaries cannot
+    // collide.
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir.join(name)
+}
+
+fn assert_bit_identical(a: &TuneResult, b: &TuneResult, what: &str) {
+    let (ab, bb) = (
+        a.best.as_ref().map(|f| f.to_string()),
+        b.best.as_ref().map(|f| f.to_string()),
+    );
+    assert_eq!(ab, bb, "{what}: best program");
+    assert_eq!(
+        a.best_time.to_bits(),
+        b.best_time.to_bits(),
+        "{what}: best_time"
+    );
+    assert_eq!(
+        a.tuning_cost_s.to_bits(),
+        b.tuning_cost_s.to_bits(),
+        "{what}: tuning_cost_s"
+    );
+    assert_eq!(a.history.len(), b.history.len(), "{what}: history length");
+    for (i, (x, y)) in a.history.iter().zip(&b.history).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: history[{i}]");
+    }
+    assert_eq!(a.trials_measured, b.trials_measured, "{what}: trials");
+    assert_eq!(a.invalid_filtered, b.invalid_filtered, "{what}: invalid");
+    assert_eq!(
+        a.wasted_measurements, b.wasted_measurements,
+        "{what}: wasted"
+    );
+    assert_eq!(a.cache_hits, b.cache_hits, "{what}: cache hits");
+    assert_eq!(
+        a.failed_measurements, b.failed_measurements,
+        "{what}: failed"
+    );
+    assert_eq!(a.retries, b.retries, "{what}: retries");
+    assert_eq!(a.quarantined, b.quarantined, "{what}: quarantined");
+}
+
+/// Kill after generation k, resume, and compare bit-for-bit against the
+/// uninterrupted run — for several k, including one past the budget.
+#[test]
+fn kill_and_resume_is_bit_identical_to_uninterrupted() {
+    let s = mm_sketch();
+    let machine = Machine::sim_gpu();
+    let base = TuneOptions {
+        trials: 32,
+        num_threads: 2,
+        ..Default::default()
+    };
+    let uninterrupted = tune(&s, &machine, &base);
+    assert!(uninterrupted.best.is_some());
+    for k in [1u64, 2, 3] {
+        let path = ckpt_path(&format!("kill-after-{k}.ckpt"));
+        let _ = std::fs::remove_file(&path);
+        // Phase 1: run exactly k generations, then "die".
+        let killed = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                checkpoint_path: Some(path.clone()),
+                max_generations: Some(k),
+                ..base.clone()
+            },
+        );
+        assert!(
+            killed.trials_measured < uninterrupted.trials_measured,
+            "kill at generation {k} must interrupt mid-search"
+        );
+        // Phase 2: a fresh search picks the checkpoint up and finishes.
+        let resumed = tune(
+            &s,
+            &machine,
+            &TuneOptions {
+                checkpoint_path: Some(path.clone()),
+                ..base.clone()
+            },
+        );
+        assert_eq!(resumed.resumed_from_generation, Some(k), "resume point");
+        assert_bit_identical(&uninterrupted, &resumed, &format!("resume after gen {k}"));
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Checkpoint/resume composes with transient fault injection: the resumed
+/// faulty run matches the uninterrupted faulty run bit-for-bit (including
+/// retry counts and tuning cost), and both find the fault-free best.
+#[test]
+fn resume_under_transient_faults_is_bit_identical() {
+    let s = mm_sketch();
+    let machine = Machine::sim_gpu();
+    let inj = FaultInjector::sim(FaultPlan::transient(0.3));
+    let base = TuneOptions {
+        trials: 24,
+        num_threads: 1,
+        ..Default::default()
+    };
+    let fault_free = tune(&s, &machine, &base);
+    let uninterrupted = tune_with(&s, &machine, &base, &inj);
+    assert_eq!(
+        uninterrupted.best.as_ref().map(|f| f.to_string()),
+        fault_free.best.as_ref().map(|f| f.to_string()),
+        "transient faults must not change the best program"
+    );
+    let path = ckpt_path("resume-under-faults.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let _killed = tune_with(
+        &s,
+        &machine,
+        &TuneOptions {
+            checkpoint_path: Some(path.clone()),
+            max_generations: Some(2),
+            ..base.clone()
+        },
+        &inj,
+    );
+    let resumed = tune_with(
+        &s,
+        &machine,
+        &TuneOptions {
+            checkpoint_path: Some(path.clone()),
+            ..base.clone()
+        },
+        &inj,
+    );
+    assert_eq!(resumed.resumed_from_generation, Some(2));
+    assert_bit_identical(&uninterrupted, &resumed, "faulty resume");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A corrupt checkpoint file is ignored: the run starts fresh (and then
+/// overwrites the file with valid state) instead of resuming from
+/// garbage or crashing.
+#[test]
+fn corrupt_checkpoint_starts_fresh_on_resume() {
+    let s = mm_sketch();
+    let machine = Machine::sim_gpu();
+    let base = TuneOptions {
+        trials: 16,
+        num_threads: 1,
+        ..Default::default()
+    };
+    let clean = tune(&s, &machine, &base);
+    let path = ckpt_path("corrupt.ckpt");
+    std::fs::write(&path, "tir-autoschedule-checkpoint v1\ncounts garbage\n").expect("write");
+    let r = tune(
+        &s,
+        &machine,
+        &TuneOptions {
+            checkpoint_path: Some(path.clone()),
+            ..base.clone()
+        },
+    );
+    assert_eq!(r.resumed_from_generation, None, "garbage must not resume");
+    assert_bit_identical(&clean, &r, "fresh run over corrupt checkpoint");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A checkpoint from a different seed (i.e. a different run) is refused;
+/// the mismatched run starts fresh rather than splicing foreign state.
+#[test]
+fn mismatched_seed_checkpoint_is_not_resumed() {
+    let s = mm_sketch();
+    let machine = Machine::sim_gpu();
+    let path = ckpt_path("mismatch.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let _partial = tune(
+        &s,
+        &machine,
+        &TuneOptions {
+            trials: 24,
+            seed: 42,
+            checkpoint_path: Some(path.clone()),
+            max_generations: Some(1),
+            ..Default::default()
+        },
+    );
+    assert!(path.exists(), "checkpoint must have been written");
+    let other_seed = tune(
+        &s,
+        &machine,
+        &TuneOptions {
+            trials: 24,
+            seed: 43,
+            num_threads: 1,
+            checkpoint_path: Some(path.clone()),
+            ..Default::default()
+        },
+    );
+    assert_eq!(other_seed.resumed_from_generation, None);
+    let reference = tune(
+        &s,
+        &machine,
+        &TuneOptions {
+            trials: 24,
+            seed: 43,
+            num_threads: 1,
+            ..Default::default()
+        },
+    );
+    assert_bit_identical(&reference, &other_seed, "seed-43 fresh run");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resuming with a backend is orthogonal to which measurer wrote the
+/// checkpoint *state*: the SimMeasurer and a transient fault injector
+/// walk the identical trajectory, so a run killed fault-free and resumed
+/// under faults still converges to the same best program.
+#[test]
+fn resume_crossing_fault_regimes_converges_to_the_same_best() {
+    let s = mm_sketch();
+    let machine = Machine::sim_gpu();
+    let base = TuneOptions {
+        trials: 24,
+        num_threads: 1,
+        ..Default::default()
+    };
+    let fault_free = tune(&s, &machine, &base);
+    let path = ckpt_path("cross-regime.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let _killed = tune_with(
+        &s,
+        &machine,
+        &TuneOptions {
+            checkpoint_path: Some(path.clone()),
+            max_generations: Some(2),
+            ..base.clone()
+        },
+        &SimMeasurer,
+    );
+    let resumed = tune_with(
+        &s,
+        &machine,
+        &TuneOptions {
+            checkpoint_path: Some(path.clone()),
+            ..base.clone()
+        },
+        &FaultInjector::sim(FaultPlan::transient(0.2)),
+    );
+    assert_eq!(resumed.resumed_from_generation, Some(2));
+    assert_eq!(
+        resumed.best.as_ref().map(|f| f.to_string()),
+        fault_free.best.as_ref().map(|f| f.to_string()),
+        "crossing fault regimes must still find the fault-free best"
+    );
+    assert_eq!(resumed.history.len(), fault_free.history.len());
+    let _ = std::fs::remove_file(&path);
+}

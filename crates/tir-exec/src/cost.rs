@@ -391,6 +391,58 @@ pub fn simulate(func: &PrimFunc, machine: &Machine) -> f64 {
     estimate_time(&summarize(func), machine)
 }
 
+/// Why the analytic simulator could not produce a usable measurement.
+///
+/// The fallible entry points ([`try_estimate_time`] / [`try_simulate`])
+/// exist for callers that must not let a degenerate roofline reading —
+/// `NaN` from a zero-rate machine model, or an infinite time — leak into
+/// downstream accounting. The auto-scheduler's measurement harness treats
+/// this error as a deterministic per-candidate failure (the candidate is
+/// quarantined, never retried).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CostError {
+    /// The roofline model produced a non-finite or negative time.
+    NonFiniteTime,
+}
+
+impl std::fmt::Display for CostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostError::NonFiniteTime => {
+                write!(f, "roofline model produced a non-finite or negative time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+/// Fallible variant of [`estimate_time`]: rejects non-finite or negative
+/// readings instead of returning them.
+///
+/// # Errors
+///
+/// Returns [`CostError::NonFiniteTime`] when the roofline evaluates to
+/// `NaN`, an infinity, or a negative number (possible with degenerate
+/// machine descriptions, e.g. a zero clock rate).
+pub fn try_estimate_time(summary: &CostSummary, machine: &Machine) -> Result<f64, CostError> {
+    let t = estimate_time(summary, machine);
+    if t.is_finite() && t >= 0.0 {
+        Ok(t)
+    } else {
+        Err(CostError::NonFiniteTime)
+    }
+}
+
+/// Fallible variant of [`simulate`]: summarize + [`try_estimate_time`].
+///
+/// # Errors
+///
+/// See [`try_estimate_time`].
+pub fn try_simulate(func: &PrimFunc, machine: &Machine) -> Result<f64, CostError> {
+    try_estimate_time(&summarize(func), machine)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +504,27 @@ mod tests {
         let f = matmul_func("mm", 64, 64, 64, DataType::float16());
         let m = Machine::sim_gpu();
         assert_eq!(simulate(&f, &m), simulate(&f, &m));
+    }
+
+    #[test]
+    fn try_simulate_agrees_with_simulate_on_sane_machines() {
+        let f = matmul_func("mm", 64, 64, 64, DataType::float16());
+        let m = Machine::sim_gpu();
+        assert_eq!(try_simulate(&f, &m), Ok(simulate(&f, &m)));
+    }
+
+    #[test]
+    fn try_simulate_rejects_degenerate_machines() {
+        // Zero DRAM bandwidth makes memory time infinite; a NaN launch
+        // overhead poisons the sum. The fallible entry point must catch
+        // both instead of returning them.
+        let f = matmul_func("mm", 16, 16, 16, DataType::float32());
+        let mut m = Machine::sim_gpu();
+        m.global_bw_gbps = 0.0;
+        assert_eq!(try_simulate(&f, &m), Err(CostError::NonFiniteTime));
+        let mut m2 = Machine::sim_gpu();
+        m2.launch_overhead_us = f64::NAN;
+        assert_eq!(try_simulate(&f, &m2), Err(CostError::NonFiniteTime));
     }
 }
 

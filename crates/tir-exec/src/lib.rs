@@ -27,7 +27,9 @@ pub mod tensor;
 pub mod vm;
 
 pub use compile::{compile, CompileError, Program};
-pub use cost::{estimate_time, simulate, summarize, CostSummary};
+pub use cost::{
+    estimate_time, simulate, summarize, try_estimate_time, try_simulate, CostError, CostSummary,
+};
 pub use interp::{
     assert_same_semantics, run_on_random_inputs, run_with, ExecBackend, ExecError, Interpreter,
     RunOutcome,
