@@ -9,7 +9,15 @@
 //! * [`reduction`] — reduction-pattern detection on block bodies;
 //! * [`mod@validate`] — the §3.3 validators: loop-nest validation via
 //!   quasi-affine iterator maps, threading validation, and
-//!   producer-covers-consumer region checks.
+//!   producer-covers-consumer region checks;
+//! * [`mod@bounds`] — interval propagation proving every buffer access in
+//!   bounds, refining through loop binders, block predicates, `if` and
+//!   `select` guards;
+//! * [`racecheck`] — write-disjointness proofs for parallel loops and
+//!   memory-scope legality across the GPU thread hierarchy.
+//!
+//! [`analyze`] runs the full stack over a scheduled [`PrimFunc`];
+//! [`verify_scheduled`] is the same as a `Result` for gating.
 //!
 //! # Examples
 //!
@@ -24,11 +32,38 @@
 
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod dependency;
+pub mod racecheck;
 pub mod reduction;
 pub mod region;
 pub mod validate;
 
+pub use bounds::check_bounds;
 pub use dependency::BlockScope;
+pub use racecheck::{check_races, check_scopes};
 pub use reduction::{detect_block_reduction, ReduceOp, ReductionInfo};
 pub use validate::{assert_valid, validate, ValidationError};
+
+use tir::PrimFunc;
+
+/// Runs the full static-analysis stack — loop-nest and region-cover
+/// validation, bounds proofs, race proofs, and scope checks — returning
+/// every diagnostic found.
+pub fn analyze(func: &PrimFunc) -> Vec<ValidationError> {
+    let mut errors = validate(func).err().unwrap_or_default();
+    errors.extend(check_bounds(func));
+    errors.extend(check_races(func));
+    errors.extend(check_scopes(func));
+    errors
+}
+
+/// [`analyze`] as a gate: `Ok(())` when the function passes every check.
+pub fn verify_scheduled(func: &PrimFunc) -> Result<(), Vec<ValidationError>> {
+    let errors = analyze(func);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}

@@ -89,6 +89,41 @@ pub enum ValidationError {
         /// Shared buffer.
         buffer: String,
     },
+    /// Two iterations of a parallel loop may touch the same buffer element.
+    WriteRace {
+        /// The parallel loop variable.
+        loop_var: String,
+        /// Buffer with conflicting accesses.
+        buffer: String,
+        /// A block containing a conflicting access.
+        block: String,
+        /// Why the disjointness proof failed.
+        detail: String,
+    },
+    /// A buffer access may fall outside the buffer's shape.
+    OutOfBounds {
+        /// Accessed buffer.
+        buffer: String,
+        /// Enclosing block.
+        block: String,
+        /// Zero-based dimension of the offending index.
+        dim: usize,
+        /// Proven lower bound of the index.
+        index_min: i64,
+        /// Proven upper bound of the index.
+        index_max: i64,
+        /// Extent of the dimension (valid indices are `[0, extent)`).
+        extent: i64,
+    },
+    /// A scoped buffer is used illegally across the thread hierarchy.
+    ScopeViolation {
+        /// The buffer.
+        buffer: String,
+        /// Its memory scope.
+        scope: String,
+        /// What was violated.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -130,6 +165,33 @@ impl std::fmt::Display for ValidationError {
                 "block {block} produces shared buffer {buffer} under thread bindings \
                  without cooperative coverage"
             ),
+            ValidationError::WriteRace {
+                loop_var,
+                buffer,
+                block,
+                detail,
+            } => write!(
+                f,
+                "parallel loop {loop_var}: iterations may race on buffer {buffer} \
+                 (block {block}): {detail}"
+            ),
+            ValidationError::OutOfBounds {
+                buffer,
+                block,
+                dim,
+                index_min,
+                index_max,
+                extent,
+            } => write!(
+                f,
+                "block {block}: index {dim} of buffer {buffer} spans \
+                 [{index_min}, {index_max}] but the dimension extent is {extent}"
+            ),
+            ValidationError::ScopeViolation {
+                buffer,
+                scope,
+                detail,
+            } => write!(f, "{scope}-scope buffer {buffer}: {detail}"),
         }
     }
 }
@@ -436,7 +498,7 @@ fn predicate_guards(predicate: &Expr, value: &Expr, limit: i64) -> bool {
     })
 }
 
-fn split_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+pub(crate) fn split_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
     if let Expr::Bin(BinOp::And, a, b) = e {
         split_and(a, out);
         split_and(b, out);

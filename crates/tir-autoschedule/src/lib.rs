@@ -42,7 +42,7 @@ pub use cost_model::CostModel;
 pub use database::{workload_key, TuningDatabase};
 pub use measure::{
     measure_with_retries, FaultInjector, FaultPlan, MeasureCtx, MeasureError, MeasureOutcome,
-    Measurer, RetryPolicy, SimMeasurer,
+    Measurer, RetryPolicy, SimMeasurer, VerifyingMeasurer,
 };
 pub use parallel::{effective_threads, parallel_map, try_parallel_map};
 pub use search::{tune, tune_multi, tune_multi_with, tune_with, TuneOptions, TuneResult};

@@ -178,6 +178,62 @@ impl Measurer for SimMeasurer {
     }
 }
 
+/// Static-analysis gate in front of any [`Measurer`]: candidates that
+/// fail the whole-program analyzer (structural validation, bounds,
+/// data-race and memory-scope checks — [`tir_analysis::analyze`]) are
+/// rejected with [`MeasureError::CompileReject`] before the inner backend
+/// ever sees them, exactly like a kernel the real toolchain refuses to
+/// build. The reject is deterministic, so the search quarantines the
+/// candidate by structural hash: an illegal sketch family costs one build
+/// attempt, never a simulated measurement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VerifyingMeasurer<M> {
+    inner: M,
+}
+
+impl<M: Measurer> VerifyingMeasurer<M> {
+    /// Gates `inner` behind the static analyzer.
+    pub fn new(inner: M) -> Self {
+        VerifyingMeasurer { inner }
+    }
+
+    /// The wrapped measurement backend.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl VerifyingMeasurer<SimMeasurer> {
+    /// The analyzer gate over the analytic simulator — the default
+    /// verified tuning backend.
+    pub fn sim() -> Self {
+        VerifyingMeasurer::new(SimMeasurer)
+    }
+}
+
+impl<M: Measurer> Measurer for VerifyingMeasurer<M> {
+    fn measure(
+        &self,
+        func: &PrimFunc,
+        machine: &Machine,
+        ctx: &MeasureCtx,
+    ) -> Result<f64, MeasureError> {
+        let errors = tir_analysis::analyze(func);
+        if !errors.is_empty() {
+            let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+            return Err(MeasureError::CompileReject(format!(
+                "static analyzer rejected candidate: {}",
+                msgs.join("; ")
+            )));
+        }
+        self.inner.measure(func, machine, ctx)
+    }
+
+    fn min_agreeing_readings(&self) -> usize {
+        self.inner.min_agreeing_readings()
+    }
+}
+
 /// Failure rates for the deterministic [`FaultInjector`].
 ///
 /// All rates are probabilities in `[0, 1]` drawn independently per
@@ -700,6 +756,62 @@ mod tests {
             Err(MeasureError::CorruptReading { .. })
         ));
         assert!(out.cost_s.is_finite());
+    }
+
+    #[test]
+    fn verifying_measurer_passes_legal_candidates() {
+        let f = mm();
+        let m = Machine::sim_gpu();
+        let t = VerifyingMeasurer::sim()
+            .measure(&f, &m, &ctx(1, 0))
+            .expect("legal candidate must reach the simulator");
+        assert_eq!(t, simulate(&f, &m));
+    }
+
+    #[test]
+    fn verifying_measurer_rejects_race_without_measuring() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use tir::{Buffer, Expr, ForKind, Stmt, Var};
+
+        /// Counts how often the farm is actually hit.
+        struct Counting(AtomicUsize);
+        impl Measurer for Counting {
+            fn measure(
+                &self,
+                _f: &PrimFunc,
+                _m: &Machine,
+                _c: &MeasureCtx,
+            ) -> Result<f64, MeasureError> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(1.0)
+            }
+        }
+
+        // All iterations of a parallel loop write O[0]: a race the static
+        // analyzer must catch at "build" time.
+        let o = Buffer::new("O", tir::DataType::float32(), vec![1]);
+        let i = Var::int("i");
+        let store = Stmt::store(o.clone(), vec![Expr::int(0)], Expr::from(&i));
+        let body = Stmt::For(Box::new(tir::For::with_kind(
+            i,
+            Expr::int(8),
+            ForKind::Parallel,
+            store,
+        )));
+        let racy = PrimFunc::new("racy", vec![o], body);
+
+        let inner = Counting(AtomicUsize::new(0));
+        let gate = VerifyingMeasurer::new(inner);
+        let err = gate
+            .measure(&racy, &Machine::sim_gpu(), &ctx(1, 0))
+            .unwrap_err();
+        assert!(matches!(err, MeasureError::CompileReject(_)), "{err:?}");
+        assert!(!err.is_transient(), "rejects must quarantine");
+        assert_eq!(
+            gate.inner().0.load(Ordering::SeqCst),
+            0,
+            "the farm must never see a rejected candidate"
+        );
     }
 
     #[test]

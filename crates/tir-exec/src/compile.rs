@@ -89,6 +89,9 @@ pub(crate) struct Access {
     /// Per remaining dimension: the register holding the index value and
     /// its row-major stride.
     pub inline: Box<[(u32, i64)]>,
+    /// Loop ids of every enclosing parallel loop (outermost first) — the
+    /// iteration signature the sanitizer tracks races over.
+    pub race: Box<[u32]>,
 }
 
 /// One bytecode instruction. Registers, frame slots, loop states, hoist
@@ -179,6 +182,10 @@ pub struct Program {
     pub(crate) ops: Vec<Op>,
     pub(crate) accesses: Vec<Access>,
     pub(crate) names: Vec<String>,
+    /// Per buffer id: some access to it sits inside a block carrying a
+    /// [`tir::RELAXING_ANNOTATIONS`] annotation, exempting the buffer from
+    /// race tracking (mirrors the static analyzer's exemption).
+    pub(crate) relaxed: Vec<bool>,
     pub(crate) num_regs: usize,
     pub(crate) num_slots: usize,
     pub(crate) num_loops: usize,
@@ -232,6 +239,12 @@ struct Compiler {
     binders: Vec<BinderFrame>,
     /// Hoisted op sequences pending insertion: `(position, ops)`.
     insertions: Vec<(usize, Vec<Op>)>,
+    /// Loop ids of the currently-open parallel loops, outermost first.
+    par_loops: Vec<u32>,
+    /// Depth of enclosing blocks with a relaxing annotation.
+    relax_depth: usize,
+    /// Buffer ids with at least one access under a relaxing block.
+    relaxed_bufs: std::collections::HashSet<u32>,
     num_regs: u32,
     num_loops: u32,
     num_hoists: u32,
@@ -251,6 +264,9 @@ impl Compiler {
                 insert_pos: 0,
             }],
             insertions: Vec::new(),
+            par_loops: Vec::new(),
+            relax_depth: 0,
+            relaxed_bufs: std::collections::HashSet::new(),
             num_regs: 0,
             num_loops: 0,
             num_hoists: 0,
@@ -525,12 +541,16 @@ impl Compiler {
                 },
             }
         }
+        if self.relax_depth > 0 {
+            self.relaxed_bufs.insert(buf);
+        }
         let id = self.accesses.len() as u32;
         self.accesses.push(Access {
             buf,
             base,
             hoists: hoists.into_boxed_slice(),
             inline: inline.into_boxed_slice(),
+            race: self.par_loops.clone().into_boxed_slice(),
         });
         Ok(id)
     }
@@ -608,7 +628,13 @@ impl Compiler {
                 });
                 let body_at = self.ops.len();
                 self.binders.last_mut().expect("frame").insert_pos = body_at;
+                if f.kind.is_parallel() {
+                    self.par_loops.push(loop_id);
+                }
                 self.compile_stmt(&f.body)?;
+                if f.kind.is_parallel() {
+                    self.par_loops.pop();
+                }
                 self.ops.push(Op::ForNext {
                     loop_id,
                     var: var_slot,
@@ -652,6 +678,12 @@ impl Compiler {
         }
         let head = self.ops.len();
         self.binders.last_mut().expect("frame").insert_pos = head;
+        let relaxing = tir::RELAXING_ANNOTATIONS
+            .iter()
+            .any(|a| block.annotations.contains_key(*a));
+        if relaxing {
+            self.relax_depth += 1;
+        }
         for b in &block.alloc_buffers {
             let buf = self.buf_id(b);
             self.ops.push(Op::AllocBuf { buf });
@@ -673,6 +705,9 @@ impl Compiler {
             }
         }
         self.compile_stmt(&block.body)?;
+        if relaxing {
+            self.relax_depth -= 1;
+        }
         let frame = self.binders.pop().expect("frame");
         self.unbind_all(frame);
         let end = self.ops.len() as u32;
@@ -728,6 +763,9 @@ impl Compiler {
             }
             self.ops = new_ops;
         }
+        let relaxed = (0..self.buffers.len() as u32)
+            .map(|id| self.relaxed_bufs.contains(&id))
+            .collect();
         Program {
             func_name: func.name.clone(),
             params: func.params.clone(),
@@ -735,6 +773,7 @@ impl Compiler {
             ops: self.ops,
             accesses: self.accesses,
             names: self.names,
+            relaxed,
             num_regs: self.num_regs as usize,
             num_slots: self.slot_of.len(),
             num_loops: self.num_loops as usize,

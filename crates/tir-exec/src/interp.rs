@@ -31,6 +31,11 @@ pub enum ExecError {
     DivisionByZero,
     /// The step budget was exhausted (runaway program guard).
     OutOfFuel,
+    /// A buffer access fell outside the buffer's shape (checked mode).
+    OutOfBounds(String),
+    /// Two iterations of a parallel loop made conflicting accesses to the
+    /// same element (sanitizer mode).
+    DataRace(String),
 }
 
 impl fmt::Display for ExecError {
@@ -42,6 +47,8 @@ impl fmt::Display for ExecError {
             ExecError::UnboundBuffer(s) => write!(f, "load from unallocated buffer: {s}"),
             ExecError::DivisionByZero => write!(f, "division by zero"),
             ExecError::OutOfFuel => write!(f, "execution step budget exhausted"),
+            ExecError::OutOfBounds(s) => write!(f, "out-of-bounds access: {s}"),
+            ExecError::DataRace(s) => write!(f, "data race: {s}"),
         }
     }
 }
@@ -139,6 +146,7 @@ pub struct Interpreter {
     env: HashMap<Var, f64>,
     fuel: u64,
     steps: u64,
+    checked: bool,
 }
 
 impl Interpreter {
@@ -149,12 +157,22 @@ impl Interpreter {
             env: HashMap::new(),
             fuel: DEFAULT_FUEL,
             steps: 0,
+            checked: false,
         }
     }
 
     /// Sets the execution step budget (one step per store/eval executed).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self
+    }
+
+    /// Enables checked execution: every load/store index is verified
+    /// against its buffer's shape per dimension, turning the debug-only
+    /// assertions of [`Tensor::get`]/[`Tensor::set`] into
+    /// [`ExecError::OutOfBounds`] in every build profile.
+    pub fn with_checked(mut self, checked: bool) -> Self {
+        self.checked = checked;
         self
     }
 
@@ -246,10 +264,18 @@ impl Interpreter {
             }
             Expr::Load { buffer, indices } => {
                 let idx = self.eval_indices(indices)?;
-                self.buffers
+                let t = self
+                    .buffers
                     .get(buffer)
-                    .ok_or_else(|| ExecError::UnboundBuffer(buffer.name().to_string()))?
-                    .get(&idx)
+                    .ok_or_else(|| ExecError::UnboundBuffer(buffer.name().to_string()))?;
+                if self.checked {
+                    match t.try_offset(&idx) {
+                        Some(off) => t.get_flat(off),
+                        None => return Err(oob(buffer, &idx)),
+                    }
+                } else {
+                    t.get(&idx)
+                }
             }
             Expr::Call { name, args, .. } => {
                 let mut vals = Vec::with_capacity(args.len());
@@ -287,10 +313,15 @@ impl Interpreter {
                 let idx = self.eval_indices(indices)?;
                 let v = self.eval(value)?;
                 self.ensure_alloc(buffer);
-                self.buffers
-                    .get_mut(buffer)
-                    .expect("just allocated")
-                    .set(&idx, v);
+                let t = self.buffers.get_mut(buffer).expect("just allocated");
+                if self.checked {
+                    match t.try_offset(&idx) {
+                        Some(off) => t.set_flat(off, v),
+                        None => return Err(oob(buffer, &idx)),
+                    }
+                } else {
+                    t.set(&idx, v);
+                }
                 Ok(())
             }
             Stmt::Eval(e) => {
@@ -390,6 +421,15 @@ impl Default for Interpreter {
     }
 }
 
+/// Formats an out-of-bounds diagnostic for one access.
+fn oob(buffer: &Buffer, idx: &[i64]) -> ExecError {
+    ExecError::OutOfBounds(format!(
+        "index {idx:?} of buffer {} (shape {:?})",
+        buffer.name(),
+        buffer.shape()
+    ))
+}
+
 /// Validates argument count against the parameter list.
 pub(crate) fn check_arity(name: &str, params: &[Buffer], args: &[Tensor]) -> Result<()> {
     if args.len() != params.len() {
@@ -473,11 +513,44 @@ pub fn run_with(
     }
 }
 
+/// Runs a function under the dynamic sanitizer: every access is bounds
+/// checked, and conflicting accesses to one element from two different
+/// iterations of any parallel loop raise [`ExecError::DataRace`]. This is
+/// the differential oracle the static analyzer in `tir-analysis` is
+/// measured against — both sides exempt buffers touched by blocks carrying
+/// a [`tir::RELAXING_ANNOTATIONS`] annotation.
+///
+/// Sanitized execution always uses the bytecode VM (race tracking rides on
+/// its loop metadata); the rare programs the compiler rejects fall back to
+/// the checked tree-walker, which detects bounds violations only.
+///
+/// # Errors
+///
+/// Returns [`ExecError::BadArguments`] on arity/shape/dtype mismatch,
+/// [`ExecError::OutOfBounds`]/[`ExecError::DataRace`] on a violation, and
+/// propagates any other execution failure.
+pub fn run_sanitized(func: &PrimFunc, args: Vec<Tensor>, fuel: Option<u64>) -> Result<RunOutcome> {
+    let fuel = fuel.unwrap_or(DEFAULT_FUEL);
+    match crate::compile::compile(func) {
+        Ok(prog) => prog.run_sanitized(args, fuel),
+        Err(_) => tree_walk_run_checked(func, args, fuel, true),
+    }
+}
+
 /// The tree-walking execution path shared by [`run_with`] and the VM
 /// fallback.
 fn tree_walk_run(func: &PrimFunc, args: Vec<Tensor>, fuel: u64) -> Result<RunOutcome> {
+    tree_walk_run_checked(func, args, fuel, false)
+}
+
+fn tree_walk_run_checked(
+    func: &PrimFunc,
+    args: Vec<Tensor>,
+    fuel: u64,
+    checked: bool,
+) -> Result<RunOutcome> {
     check_arity(&func.name, &func.params, &args)?;
-    let mut interp = Interpreter::new().with_fuel(fuel);
+    let mut interp = Interpreter::new().with_fuel(fuel).with_checked(checked);
     for (p, t) in func.params.iter().zip(args) {
         check_arg(p, &t)?;
         interp.buffers.insert(p.clone(), t);

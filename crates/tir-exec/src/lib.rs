@@ -31,8 +31,8 @@ pub use cost::{
     estimate_time, simulate, summarize, try_estimate_time, try_simulate, CostError, CostSummary,
 };
 pub use interp::{
-    assert_same_semantics, run_on_random_inputs, run_with, ExecBackend, ExecError, Interpreter,
-    RunOutcome,
+    assert_same_semantics, run_on_random_inputs, run_sanitized, run_with, ExecBackend, ExecError,
+    Interpreter, RunOutcome,
 };
 pub use machine::{Machine, MachineKind};
 pub use tensor::Tensor;

@@ -36,6 +36,88 @@ fn offset(acc: &Access, regs: &[f64], hoists: &[i64]) -> i64 {
     off
 }
 
+/// An access's position in the parallel iteration space: for every
+/// enclosing parallel loop (outermost first), its id, the generation of
+/// the current dynamic instance, and the current iteration. `-1`
+/// iterations only appear in merged read signatures and mean "reads from
+/// several iterations of this instance".
+type Sig = Box<[(u32, u64, i64)]>;
+
+/// Shadow state of one buffer element: the signature of its last write and
+/// the merged signature of reads since.
+#[derive(Clone, Default)]
+struct Cell {
+    write: Option<Sig>,
+    read: Option<Sig>,
+}
+
+/// Race-tracking state of a sanitized run.
+struct Sanitizer {
+    /// Per buffer id: one [`Cell`] per element (empty for relaxed buffers).
+    shadow: Vec<Vec<Cell>>,
+    /// Per loop id: dynamic-instance generation, bumped at every
+    /// `ForSetup` — accesses from different instances of a loop are
+    /// sequentially ordered and never race through it.
+    gens: Vec<u64>,
+}
+
+fn sig_of(race: &[u32], gens: &[u64], counters: &[i64]) -> Sig {
+    race.iter()
+        .map(|&l| (l, gens[l as usize], counters[l as usize]))
+        .collect()
+}
+
+/// Two accesses conflict when they share a dynamic parallel-loop instance
+/// at different iterations. Signatures share exactly a common prefix (loop
+/// nests form a tree and instance generations are unique), so a zip walk
+/// suffices; returns the first differing iteration pair.
+fn conflicts(a: &[(u32, u64, i64)], b: &[(u32, u64, i64)]) -> Option<(i64, i64)> {
+    for (x, y) in a.iter().zip(b) {
+        if x.0 != y.0 || x.1 != y.1 {
+            break;
+        }
+        if x.2 != y.2 {
+            return Some((x.2, y.2));
+        }
+    }
+    None
+}
+
+/// Folds a new read into a cell's read signature: common-prefix entries
+/// whose iterations differ collapse to the `-1` marker (a later write in
+/// that instance must then differ from one of the merged reads, whatever
+/// its iteration); entries of dead instances are dropped.
+fn merge_read(stored: &mut Option<Sig>, new: &Sig) {
+    let Some(s) = stored else {
+        *stored = Some(new.clone());
+        return;
+    };
+    let mut out: Vec<(u32, u64, i64)> = Vec::with_capacity(new.len());
+    for (x, y) in s.iter().zip(new.iter()) {
+        if x.0 != y.0 || x.1 != y.1 {
+            break;
+        }
+        out.push((x.0, x.1, if x.2 == y.2 { x.2 } else { -1 }));
+    }
+    out.extend_from_slice(&new[out.len()..]);
+    *stored = Some(out.into());
+}
+
+fn race_err(buffer: &str, off: i64, iters: (i64, i64)) -> ExecError {
+    let show = |i: i64| {
+        if i < 0 {
+            "several".to_string()
+        } else {
+            i.to_string()
+        }
+    };
+    ExecError::DataRace(format!(
+        "buffer {buffer}: iterations {} and {} of a parallel loop both touch element {off}",
+        show(iters.0),
+        show(iters.1)
+    ))
+}
+
 impl Program {
     /// Runs the program on positional tensor arguments with the default
     /// fuel budget, returning the final value of every parameter.
@@ -58,6 +140,27 @@ impl Program {
     /// the budget is exhausted, at the exact step count the tree-walker
     /// would report).
     pub fn run_with_fuel(&self, args: Vec<Tensor>, fuel: u64) -> Result<RunOutcome> {
+        self.run_impl(args, fuel, false)
+    }
+
+    /// Runs the program under the dynamic sanitizer: every access is
+    /// bounds checked against its buffer's flat length, and conflicting
+    /// accesses to one element from two different iterations of any
+    /// parallel (or thread-bound) loop raise [`ExecError::DataRace`].
+    /// Buffers touched by blocks carrying a
+    /// [`tir::RELAXING_ANNOTATIONS`] annotation are exempt from race
+    /// tracking, mirroring the static analyzer in `tir-analysis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadArguments`] on arity/shape/dtype mismatch,
+    /// [`ExecError::OutOfBounds`]/[`ExecError::DataRace`] on the first
+    /// violation, and propagates any other execution failure.
+    pub fn run_sanitized(&self, args: Vec<Tensor>, fuel: u64) -> Result<RunOutcome> {
+        self.run_impl(args, fuel, true)
+    }
+
+    fn run_impl(&self, args: Vec<Tensor>, fuel: u64, checked: bool) -> Result<RunOutcome> {
         check_arity(&self.func_name, &self.params, &args)?;
         for (p, t) in self.params.iter().zip(&args) {
             check_arg(p, t)?;
@@ -78,6 +181,13 @@ impl Program {
         let mut hoists = vec![0i64; self.num_hoists];
         let mut reduce_at_start = true;
         let mut steps: u64 = 0;
+        let mut san = checked.then(|| Sanitizer {
+            shadow: store
+                .iter()
+                .map(|t| vec![Cell::default(); t.data().len()])
+                .collect(),
+            gens: vec![0u64; self.num_loops],
+        });
 
         let ops = &self.ops;
         let mut pc = 0usize;
@@ -173,12 +283,38 @@ impl Program {
                         ));
                     }
                     let off = offset(acc, &regs, &hoists);
+                    if let Some(san) = &mut san {
+                        self.bounds_check(buf, off, &store)?;
+                        if !self.relaxed[buf] {
+                            let sig = sig_of(&acc.race, &san.gens, &counters);
+                            let cell = &mut san.shadow[buf][off as usize];
+                            if let Some(w) = &cell.write {
+                                if let Some(iters) = conflicts(w, &sig) {
+                                    return Err(race_err(self.buffers[buf].name(), off, iters));
+                                }
+                            }
+                            merge_read(&mut cell.read, &sig);
+                        }
+                    }
                     regs[*dst as usize] = store[buf].get_flat(off as usize);
                 }
                 Op::Store { access, val } => {
                     let acc = &self.accesses[*access as usize];
                     let buf = acc.buf as usize;
                     let off = offset(acc, &regs, &hoists);
+                    if let Some(san) = &mut san {
+                        self.bounds_check(buf, off, &store)?;
+                        if !self.relaxed[buf] {
+                            let sig = sig_of(&acc.race, &san.gens, &counters);
+                            let cell = &mut san.shadow[buf][off as usize];
+                            for prev in [&cell.write, &cell.read].into_iter().flatten() {
+                                if let Some(iters) = conflicts(prev, &sig) {
+                                    return Err(race_err(self.buffers[buf].name(), off, iters));
+                                }
+                            }
+                            cell.write = Some(sig);
+                        }
+                    }
                     // First store allocates (the storage is pre-zeroed, so
                     // marking it live is the whole allocation).
                     alive[buf] = true;
@@ -207,6 +343,9 @@ impl Program {
                     end,
                 } => {
                     let l = *loop_id as usize;
+                    if let Some(san) = &mut san {
+                        san.gens[l] += 1;
+                    }
                     extents[l] = regs[*extent as usize].round() as i64;
                     counters[l] = 0;
                     if extents[l] <= 0 {
@@ -240,6 +379,11 @@ impl Program {
                     let b = *buf as usize;
                     store[b].fill_zero();
                     alive[b] = true;
+                    if let Some(san) = &mut san {
+                        // A fresh allocation: accesses to the previous one
+                        // cannot race with accesses to this one.
+                        san.shadow[b].fill(Cell::default());
+                    }
                 }
                 Op::HoistSet { slot, src, stride } => {
                     hoists[*slot as usize] = (regs[*src as usize].round() as i64) * stride;
@@ -253,6 +397,17 @@ impl Program {
             outputs: store,
             steps,
         })
+    }
+
+    fn bounds_check(&self, buf: usize, off: i64, store: &[Tensor]) -> Result<()> {
+        let len = store[buf].data().len();
+        if off < 0 || off as usize >= len {
+            return Err(ExecError::OutOfBounds(format!(
+                "buffer {}: flat offset {off} outside length {len}",
+                self.buffers[buf].name()
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -418,6 +573,135 @@ mod tests {
                 assert!(check(&err), "{backend:?}: {err}");
             }
         }
+    }
+
+    #[test]
+    fn sanitizer_catches_parallel_reduction_race() {
+        // parallel i: B[0] += 1 — every iteration touches one cell.
+        let b = Buffer::new("B", DataType::float32(), vec![1]);
+        let i = Var::int("i");
+        let body = Stmt::store(
+            b.clone(),
+            vec![Expr::int(0)],
+            b.load(vec![Expr::int(0)]) + Expr::f32(1.0),
+        );
+        let f = PrimFunc::new(
+            "race",
+            vec![b],
+            Stmt::For(Box::new(tir::For::with_kind(
+                i,
+                8,
+                tir::ForKind::Parallel,
+                body,
+            ))),
+        );
+        let prog = compile(&f).expect("compiles");
+        let args = vec![Tensor::zeros(DataType::float32(), &[1])];
+        let err = prog.run_sanitized(args.clone(), 1 << 20).unwrap_err();
+        assert!(matches!(err, ExecError::DataRace(_)), "{err}");
+        // Unchecked execution is unaffected.
+        prog.run_with_fuel(args, 1 << 20).expect("unchecked run");
+    }
+
+    #[test]
+    fn sanitizer_accepts_disjoint_parallel_writes() {
+        let b = Buffer::new("B", DataType::float32(), vec![8]);
+        let i = Var::int("i");
+        let body = Stmt::store(
+            b.clone(),
+            vec![Expr::from(&i)],
+            b.load(vec![Expr::from(&i)]) + Expr::f32(1.0),
+        );
+        let f = PrimFunc::new(
+            "clean",
+            vec![b],
+            Stmt::For(Box::new(tir::For::with_kind(
+                i,
+                8,
+                tir::ForKind::Parallel,
+                body,
+            ))),
+        );
+        let prog = compile(&f).expect("compiles");
+        let args = vec![Tensor::zeros(DataType::float32(), &[8])];
+        prog.run_sanitized(args, 1 << 20).expect("race-free");
+    }
+
+    #[test]
+    fn sanitizer_separates_loop_instances() {
+        // serial o { parallel i: B[i] += o } — the two dynamic instances
+        // of the parallel loop are sequentially ordered; same-cell writes
+        // across them are not races.
+        let b = Buffer::new("B", DataType::float32(), vec![4]);
+        let (o, i) = (Var::int("o"), Var::int("i"));
+        let inner = Stmt::store(
+            b.clone(),
+            vec![Expr::from(&i)],
+            b.load(vec![Expr::from(&i)]) + Expr::from(&o),
+        );
+        let body = Stmt::For(Box::new(tir::For::with_kind(
+            i,
+            4,
+            tir::ForKind::Parallel,
+            inner,
+        )))
+        .in_loop(o, 2);
+        let f = PrimFunc::new("gens", vec![b], body);
+        let prog = compile(&f).expect("compiles");
+        let args = vec![Tensor::zeros(DataType::float32(), &[4])];
+        prog.run_sanitized(args, 1 << 20)
+            .expect("instances ordered");
+    }
+
+    #[test]
+    fn sanitizer_catches_out_of_bounds() {
+        let b = Buffer::new("B", DataType::float32(), vec![4]);
+        let i = Var::int("i");
+        let body = Stmt::store(b.clone(), vec![Expr::from(&i) + 1], Expr::f32(1.0));
+        let f = PrimFunc::new("oob", vec![b], body.in_loop(i, 4));
+        let prog = compile(&f).expect("compiles");
+        let args = vec![Tensor::zeros(DataType::float32(), &[4])];
+        let err = prog.run_sanitized(args, 1 << 20).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds(_)), "{err}");
+    }
+
+    #[test]
+    fn relaxing_annotation_exempts_buffer() {
+        // The racy reduction again, but inside a block annotated
+        // tir.atomic — the sanitizer must stay quiet, like the static
+        // analyzer.
+        let b = Buffer::new("B", DataType::float32(), vec![1]);
+        let i = Var::int("i");
+        let body = Stmt::store(
+            b.clone(),
+            vec![Expr::int(0)],
+            b.load(vec![Expr::int(0)]) + Expr::f32(1.0),
+        );
+        let vk = Var::int("vk");
+        let mut block = tir::Block::new(
+            "atomic_add",
+            vec![tir::IterVar::reduce(vk, 8)],
+            vec![b.full_region()],
+            vec![b.full_region()],
+            body,
+        );
+        block
+            .annotations
+            .insert("tir.atomic".into(), tir::AnnValue::Int(1));
+        let realize = tir::BlockRealize::new(vec![Expr::from(&i)], block);
+        let f = PrimFunc::new(
+            "relaxed",
+            vec![b],
+            Stmt::For(Box::new(tir::For::with_kind(
+                i,
+                8,
+                tir::ForKind::Parallel,
+                Stmt::BlockRealize(Box::new(realize)),
+            ))),
+        );
+        let prog = compile(&f).expect("compiles");
+        let args = vec![Tensor::zeros(DataType::float32(), &[1])];
+        prog.run_sanitized(args, 1 << 20).expect("relaxed buffer");
     }
 
     #[test]

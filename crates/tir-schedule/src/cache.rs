@@ -175,7 +175,7 @@ impl Schedule {
                     .unwrap_or_default()
                     .into(),
             ],
-        ));
+        ))?;
         self.get_block(&cache_name)
     }
 
@@ -271,7 +271,7 @@ impl Schedule {
                     .unwrap_or_default()
                     .into(),
             ],
-        ));
+        ))?;
         self.get_block(&wb_name)
     }
 }

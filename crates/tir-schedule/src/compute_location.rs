@@ -479,8 +479,7 @@ impl Schedule {
                 block.name().into(),
                 loop_ref.var().name().to_string().into(),
             ],
-        ));
-        Ok(())
+        ))
     }
 
     /// Moves consumer `block` to the bottom of `loop_ref`'s body, shrinking
@@ -551,8 +550,7 @@ impl Schedule {
                 block.name().into(),
                 loop_ref.var().name().to_string().into(),
             ],
-        ));
-        Ok(())
+        ))
     }
 
     /// Inlines an elementwise producer block into its consumers: the block
@@ -643,8 +641,7 @@ impl Schedule {
             let new_body = inliner.mutate_stmt(body);
             Ok(drop_alloc(new_body, &buffer))
         })?;
-        self.record(TraceStep::new("compute_inline", vec![block.name().into()]));
-        Ok(())
+        self.record(TraceStep::new("compute_inline", vec![block.name().into()]))
     }
 
     /// Inlines an elementwise *consumer* into its producer: the consumer's
@@ -796,8 +793,7 @@ impl Schedule {
         self.record(TraceStep::new(
             "reverse_compute_inline",
             vec![block.name().into()],
-        ));
-        Ok(())
+        ))
     }
 }
 

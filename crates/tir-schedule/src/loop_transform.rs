@@ -128,7 +128,7 @@ impl Schedule {
         self.record(TraceStep::new(
             "split",
             vec![base_name.into(), factors.clone().into()],
-        ));
+        ))?;
         Ok(new_vars.into_iter().map(LoopRef).collect())
     }
 
@@ -210,7 +210,7 @@ impl Schedule {
         self.record(TraceStep::new(
             "fuse",
             vars.iter().map(|v| v.name().to_string().into()).collect(),
-        ));
+        ))?;
         Ok(LoopRef(fused))
     }
 
@@ -316,8 +316,7 @@ impl Schedule {
         self.record(TraceStep::new(
             "reorder",
             names.into_iter().map(Into::into).collect(),
-        ));
-        Ok(())
+        ))
     }
 
     fn set_loop_kind(&mut self, loop_ref: &LoopRef, kind: ForKind, prim: &str) -> Result<()> {
@@ -328,8 +327,7 @@ impl Schedule {
         self.record(TraceStep::new(
             prim,
             vec![loop_ref.var().name().to_string().into()],
-        ));
-        Ok(())
+        ))
     }
 
     /// Marks a loop parallel (CPU threads).
@@ -375,8 +373,7 @@ impl Schedule {
                 loop_ref.var().name().to_string().into(),
                 tag.as_str().into(),
             ],
-        ));
-        Ok(())
+        ))
     }
 
     /// Attaches an annotation to a loop.
@@ -398,8 +395,7 @@ impl Schedule {
                 key.into(),
                 ann_to_arg(&value_copy),
             ],
-        ));
-        Ok(())
+        ))
     }
 }
 

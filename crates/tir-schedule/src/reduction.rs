@@ -158,7 +158,7 @@ impl Schedule {
                 block.name().into(),
                 loop_ref.var().name().to_string().into(),
             ],
-        ));
+        ))?;
         self.get_block(&init_name)
     }
 }
@@ -331,8 +331,7 @@ impl Schedule {
             sch.record(TraceStep::new(
                 "merge_reduction",
                 vec![init_name.clone().into(), update_name.clone().into()],
-            ));
-            Ok(())
+            ))
         })
     }
 }

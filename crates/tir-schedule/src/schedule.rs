@@ -95,6 +95,15 @@ pub type Result<T> = std::result::Result<T, ScheduleError>;
 pub struct Schedule {
     pub(crate) func: PrimFunc,
     pub(crate) trace: Trace,
+    /// When set, every primitive re-runs the whole-program analyzer
+    /// ([`tir_analysis::analyze`]) after applying itself, rolls back, and
+    /// returns [`ScheduleError::Invalid`] if the transformed program fails.
+    /// Defaults to on in debug builds (so the test suite exercises it) and
+    /// off in release builds (opt in with [`Schedule::set_auto_verify`]).
+    auto_verify: bool,
+    /// Body snapshot taken by the first structural rewrite since the last
+    /// committed primitive; used to roll back when auto-verify rejects.
+    undo: Option<Stmt>,
 }
 
 impl Schedule {
@@ -103,6 +112,47 @@ impl Schedule {
         Schedule {
             func,
             trace: Trace::default(),
+            auto_verify: cfg!(debug_assertions),
+            undo: None,
+        }
+    }
+
+    /// Re-runs the static analyzer (structural validation, bounds, race and
+    /// memory-scope checks) on the current program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Invalid`] carrying every diagnostic the
+    /// analyzer produced, joined with `"; "`.
+    pub fn verify(&self) -> Result<()> {
+        match tir_analysis::verify_scheduled(&self.func) {
+            Ok(()) => Ok(()),
+            Err(errors) => {
+                let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+                Err(ScheduleError::Invalid(msgs.join("; ")))
+            }
+        }
+    }
+
+    /// Whether primitives automatically re-verify the program (see
+    /// [`Schedule::verify`]).
+    pub fn auto_verify(&self) -> bool {
+        self.auto_verify
+    }
+
+    /// Turns the after-every-primitive analyzer gate on or off. Tests that
+    /// deliberately build illegal schedules (to exercise downstream
+    /// validation) turn it off; release users can turn it on to debug a
+    /// schedule pipeline.
+    pub fn set_auto_verify(&mut self, on: bool) {
+        self.auto_verify = on;
+    }
+
+    /// Remembers `backup` as the rollback point for the in-flight primitive
+    /// (first snapshot since the last commit wins).
+    fn stash_undo(&mut self, backup: Stmt) {
+        if self.auto_verify && self.undo.is_none() {
+            self.undo = Some(backup);
         }
     }
 
@@ -121,8 +171,24 @@ impl Schedule {
         &self.trace
     }
 
-    pub(crate) fn record(&mut self, step: TraceStep) {
+    /// Commits a successful primitive: pushes its trace step and, when
+    /// auto-verify is on, re-runs the analyzer on the transformed program.
+    /// A rejection pops the step, restores the pre-primitive body, and
+    /// surfaces as [`ScheduleError::Invalid`].
+    pub(crate) fn record(&mut self, step: TraceStep) -> Result<()> {
         self.trace.push(step);
+        if self.auto_verify {
+            if let Err(e) = self.verify() {
+                let len = self.trace.len();
+                self.trace.truncate(len - 1);
+                if let Some(body) = self.undo.take() {
+                    self.func.body = body;
+                }
+                return Err(e);
+            }
+        }
+        self.undo = None;
+        Ok(())
     }
 
     /// Runs `f`; on error, restores the program and trace to their prior
@@ -130,7 +196,9 @@ impl Schedule {
     pub(crate) fn transactional<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
         let backup = self.func.clone();
         let trace_len = self.trace.len();
-        match f(self) {
+        let result = f(self);
+        self.undo = None;
+        match result {
             Ok(v) => Ok(v),
             Err(e) => {
                 self.func = backup;
@@ -253,6 +321,7 @@ impl Schedule {
         match rewrite_loop_in(body, loop_ref.var(), &mut f) {
             Ok((new_body, true)) => {
                 self.func.body = new_body;
+                self.stash_undo(backup);
                 Ok(())
             }
             Ok((_, false)) => {
@@ -280,6 +349,7 @@ impl Schedule {
         match rewrite_block_in(body, block.name(), &mut f) {
             Ok((new_body, true)) => {
                 self.func.body = new_body;
+                self.stash_undo(backup);
                 Ok(())
             }
             Ok((_, false)) => {
@@ -376,8 +446,7 @@ impl Schedule {
                 key.into(),
                 crate::loop_transform::ann_to_arg(&value_copy),
             ],
-        ));
-        Ok(())
+        ))
     }
 
     /// Finds a loop reference by its variable's *name* (first match in a
@@ -429,6 +498,7 @@ impl Schedule {
         match f(body) {
             Ok(new_body) => {
                 self.func.body = new_body;
+                self.stash_undo(backup);
                 Ok(())
             }
             Err(e) => {

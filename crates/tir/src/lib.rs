@@ -45,4 +45,5 @@ pub use expr::{BinOp, CmpOp, Expr, Var};
 pub use func::{IrModule, PrimFunc};
 pub use stmt::{
     AnnValue, Annotations, Block, BlockRealize, For, ForKind, IterKind, IterVar, Stmt, ThreadTag,
+    RELAXING_ANNOTATIONS,
 };

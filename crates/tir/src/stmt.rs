@@ -115,6 +115,19 @@ impl fmt::Display for ThreadTag {
     }
 }
 
+/// Block annotations that declare the block's accesses safe under
+/// parallel execution (atomic reductions, idempotent replicated copies,
+/// tensorized intrinsics with group semantics, opaque bodies). The static
+/// race analyzer and the dynamic sanitizer both exempt every buffer such a
+/// block touches, which keeps their verdicts comparable.
+pub const RELAXING_ANNOTATIONS: [&str; 5] = [
+    "tir.atomic",
+    "tir.cooperative",
+    "tir.copy",
+    "tir.exec_scope",
+    "tir.opaque",
+];
+
 /// An annotation value attached to loops or blocks.
 #[derive(Clone, PartialEq, Debug)]
 pub enum AnnValue {

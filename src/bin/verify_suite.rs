@@ -1,0 +1,225 @@
+//! `verify-suite` — CI lint running the full static analyzer
+//! ([`tir_analysis::analyze`]) over every program we ship:
+//!
+//! 1. every `tir-workloads::bench_suite` entry (float16 + int8);
+//! 2. seeded legal scheduled variants (the transform mix of
+//!    `tests/vm_differential.rs`: split/fuse/reorder/parallel/unroll plus
+//!    GPU bind + cache_read + cache_write pipelines);
+//! 3. sampled auto-scheduler sketch candidates for representative
+//!    workloads on the simulated GPU and ARM machines (candidates the old
+//!    §3.3 validator already rejects are skipped — the analyzer may
+//!    legitimately reject more, which is reported, not fatal).
+//!
+//! Any diagnostic on classes 1–2 is a regression and fails the process
+//! (exit code 1). Per-candidate analysis time is reported for
+//! EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use tir::builder::matmul_func;
+use tir::{DataType, MemScope, PrimFunc, ThreadTag};
+use tir_analysis::analyze;
+use tir_autoschedule::{build_sketches, Strategy};
+use tir_exec::Machine;
+use tir_rand::{rngs::StdRng, RngExt, SeedableRng};
+use tir_schedule::Schedule;
+use tir_tensorize::builtin_registry;
+use tir_workloads::bench_suite;
+
+struct Stats {
+    analyzed: usize,
+    failures: Vec<(String, String)>,
+    total_time_s: f64,
+    /// Per-family (programs, seconds) — the EXPERIMENTS.md breakdown.
+    by_family: std::collections::BTreeMap<String, (usize, f64)>,
+}
+
+impl Stats {
+    fn new() -> Self {
+        Stats {
+            analyzed: 0,
+            failures: Vec::new(),
+            total_time_s: 0.0,
+            by_family: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn bucket(&mut self, family: &str, dt: f64) {
+        let e = self.by_family.entry(family.to_string()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += dt;
+    }
+
+    /// Analyzes one program expected to be legal; records any diagnostic
+    /// as a failure.
+    fn expect_clean(&mut self, family: &str, label: &str, func: &PrimFunc) {
+        let t0 = Instant::now();
+        let errors = analyze(func);
+        let dt = t0.elapsed().as_secs_f64();
+        self.total_time_s += dt;
+        self.analyzed += 1;
+        self.bucket(family, dt);
+        for e in errors {
+            self.failures.push((label.to_string(), e.to_string()));
+        }
+    }
+}
+
+/// Class 2a: the seeded random schedule pipelines of
+/// `tests/vm_differential.rs`.
+fn scheduled_variants(stats: &mut Stats) {
+    let n = 8i64;
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for case in 0..112u64 {
+        let dt = if case % 2 == 0 {
+            DataType::float32()
+        } else {
+            DataType::float16()
+        };
+        let mut sch = Schedule::new(matmul_func("mm", n, n, n, dt));
+        let block = sch.get_block("C").expect("block C");
+        let len = rng.random_range(1usize..6);
+        let ops: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..5)).collect();
+        for (step, op) in ops.iter().enumerate() {
+            let loops = sch.get_loops(&block).expect("loops");
+            match op {
+                0 => {
+                    for l in &loops {
+                        let e = sch.loop_extent(l).unwrap_or(1);
+                        if e % 2 == 0 && e > 2 {
+                            let _ = sch.split(l, &[2, -1]);
+                            break;
+                        }
+                    }
+                }
+                1 if loops.len() >= 2 => {
+                    let _ = sch.fuse(&loops[..2]);
+                }
+                2 if loops.len() >= 2 => {
+                    let mut order = loops.clone();
+                    order.swap(0, 1);
+                    let _ = sch.reorder(&order[..2]);
+                }
+                3 if step == 0 => {
+                    let _ = sch.parallel(&loops[0]);
+                }
+                _ => {
+                    let _ = sch.unroll(loops.last().expect("nonempty"));
+                }
+            }
+        }
+        stats.expect_clean("sched", &format!("variant[{case}]"), sch.func());
+    }
+}
+
+/// Class 2b: GPU bind + staging pipelines across a tile-factor grid.
+fn gpu_variants(stats: &mut Stats) {
+    for fi in [2i64, 4, 8] {
+        for fj in [2i64, 4, 8, 16] {
+            let mut sch = Schedule::new(matmul_func("mm", 16, 16, 16, DataType::float32()));
+            let block = sch.get_block("C").expect("block C");
+            let loops = sch.get_loops(&block).expect("loops");
+            let i = sch.split(&loops[0], &[fi, -1]).expect("split i");
+            let j = sch.split(&loops[1], &[fj, -1]).expect("split j");
+            sch.reorder(&[i[0].clone(), j[0].clone(), i[1].clone(), j[1].clone()])
+                .expect("reorder");
+            let bid = sch.fuse(&[i[0].clone(), j[0].clone()]).expect("fuse");
+            sch.bind(&bid, ThreadTag::BlockIdxX).expect("bind block");
+            sch.bind(&i[1], ThreadTag::ThreadIdxX).expect("bind thread");
+            let a = sch.func().param("A").expect("param A").clone();
+            sch.cache_read(&block, &a, MemScope::Shared, Some(&j[1]))
+                .expect("cache_read");
+            sch.cache_write(&block, MemScope::Local, Some(&j[1]))
+                .expect("cache_write");
+            stats.expect_clean("gpu", &format!("gpu_variant[{fi}x{fj}]"), sch.func());
+        }
+    }
+}
+
+/// Class 3: sampled sketch candidates. Returns (passed, rejected) counts
+/// over candidates the legacy validator accepts.
+fn sketch_candidates(stats: &mut Stats) -> (usize, usize) {
+    let reg = builtin_registry();
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    let (mut passed, mut rejected) = (0usize, 0usize);
+    let workloads: Vec<(&str, PrimFunc)> = vec![
+        (
+            "gmm",
+            tir_workloads::gmm(64, 64, 64, DataType::float16(), DataType::float16()),
+        ),
+        (
+            "c2d",
+            tir_workloads::c2d(1, 14, 14, 16, 16, 3, 3, 1, DataType::float16()),
+        ),
+    ];
+    for machine in [Machine::sim_gpu(), Machine::sim_arm()] {
+        for (name, func) in &workloads {
+            for sketch in build_sketches(func, &machine, &reg, Strategy::TensorIr) {
+                for k in 0..8 {
+                    let decisions = sketch.sample(&mut rng);
+                    let Ok(candidate) = sketch.apply(&decisions) else {
+                        continue;
+                    };
+                    if tir_analysis::validate(&candidate).is_err() {
+                        // Already filtered by the legacy validator.
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    let errors = analyze(&candidate);
+                    let dt = t0.elapsed().as_secs_f64();
+                    stats.total_time_s += dt;
+                    stats.analyzed += 1;
+                    stats.bucket(&format!("sketch/{name}"), dt);
+                    if errors.is_empty() {
+                        passed += 1;
+                    } else {
+                        rejected += 1;
+                        eprintln!(
+                            "note: analyzer rejects {name}/{}#{k}: {}",
+                            sketch.name(),
+                            errors[0]
+                        );
+                    }
+                }
+            }
+        }
+    }
+    (passed, rejected)
+}
+
+fn main() {
+    let mut stats = Stats::new();
+    for dt in [DataType::float16(), DataType::int8()] {
+        for case in bench_suite(dt) {
+            let family = format!("{:?}", case.kind).to_lowercase();
+            stats.expect_clean(&family, &format!("suite/{}", case.func.name), &case.func);
+        }
+    }
+    scheduled_variants(&mut stats);
+    gpu_variants(&mut stats);
+    let (sk_passed, sk_rejected) = sketch_candidates(&mut stats);
+
+    println!(
+        "verify-suite: {} programs analyzed in {:.3}s ({:.2} ms/program)",
+        stats.analyzed,
+        stats.total_time_s,
+        1e3 * stats.total_time_s / stats.analyzed.max(1) as f64
+    );
+    println!("sketch candidates: {sk_passed} clean, {sk_rejected} statically rejected");
+    println!("per-family analysis time:");
+    for (family, (count, secs)) in &stats.by_family {
+        println!(
+            "  {family:<12} {count:>4} programs  {:>7.3} ms/program",
+            1e3 * secs / (*count).max(1) as f64
+        );
+    }
+    if stats.failures.is_empty() {
+        println!("all known-legal programs verify clean");
+    } else {
+        eprintln!("{} known-legal programs FAILED:", stats.failures.len());
+        for (label, err) in &stats.failures {
+            eprintln!("  {label}: {err}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -77,8 +77,21 @@ fn reduction_thread_binding_rejected_and_schedule_survives() {
     let mut sch = Schedule::new(reference.clone());
     let block = sch.get_block("C").unwrap();
     let loops = sch.get_loops(&block).unwrap();
-    // Bind the reduction loop to threadIdx.x; the schedule applies it (it's
-    // a pure loop-kind change), but validation must catch it.
+    // With the auto-verify gate on (the default under `cargo test`), the
+    // bind itself is rejected and rolled back.
+    if sch.auto_verify() {
+        let before = sch.func().to_string();
+        let err = sch.bind(&loops[2], ThreadTag::ThreadIdxX).unwrap_err();
+        assert!(
+            matches!(err, tir_schedule::ScheduleError::Invalid(_)),
+            "{err:?}"
+        );
+        assert_eq!(sch.func().to_string(), before, "gate must roll back");
+        assert!(sch.trace().is_empty(), "rejected bind must not be traced");
+    }
+    // With the gate off, the schedule applies it (it's a pure loop-kind
+    // change), and downstream validation must catch it.
+    sch.set_auto_verify(false);
     sch.bind(&loops[2], ThreadTag::ThreadIdxX).unwrap();
     let errors = check_loop_nests(sch.func());
     assert!(
@@ -118,6 +131,9 @@ fn failed_primitives_leave_program_unchanged() {
 fn launch_limit_checked_through_schedule() {
     let func = matmul_func("mm", 2048, 8, 8, DataType::float32());
     let mut sch = Schedule::new(func);
+    // The gate would reject the oversized bind at apply time; turn it off to
+    // check the standalone validator catches the same program.
+    sch.set_auto_verify(false);
     let block = sch.get_block("C").unwrap();
     let loops = sch.get_loops(&block).unwrap();
     sch.bind(&loops[0], ThreadTag::ThreadIdxX).unwrap();
