@@ -18,7 +18,8 @@ use crate::search::{TuneOptions, TuneResult};
 
 /// Computes a structural fingerprint of a workload: the printed program
 /// with variable/buffer *names* replaced by first-occurrence indices, so
-/// alpha-equivalent workloads share a key.
+/// alpha-equivalent workloads share a key. Numeric literals are kept
+/// verbatim — shapes, strides, and constants distinguish workloads.
 pub fn workload_key(func: &PrimFunc) -> String {
     let text = func.to_string();
     // Tokenize identifiers and renumber them in order of first occurrence.
@@ -34,8 +35,13 @@ pub fn workload_key(func: &PrimFunc) -> String {
             "def", "for", "in", "if", "else", "with", "range", "pass", "and", "or", "not",
             "thread", "true", "false", "True", "False",
         ];
+        // Numeric literals (shapes, strides, constants) are semantic:
+        // renaming them would let `gmm(128,…)` and `gmm(256,…)` collide on
+        // one fingerprint. Anything starting with an ASCII digit is a
+        // literal — identifiers can't start with a digit.
+        let is_literal = ident.chars().next().is_some_and(|c| c.is_ascii_digit());
         let is_dialect = ident.starts_with("T.") || KEYWORDS.contains(&ident.as_str());
-        if is_dialect {
+        if is_dialect || is_literal {
             out.push_str(ident);
         } else {
             let n = map.len();
@@ -159,6 +165,98 @@ mod tests {
         assert_eq!(workload_key(&a), workload_key(&b));
         assert_ne!(workload_key(&a), workload_key(&c));
         assert_ne!(workload_key(&a), workload_key(&d));
+    }
+
+    #[test]
+    fn uniformly_scaled_shapes_get_distinct_keys() {
+        // Regression: literals used to alpha-rename like identifiers, so a
+        // uniform scaling (every 128 -> 256) produced the identical
+        // fingerprint and the database served the wrong cached kernel.
+        let dt = DataType::float16();
+        let acc = DataType::float32();
+        let small = tir_workloads::gmm(128, 128, 128, dt, acc);
+        let big = tir_workloads::gmm(256, 256, 256, dt, acc);
+        assert_ne!(workload_key(&small), workload_key(&big));
+        // Alpha-equivalence still holds for genuinely identical workloads.
+        let again = tir_workloads::gmm(128, 128, 128, dt, acc);
+        assert_eq!(workload_key(&small), workload_key(&again));
+    }
+
+    #[test]
+    fn float_literals_are_semantic() {
+        use tir::{Buffer, Expr, Stmt, Var};
+        let scale = |name: &str, buf: &str, c: f32| {
+            let b = Buffer::new(buf, DataType::float32(), vec![8]);
+            let i = Var::int("i");
+            let body = Stmt::store(
+                b.clone(),
+                vec![Expr::from(&i)],
+                b.load(vec![Expr::from(&i)]) * Expr::f32(c),
+            )
+            .in_loop(i, 8);
+            tir::PrimFunc::new(name, vec![b], body)
+        };
+        // Same constant under different names: one key. Different
+        // constant: a different key.
+        assert_eq!(
+            workload_key(&scale("f", "B", 2.5)),
+            workload_key(&scale("g", "C", 2.5))
+        );
+        assert_ne!(
+            workload_key(&scale("f", "B", 2.5)),
+            workload_key(&scale("f", "B", 0.5))
+        );
+    }
+
+    #[test]
+    fn shape_distinct_workloads_do_not_share_records() {
+        // End-to-end regression for the fingerprint collision: two
+        // alpha-equivalent but shape-distinct funcs must be tuned
+        // separately, not served from one record.
+        let mut db = TuningDatabase::new();
+        let machine = Machine::sim_gpu();
+        let reg = builtin_registry();
+        let opts = TuneOptions {
+            trials: 8,
+            ..Default::default()
+        };
+        let dt = DataType::float16();
+        let acc = DataType::float32();
+        let small = tir_workloads::gmm(32, 32, 32, dt, acc);
+        let big = tir_workloads::gmm(64, 64, 64, dt, acc);
+        let r_small = db.tune_cached(&small, &machine, &reg, Strategy::TensorIr, &opts);
+        let r_big = db.tune_cached(&big, &machine, &reg, Strategy::TensorIr, &opts);
+        assert_eq!(db.misses(), 2, "each shape must be tuned");
+        assert_eq!(db.hits(), 0);
+        assert_eq!(db.len(), 2);
+        assert!(r_small.tuning_cost_s > 0.0 && r_big.tuning_cost_s > 0.0);
+        assert_ne!(
+            r_small.best_time, r_big.best_time,
+            "a 64^3 gmm cannot be as fast as a 32^3 gmm"
+        );
+    }
+
+    #[test]
+    fn miss_then_tune_counts_exactly_one_miss() {
+        let mut db = TuningDatabase::new();
+        let machine = Machine::sim_gpu();
+        let reg = builtin_registry();
+        let opts = TuneOptions {
+            trials: 8,
+            ..Default::default()
+        };
+        assert_eq!((db.hits(), db.misses()), (0, 0));
+        let f = tir::builder::matmul_func("mm", 32, 32, 32, DataType::float16());
+        db.tune_cached(&f, &machine, &reg, Strategy::TensorIr, &opts);
+        // The miss-then-tune-then-insert path must count one miss, not one
+        // per lookup plus one on insert.
+        assert_eq!((db.hits(), db.misses()), (0, 1));
+        assert_eq!(db.len(), 1);
+        db.tune_cached(&f, &machine, &reg, Strategy::TensorIr, &opts);
+        assert_eq!((db.hits(), db.misses()), (1, 1));
+        db.tune_cached(&f, &machine, &reg, Strategy::TensorIr, &opts);
+        assert_eq!((db.hits(), db.misses()), (2, 1));
+        assert_eq!(db.len(), 1, "hits never insert duplicate records");
     }
 
     #[test]

@@ -41,8 +41,9 @@ pub use checkpoint::TuneCheckpoint;
 pub use cost_model::CostModel;
 pub use database::{workload_key, TuningDatabase};
 pub use measure::{
-    measure_with_retries, FaultInjector, FaultPlan, MeasureCtx, MeasureError, MeasureOutcome,
-    Measurer, RetryPolicy, SimMeasurer, VerifyingMeasurer,
+    measure_with_retries, measure_with_retries_traced, FaultInjector, FaultPlan, MeasureCtx,
+    MeasureError, MeasureOutcome, MeasureTrace, Measurer, RetryPolicy, SimMeasurer,
+    VerifyingMeasurer,
 };
 pub use parallel::{effective_threads, parallel_map, try_parallel_map};
 pub use search::{tune, tune_multi, tune_multi_with, tune_with, TuneOptions, TuneResult};

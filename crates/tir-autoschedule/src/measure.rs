@@ -452,6 +452,51 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Where one measurement job writes its per-attempt trace events.
+///
+/// The harness emits spans keyed by `(stream, generation, slot, attempt)`
+/// into a thread-local [`tir_trace::TraceBuffer`], so the merged report is
+/// deterministic at any thread count: the key is a pure function of the
+/// job's position in the batch, never of scheduling. All span times are
+/// *simulated* farm seconds (the quantities charged to `tuning_cost_s`),
+/// so traces are bit-identical across thread counts too.
+pub struct MeasureTrace<'a, 'c> {
+    /// The per-worker buffer events land in.
+    pub buf: &'a mut tir_trace::TraceBuffer<'c>,
+    /// Trace stream of the owning search (one per `tune_with` call).
+    pub stream: u64,
+    /// Generation the measured batch belongs to.
+    pub generation: u64,
+    /// Rank of this job within the batch (slot-ordered, deterministic).
+    pub slot: u64,
+}
+
+impl MeasureTrace<'_, '_> {
+    fn span(&mut self, name: &str, attempt: u64, sim_s: f64) {
+        self.buf.span(
+            name,
+            tir_trace::Key {
+                stream: self.stream,
+                generation: self.generation,
+                slot: self.slot,
+                seq: attempt,
+            },
+            sim_s,
+            1,
+        );
+    }
+}
+
+/// Trace-event name for one failure mode.
+fn fault_span_name(e: &MeasureError) -> &'static str {
+    match e {
+        MeasureError::CompileReject(_) => "measure.fault.reject",
+        MeasureError::Timeout { .. } => "measure.fault.timeout",
+        MeasureError::RunnerCrash(_) => "measure.fault.crash",
+        MeasureError::CorruptReading { .. } => "measure.fault.corrupt",
+    }
+}
+
 /// The first reading seen at least `need` times (bit-exact agreement),
 /// if any. With a deterministic backend the true value is the only one
 /// that can repeat, so agreement identifies it even when most readings
@@ -490,6 +535,23 @@ pub fn measure_with_retries(
     candidate: u64,
     retry: &RetryPolicy,
 ) -> MeasureOutcome {
+    measure_with_retries_traced(measurer, func, machine, candidate, retry, None)
+}
+
+/// [`measure_with_retries`] with per-attempt trace events: every
+/// successful profile, compile, failure, and backoff delay lands in the
+/// supplied [`MeasureTrace`] as a `measure.*` span carrying its simulated
+/// farm seconds. With `trace: None` this is exactly
+/// [`measure_with_retries`] — the accounting and the returned outcome are
+/// unaffected by tracing.
+pub fn measure_with_retries_traced(
+    measurer: &dyn Measurer,
+    func: &PrimFunc,
+    machine: &Machine,
+    candidate: u64,
+    retry: &RetryPolicy,
+    mut trace: Option<&mut MeasureTrace<'_, '_>>,
+) -> MeasureOutcome {
     let need = measurer.min_agreeing_readings().max(1);
     let mut cost_s = 0.0f64;
     let mut attempt = 0u64;
@@ -507,9 +569,15 @@ pub fn measure_with_retries(
         match outcome {
             Ok(t) if t.is_finite() && t >= 0.0 => {
                 cost_s += t * PROFILE_REPEATS;
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.span("measure.profile", ctx.attempt, t * PROFILE_REPEATS);
+                }
                 if !compiled {
                     cost_s += COMPILE_OVERHEAD_S;
                     compiled = true;
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.span("measure.compile", ctx.attempt, COMPILE_OVERHEAD_S);
+                    }
                 }
                 readings.push(t);
                 if let Some(agreed) = agreed_reading(&readings, need) {
@@ -538,6 +606,9 @@ pub fn measure_with_retries(
                     Ok(_) => MeasureError::CorruptReading { readings: 1 },
                 };
                 cost_s += err.attempt_cost_s();
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.span(fault_span_name(&err), ctx.attempt, err.attempt_cost_s());
+                }
                 if !err.is_transient() || transient_retries >= retry.max_retries {
                     return MeasureOutcome {
                         reading: Err(err),
@@ -547,6 +618,13 @@ pub fn measure_with_retries(
                 }
                 transient_retries += 1;
                 cost_s += retry.backoff_s(transient_retries);
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.span(
+                        "measure.backoff",
+                        ctx.attempt,
+                        retry.backoff_s(transient_retries),
+                    );
+                }
             }
         }
     }

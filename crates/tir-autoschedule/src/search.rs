@@ -69,21 +69,23 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use tir_rand::rngs::StdRng;
 use tir_rand::{derive_seed, SeedableRng};
 
 use tir::structural::structural_hash;
 use tir::PrimFunc;
-use tir_exec::cost::summarize;
+use tir_exec::cost::{estimate_breakdown, summarize, RooflineBound};
 use tir_exec::machine::Machine;
+use tir_trace::{Collector, Key};
 
 use crate::checkpoint::{self, TuneCheckpoint};
 use crate::cost_model::CostModel;
 use crate::feature::features_of_summary;
 use crate::measure::{
-    measure_with_retries, MeasureError, MeasureOutcome, Measurer, RetryPolicy, SimMeasurer,
-    COMPILE_OVERHEAD_S,
+    measure_with_retries, measure_with_retries_traced, MeasureError, MeasureOutcome, MeasureTrace,
+    Measurer, RetryPolicy, SimMeasurer, COMPILE_OVERHEAD_S,
 };
 use crate::parallel::{effective_threads, parallel_map, try_parallel_map};
 use crate::sketch::{Decision, SketchRule};
@@ -140,6 +142,16 @@ pub struct TuneOptions {
     /// the hook the kill-and-resume tests use to interrupt a run at a
     /// generation boundary. `None` (the default) runs to budget.
     pub max_generations: Option<u64>,
+    /// Observability sink ([`tir_trace::Collector`]). `None` (the
+    /// default) records nothing and pays nothing beyond one branch per
+    /// generation. When set and enabled, the search emits per-generation
+    /// phase spans (`search.*`), per-attempt measurement events
+    /// (`measure.*`), counters, and roofline attribution. Tracing never
+    /// perturbs the search: `best`/`best_time`/`history` are bit-identical
+    /// with tracing on or off, at every thread count, and the merged
+    /// report itself is byte-identical at every thread count (all span
+    /// times are simulated seconds keyed by deterministic positions).
+    pub trace: Option<Arc<Collector>>,
 }
 
 impl Default for TuneOptions {
@@ -156,6 +168,7 @@ impl Default for TuneOptions {
             retry: RetryPolicy::default(),
             checkpoint_path: None,
             max_generations: None,
+            trace: None,
         }
     }
 }
@@ -429,6 +442,10 @@ pub fn tune_with(
         return TuneResult::default();
     }
     let threads = effective_threads(opts.num_threads);
+    // One trace stream per tune_with call, allocated by the coordinator so
+    // stream ids are deterministic regardless of thread count.
+    let trace: Option<&Collector> = opts.trace.as_deref().filter(|c| c.is_enabled());
+    let stream = trace.map_or(0, |c| c.stream(sketch.name()));
     let mut state = opts
         .checkpoint_path
         .as_ref()
@@ -536,7 +553,11 @@ pub fn tune_with(
 
         // Coordinator: validation-filter accounting, in slot order.
         let mut candidates: Vec<CandidateEval> = Vec::new();
+        let mut features_extracted: u64 = 0;
         for eval in evals {
+            if eval.func.is_some() && !eval.cached {
+                features_extracted += 1;
+            }
             if eval.func.is_none() {
                 result.invalid_filtered += 1;
                 if opts.validate_before_measure {
@@ -596,10 +617,32 @@ pub fn tune_with(
             .filter(|&i| candidates[i].func.is_some() && !candidates[i].cached)
             .collect();
         let candidates_ref = &candidates;
-        let outcomes = try_parallel_map(&jobs, threads, |_, &i| {
+        let outcomes = try_parallel_map(&jobs, threads, |rank, &i| {
             let eval = &candidates_ref[i];
             match &eval.func {
-                Some(f) => measure_with_retries(measurer, f, machine, eval.hash, &opts.retry),
+                // The trace key is the job's rank in the batch — a pure
+                // function of the (deterministic) batch order, so the
+                // merged report is byte-identical at any thread count.
+                Some(f) => match trace {
+                    Some(c) => {
+                        let mut buf = c.buffer();
+                        let mut mt = MeasureTrace {
+                            buf: &mut buf,
+                            stream,
+                            generation,
+                            slot: rank as u64,
+                        };
+                        measure_with_retries_traced(
+                            measurer,
+                            f,
+                            machine,
+                            eval.hash,
+                            &opts.retry,
+                            Some(&mut mt),
+                        )
+                    }
+                    None => measure_with_retries(measurer, f, machine, eval.hash, &opts.retry),
+                },
                 // Unreachable: `jobs` only holds valid candidates (the
                 // filter above); degrade to a crash, never panic.
                 None => MeasureOutcome {
@@ -623,6 +666,13 @@ pub fn tune_with(
             .collect();
 
         // Coordinator: accounting over the batch, in rank order.
+        let counters_before = (
+            result.cache_hits,
+            result.quarantined,
+            result.retries,
+            result.failed_measurements,
+        );
+        let mut verify_rejections: u64 = 0;
         let mut new_samples = Vec::new();
         let mut new_records: Vec<(u64, CachedMeasurement)> = Vec::new();
         let mut batch_costs: Vec<f64> = Vec::new();
@@ -654,6 +704,9 @@ pub fn tune_with(
                 match outcome.reading {
                     Ok(t) => (t, Some(())),
                     Err(e) => {
+                        if matches!(e, MeasureError::CompileReject(_)) {
+                            verify_rejections += 1;
+                        }
                         result.failed_measurements += 1;
                         if !e.is_transient() && eval.hash != 0 && quarantine.insert(eval.hash) {
                             result.quarantined += 1;
@@ -672,6 +725,17 @@ pub fn tune_with(
                     },
                 ));
             }
+            if let Some(c) = trace {
+                // Roofline attribution of every measured candidate:
+                // compute-bound vs bandwidth-bound on this machine. Only
+                // evaluated while tracing — the breakdown re-runs the
+                // summarizer, which the disabled path must not pay for.
+                match estimate_breakdown(&summarize(f), machine).bound() {
+                    RooflineBound::Compute => c.count("roofline.compute_bound", 1),
+                    RooflineBound::Memory => c.count("roofline.memory_bound", 1),
+                }
+                c.observe("search.candidate_time_s", t);
+            }
             result.trials_measured += 1;
             new_samples.push((eval.features.clone(), -(t.max(1e-12)).ln()));
             if t < result.best_time {
@@ -683,6 +747,61 @@ pub fn tune_with(
             elites.push((eval.decisions.clone(), t));
         }
         result.tuning_cost_s += batch_makespan(&batch_costs, threads);
+        if let Some(c) = trace {
+            // One span per pipeline phase, keyed by (stream, generation,
+            // COORD, phase index). Only `search.measure` carries simulated
+            // seconds — the *serial* sum of batch costs, which is
+            // thread-invariant (the thread-dependent makespan stays in
+            // `tuning_cost_s`; at one worker the two coincide). CPU-side
+            // phases carry item counts instead of wall-clock, which would
+            // break byte-identical reports across machines and runs.
+            let g = generation;
+            c.span(
+                "search.evolve",
+                Key::coord(stream, g, 0),
+                0.0,
+                plans.len() as u64,
+            );
+            c.span(
+                "search.sketch_instantiate",
+                Key::coord(stream, g, 1),
+                0.0,
+                population.len() as u64,
+            );
+            c.span(
+                "search.feature_extract",
+                Key::coord(stream, g, 2),
+                0.0,
+                features_extracted,
+            );
+            c.span(
+                "search.model_rank",
+                Key::coord(stream, g, 3),
+                0.0,
+                candidates.len() as u64,
+            );
+            c.span(
+                "search.measure",
+                Key::coord(stream, g, 4),
+                batch_makespan(&batch_costs, 1),
+                batch_costs.len() as u64,
+            );
+            c.span(
+                "search.refit",
+                Key::coord(stream, g, 5),
+                0.0,
+                new_samples.len() as u64,
+            );
+            let (hits0, quar0, retr0, fail0) = counters_before;
+            c.count("search.cache_hits", (result.cache_hits - hits0) as u64);
+            c.count("search.quarantined", (result.quarantined - quar0) as u64);
+            c.count("search.retries", result.retries - retr0);
+            c.count(
+                "search.failed_measurements",
+                (result.failed_measurements - fail0) as u64,
+            );
+            c.count("search.verify_rejections", verify_rejections);
+        }
         for (hash, record) in new_records {
             cache.insert(hash, record);
         }

@@ -170,6 +170,65 @@ pub(crate) enum Op {
     HoistSet { slot: u32, src: u32, stride: i64 },
 }
 
+impl Op {
+    /// Number of opcodes (the size of an instruction-mix table).
+    pub(crate) const COUNT: usize = 22;
+
+    /// Display names, indexed by [`Op::opcode`].
+    pub(crate) const MNEMONICS: [&'static str; Op::COUNT] = [
+        "const",
+        "load_var",
+        "set_var",
+        "throw_unbound_var",
+        "throw_unknown_intrinsic",
+        "cast",
+        "bin",
+        "cmp",
+        "not",
+        "call",
+        "load",
+        "store",
+        "tick",
+        "jump",
+        "jump_if_zero",
+        "for_setup",
+        "for_next",
+        "reset_reduce_flag",
+        "update_reduce_flag",
+        "jump_if_reduce_flag_false",
+        "alloc_buf",
+        "hoist_set",
+    ];
+
+    /// Dense opcode index of this instruction (for profiling tables).
+    pub(crate) fn opcode(&self) -> usize {
+        match self {
+            Op::Const { .. } => 0,
+            Op::LoadVar { .. } => 1,
+            Op::SetVar { .. } => 2,
+            Op::ThrowUnboundVar { .. } => 3,
+            Op::ThrowUnknownIntrinsic { .. } => 4,
+            Op::Cast { .. } => 5,
+            Op::Bin { .. } => 6,
+            Op::Cmp { .. } => 7,
+            Op::Not { .. } => 8,
+            Op::Call { .. } => 9,
+            Op::Load { .. } => 10,
+            Op::Store { .. } => 11,
+            Op::Tick => 12,
+            Op::Jump { .. } => 13,
+            Op::JumpIfZero { .. } => 14,
+            Op::ForSetup { .. } => 15,
+            Op::ForNext { .. } => 16,
+            Op::ResetReduceFlag => 17,
+            Op::UpdateReduceFlag { .. } => 18,
+            Op::JumpIfReduceFlagFalse { .. } => 19,
+            Op::AllocBuf { .. } => 20,
+            Op::HoistSet { .. } => 21,
+        }
+    }
+}
+
 /// A compiled program: flat bytecode plus the table sizes the VM needs to
 /// preallocate its entire runtime state up front (zero per-step
 /// allocation).

@@ -336,8 +336,59 @@ pub fn summarize(func: &PrimFunc) -> CostSummary {
     w.summary
 }
 
-/// Estimated execution time (seconds) of a summarized program on a machine.
-pub fn estimate_time(summary: &CostSummary, machine: &Machine) -> f64 {
+/// Which roofline term dominates a candidate's estimated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RooflineBound {
+    /// Compute time meets or exceeds memory time.
+    Compute,
+    /// Memory time exceeds compute time.
+    Memory,
+}
+
+impl RooflineBound {
+    /// Stable lowercase name for reports and counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RooflineBound::Compute => "compute",
+            RooflineBound::Memory => "memory",
+        }
+    }
+}
+
+/// The roofline terms behind one [`estimate_time`] reading, kept separate
+/// so profiling can attribute a candidate to its binding resource.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Time the arithmetic (scalar, vector, and tensor-unit) would take
+    /// alone, seconds.
+    pub compute_s: f64,
+    /// Time the memory traffic would take alone, seconds.
+    pub memory_s: f64,
+    /// Fixed launch overhead, seconds.
+    pub launch_s: f64,
+}
+
+impl TimeBreakdown {
+    /// The roofline total: `max(compute, memory) + launch`. Bit-identical
+    /// to [`estimate_time`] on the same inputs.
+    pub fn total(&self) -> f64 {
+        self.compute_s.max(self.memory_s) + self.launch_s
+    }
+
+    /// Which term binds. Ties (including the all-zero summary) count as
+    /// compute-bound, matching `max`'s left bias.
+    pub fn bound(&self) -> RooflineBound {
+        if self.compute_s >= self.memory_s {
+            RooflineBound::Compute
+        } else {
+            RooflineBound::Memory
+        }
+    }
+}
+
+/// Per-term roofline estimate of a summarized program on a machine. The
+/// total of the returned breakdown is exactly [`estimate_time`].
+pub fn estimate_breakdown(summary: &CostSummary, machine: &Machine) -> TimeBreakdown {
     // Effective parallelism.
     let (cores_used, rate_scale) = match machine.kind {
         MachineKind::Gpu => {
@@ -383,7 +434,16 @@ pub fn estimate_time(summary: &CostSummary, machine: &Machine) -> f64 {
         memory_time += bytes / bw;
     }
 
-    compute_time.max(memory_time) + machine.launch_overhead_us * 1e-6
+    TimeBreakdown {
+        compute_s: compute_time,
+        memory_s: memory_time,
+        launch_s: machine.launch_overhead_us * 1e-6,
+    }
+}
+
+/// Estimated execution time (seconds) of a summarized program on a machine.
+pub fn estimate_time(summary: &CostSummary, machine: &Machine) -> f64 {
+    estimate_breakdown(summary, machine).total()
 }
 
 /// Convenience: summarize + estimate in one call.
@@ -504,6 +564,37 @@ mod tests {
         let f = matmul_func("mm", 64, 64, 64, DataType::float16());
         let m = Machine::sim_gpu();
         assert_eq!(simulate(&f, &m), simulate(&f, &m));
+    }
+
+    #[test]
+    fn breakdown_total_is_bit_identical_to_estimate_time() {
+        for (m, n, k) in [(16, 16, 16), (64, 64, 64), (128, 32, 256)] {
+            let f = matmul_func("mm", m, n, k, DataType::float32());
+            let s = summarize(&f);
+            for machine in [Machine::sim_gpu(), Machine::sim_arm()] {
+                let b = estimate_breakdown(&s, &machine);
+                assert_eq!(b.total().to_bits(), estimate_time(&s, &machine).to_bits());
+                assert!(b.compute_s >= 0.0 && b.memory_s >= 0.0 && b.launch_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn roofline_bound_tracks_dominant_term() {
+        let compute = TimeBreakdown {
+            compute_s: 2.0,
+            memory_s: 1.0,
+            launch_s: 0.0,
+        };
+        assert_eq!(compute.bound(), RooflineBound::Compute);
+        let memory = TimeBreakdown {
+            compute_s: 1.0,
+            memory_s: 2.0,
+            launch_s: 0.0,
+        };
+        assert_eq!(memory.bound(), RooflineBound::Memory);
+        assert_eq!(TimeBreakdown::default().bound(), RooflineBound::Compute);
+        assert_eq!(RooflineBound::Memory.name(), "memory");
     }
 
     #[test]

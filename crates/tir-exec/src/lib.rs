@@ -28,7 +28,8 @@ pub mod vm;
 
 pub use compile::{compile, CompileError, Program};
 pub use cost::{
-    estimate_time, simulate, summarize, try_estimate_time, try_simulate, CostError, CostSummary,
+    estimate_breakdown, estimate_time, simulate, summarize, try_estimate_time, try_simulate,
+    CostError, CostSummary, RooflineBound, TimeBreakdown,
 };
 pub use interp::{
     assert_same_semantics, run_on_random_inputs, run_sanitized, run_with, ExecBackend, ExecError,
@@ -36,3 +37,4 @@ pub use interp::{
 };
 pub use machine::{Machine, MachineKind};
 pub use tensor::Tensor;
+pub use vm::{InstrMixProfile, NoProfile, VmProfiler};

@@ -23,6 +23,62 @@ use crate::tensor::Tensor;
 
 type Result<T> = std::result::Result<T, ExecError>;
 
+/// Observes each instruction the dispatch loop executes.
+///
+/// The hook is monomorphized into the loop: with [`NoProfile`] (the default
+/// used by [`Program::run`] / [`Program::run_with_fuel`]) the call inlines
+/// to nothing, so the unprofiled path pays zero cost. `opcode` is a dense
+/// index suitable for a fixed-size table; display names come from
+/// [`InstrMixProfile::mix`].
+pub trait VmProfiler {
+    /// Called once per dispatched instruction, before it executes.
+    fn on_op(&mut self, opcode: usize);
+}
+
+/// The zero-cost profiler: every hook compiles to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProfile;
+
+impl VmProfiler for NoProfile {
+    #[inline(always)]
+    fn on_op(&mut self, _opcode: usize) {}
+}
+
+/// Counts dispatched instructions per opcode.
+#[derive(Clone, Debug, Default)]
+pub struct InstrMixProfile {
+    counts: [u64; Op::COUNT],
+}
+
+impl InstrMixProfile {
+    /// A fresh profile with all counts zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total instructions dispatched.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Non-zero `(mnemonic, count)` pairs in fixed opcode order.
+    pub fn mix(&self) -> Vec<(&'static str, u64)> {
+        Op::MNEMONICS
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&m, &c)| (m, c))
+            .collect()
+    }
+}
+
+impl VmProfiler for InstrMixProfile {
+    #[inline(always)]
+    fn on_op(&mut self, opcode: usize) {
+        self.counts[opcode] += 1;
+    }
+}
+
 /// Flat runtime offset of one access site.
 #[inline]
 fn offset(acc: &Access, regs: &[f64], hoists: &[i64]) -> i64 {
@@ -140,7 +196,24 @@ impl Program {
     /// the budget is exhausted, at the exact step count the tree-walker
     /// would report).
     pub fn run_with_fuel(&self, args: Vec<Tensor>, fuel: u64) -> Result<RunOutcome> {
-        self.run_impl(args, fuel, false)
+        self.run_impl(args, fuel, false, &mut NoProfile)
+    }
+
+    /// Runs the program while feeding every dispatched instruction to a
+    /// [`VmProfiler`] (e.g. [`InstrMixProfile`] for an instruction-mix
+    /// histogram). Execution semantics are identical to
+    /// [`run_with_fuel`](Self::run_with_fuel).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with_fuel`](Self::run_with_fuel).
+    pub fn run_profiled(
+        &self,
+        args: Vec<Tensor>,
+        fuel: u64,
+        prof: &mut impl VmProfiler,
+    ) -> Result<RunOutcome> {
+        self.run_impl(args, fuel, false, prof)
     }
 
     /// Runs the program under the dynamic sanitizer: every access is
@@ -157,10 +230,16 @@ impl Program {
     /// [`ExecError::OutOfBounds`]/[`ExecError::DataRace`] on the first
     /// violation, and propagates any other execution failure.
     pub fn run_sanitized(&self, args: Vec<Tensor>, fuel: u64) -> Result<RunOutcome> {
-        self.run_impl(args, fuel, true)
+        self.run_impl(args, fuel, true, &mut NoProfile)
     }
 
-    fn run_impl(&self, args: Vec<Tensor>, fuel: u64, checked: bool) -> Result<RunOutcome> {
+    fn run_impl<P: VmProfiler>(
+        &self,
+        args: Vec<Tensor>,
+        fuel: u64,
+        checked: bool,
+        prof: &mut P,
+    ) -> Result<RunOutcome> {
         check_arity(&self.func_name, &self.params, &args)?;
         for (p, t) in self.params.iter().zip(&args) {
             check_arg(p, t)?;
@@ -192,7 +271,9 @@ impl Program {
         let ops = &self.ops;
         let mut pc = 0usize;
         while pc < ops.len() {
-            match &ops[pc] {
+            let op = &ops[pc];
+            prof.on_op(op.opcode());
+            match op {
                 Op::Const { dst, val } => regs[*dst as usize] = *val,
                 Op::LoadVar { dst, slot } => regs[*dst as usize] = frame[*slot as usize],
                 Op::SetVar { slot, src } => frame[*slot as usize] = regs[*src as usize],
@@ -419,6 +500,7 @@ mod tests {
     use crate::compile::{compile, CompileError};
     use crate::interp::{run_with, ExecBackend, ExecError};
     use crate::tensor::Tensor;
+    use crate::vm::InstrMixProfile;
 
     /// Runs `func` on both backends with identical inputs and asserts
     /// bit-exact outputs and identical step counts; returns the steps.
@@ -573,6 +655,35 @@ mod tests {
                 assert!(check(&err), "{backend:?}: {err}");
             }
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_and_counts_every_dispatch() {
+        let f = tir::builder::matmul_func("mm", 6, 5, 4, DataType::float32());
+        let prog = compile(&f).expect("compiles");
+        let args: Vec<Tensor> = f
+            .params
+            .iter()
+            .map(|b| Tensor::zeros(b.dtype(), b.shape()))
+            .collect();
+        let plain = prog.run_with_fuel(args.clone(), 1 << 20).expect("plain");
+        let mut prof = InstrMixProfile::new();
+        let profiled = prog
+            .run_profiled(args, 1 << 20, &mut prof)
+            .expect("profiled");
+        assert_eq!(plain.steps, profiled.steps);
+        for (a, b) in plain.outputs.iter().zip(&profiled.outputs) {
+            assert_eq!(a.data(), b.data());
+        }
+        let mix = prof.mix();
+        assert!(!mix.is_empty());
+        assert_eq!(mix.iter().map(|(_, c)| c).sum::<u64>(), prof.total());
+        // The fuel counter ticks on store/eval statements, each of which
+        // dispatches at least a `tick` instruction, so the total dispatch
+        // count dominates the step count.
+        assert!(prof.total() >= plain.steps);
+        let tick = mix.iter().find(|(m, _)| *m == "tick").map(|(_, c)| *c);
+        assert_eq!(tick, Some(plain.steps));
     }
 
     #[test]

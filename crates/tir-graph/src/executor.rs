@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use tir_autoschedule::{tune_workload, Strategy, TuneOptions};
 use tir_exec::machine::Machine;
 use tir_tensorize::IntrinRegistry;
+use tir_trace::{Key, TraceReport};
 
 use crate::layer::{LayerKind, ModelSpec};
 
@@ -18,10 +19,15 @@ pub struct LayerResult {
     pub time_s: f64,
     /// Occurrences in the network.
     pub count: i64,
-    /// Tuning cost spent on this layer (0 for memory layers), seconds.
+    /// Tuning cost spent on this layer (0 for memory layers and for rows
+    /// reusing another row's tuned entry), seconds.
     pub tuning_cost_s: f64,
-    /// Measurement trials spent.
+    /// Measurement trials spent (0 for reused rows).
     pub trials: usize,
+    /// Whether this row reused a tuned entry from an earlier layer with
+    /// the same name. Cache-hit rows carry `tuning_cost_s: 0.0, trials: 0`
+    /// so `per_layer` sums reconcile with [`ModelResult::tuning_cost_s`].
+    pub cache_hit: bool,
 }
 
 /// End-to-end outcome for one model under one strategy.
@@ -31,19 +37,26 @@ pub struct ModelResult {
     pub model: String,
     /// End-to-end latency of one inference, seconds.
     pub latency_s: f64,
-    /// Total tuning wall-clock (Table 1's quantity), seconds.
+    /// Total tuning wall-clock (Table 1's quantity), seconds. Equals the
+    /// sum of `per_layer` tuning costs: reused rows charge zero.
     pub tuning_cost_s: f64,
-    /// Total measurement trials.
+    /// Total measurement trials. Equals the sum of `per_layer` trials.
     pub trials: usize,
     /// Per-layer breakdown.
     pub per_layer: Vec<LayerResult>,
+    /// Merged observability report, when `opts.trace` held an enabled
+    /// collector: one `graph.layer.<name>` span per layer (tuning cost +
+    /// trials), plus every `search.*`/`measure.*` event the per-layer
+    /// tunings emitted. `None` when tracing was off.
+    pub trace: Option<TraceReport>,
 }
 
 /// Tunes and evaluates a model end to end under a compiler strategy.
 ///
-/// Distinct tunable layers (by name) are tuned once; memory-bound layers
-/// run at the bandwidth roofline (compilers fuse them into neighbours, so
-/// no separate launch overhead is charged).
+/// Distinct tunable layers (by name) are tuned once; later layers with the
+/// same name reuse the entry as cache hits (zero additional tuning cost).
+/// Memory-bound layers run at the bandwidth roofline (compilers fuse them
+/// into neighbours, so no separate launch overhead is charged).
 pub fn evaluate_model(
     model: &ModelSpec,
     machine: &Machine,
@@ -51,46 +64,72 @@ pub fn evaluate_model(
     strategy: Strategy,
     opts: &TuneOptions,
 ) -> ModelResult {
-    let mut tuned: HashMap<String, (f64, f64, usize)> = HashMap::new();
+    let trace = opts.trace.as_deref().filter(|c| c.is_enabled());
+    let stream = trace.map_or(0, |c| c.stream(&model.name));
+    let mut tuned: HashMap<String, f64> = HashMap::new();
     let mut per_layer = Vec::new();
     let mut latency = 0.0;
     let mut tuning = 0.0;
     let mut trials = 0;
-    for layer in &model.layers {
-        let (time_s, tune_s, layer_trials) = match (&layer.func, layer.kind) {
-            (Some(func), _) => {
-                let entry = tuned.entry(layer.name.clone()).or_insert_with(|| {
+    for (idx, layer) in model.layers.iter().enumerate() {
+        let (time_s, tune_s, layer_trials, cache_hit) = match (&layer.func, layer.kind) {
+            (Some(func), _) => match tuned.get(&layer.name) {
+                // Reused tuned entry: its cost was charged by the row
+                // that tuned it. Charging it again would make the
+                // per-layer sum disagree with the model total.
+                Some(&t) => (t, 0.0, 0, true),
+                None => {
                     let r = tune_workload(func, machine, intrins, strategy, opts);
                     let fallback =
                         layer.macs / machine.scalar_peak() + machine.launch_overhead_us * 1e-6;
+                    let t = if r.best.is_some() {
+                        r.best_time
+                    } else {
+                        fallback
+                    };
+                    tuned.insert(layer.name.clone(), t);
                     (
-                        if r.best.is_some() {
-                            r.best_time
-                        } else {
-                            fallback
-                        },
+                        t,
                         r.tuning_cost_s,
                         r.trials_measured + r.wasted_measurements,
+                        false,
                     )
-                });
-                *entry
-            }
-            (None, LayerKind::Memory) => (layer.min_bytes / (machine.global_bw_gbps * 1e9), 0.0, 0),
-            (None, _) => (0.0, 0.0, 0),
+                }
+            },
+            (None, LayerKind::Memory) => (
+                layer.min_bytes / (machine.global_bw_gbps * 1e9),
+                0.0,
+                0,
+                false,
+            ),
+            (None, _) => (0.0, 0.0, 0, false),
         };
+        if let Some(c) = trace {
+            // One span per layer row, keyed by layer position so the
+            // report is deterministic. Rolls up the layer's tuning cost;
+            // the detailed search.*/measure.* spans of the tuning itself
+            // share the collector and appear alongside.
+            c.span(
+                &format!("graph.layer.{}", layer.name),
+                Key::coord(stream, idx as u64, 0),
+                tune_s,
+                layer_trials as u64,
+            );
+            if cache_hit {
+                c.count("graph.layer_cache_hits", 1);
+            }
+        }
         latency += time_s * layer.count as f64;
+        tuning += tune_s;
+        trials += layer_trials;
         per_layer.push(LayerResult {
             name: layer.name.clone(),
             time_s,
             count: layer.count,
             tuning_cost_s: tune_s,
             trials: layer_trials,
+            cache_hit,
         });
-    }
-    // Tuning happens once per distinct layer.
-    for (tune_s, layer_trials) in tuned.values().map(|(_, t, n)| (t, n)) {
-        tuning += tune_s;
-        trials += layer_trials;
     }
     ModelResult {
         model: model.name.clone(),
@@ -98,6 +137,7 @@ pub fn evaluate_model(
         tuning_cost_s: tuning,
         trials,
         per_layer,
+        trace: trace.map(|c| c.report()),
     }
 }
 
@@ -140,6 +180,101 @@ mod tests {
         assert_eq!(r.per_layer.len(), 2);
         // The matmul layer is counted twice but tuned once.
         assert_eq!(r.per_layer[0].count, 2);
+    }
+
+    /// A model where two rows share the "mm" tuned entry.
+    fn shared_model() -> ModelSpec {
+        let dt = DataType::float16();
+        ModelSpec {
+            name: "shared".into(),
+            dtype: dt,
+            layers: vec![
+                crate::layer::Layer::compute(
+                    "mm",
+                    LayerKind::Dense,
+                    tir_workloads::gmm(128, 128, 128, dt, dt),
+                    (128i64 * 128 * 128) as f64,
+                    1,
+                ),
+                crate::layer::Layer::memory("relu", 2.0 * 128.0 * 128.0 * 2.0, 1),
+                crate::layer::Layer::compute(
+                    "mm",
+                    LayerKind::Dense,
+                    tir_workloads::gmm(128, 128, 128, dt, dt),
+                    (128i64 * 128 * 128) as f64,
+                    1,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn shared_layers_reconcile_with_model_total() {
+        // Regression: reused rows used to copy the full tuning cost and
+        // trial count of the entry they shared, so summing `per_layer`
+        // double-charged what the model total charged once.
+        let machine = Machine::sim_gpu();
+        let reg = builtin_registry();
+        let opts = TuneOptions {
+            trials: 12,
+            ..Default::default()
+        };
+        let r = evaluate_model(&shared_model(), &machine, &reg, Strategy::TensorIr, &opts);
+        assert_eq!(r.per_layer.len(), 3);
+        let first = &r.per_layer[0];
+        let reused = &r.per_layer[2];
+        assert!(!first.cache_hit && first.tuning_cost_s > 0.0 && first.trials > 0);
+        assert!(reused.cache_hit, "second mm row must be a cache hit");
+        assert_eq!(reused.tuning_cost_s, 0.0);
+        assert_eq!(reused.trials, 0);
+        assert_eq!(reused.time_s, first.time_s, "hit reuses the tuned time");
+        let layer_cost: f64 = r.per_layer.iter().map(|l| l.tuning_cost_s).sum();
+        let layer_trials: usize = r.per_layer.iter().map(|l| l.trials).sum();
+        assert_eq!(
+            layer_cost, r.tuning_cost_s,
+            "per-layer tuning costs must sum to the model total"
+        );
+        assert_eq!(layer_trials, r.trials);
+        // Both mm rows still contribute to latency.
+        assert!(r.latency_s >= 2.0 * first.time_s);
+    }
+
+    #[test]
+    fn trace_rolls_up_layer_spans() {
+        use std::sync::Arc;
+        let machine = Machine::sim_gpu();
+        let reg = builtin_registry();
+        let collector = Arc::new(tir_trace::Collector::new());
+        let opts = TuneOptions {
+            trials: 12,
+            trace: Some(collector),
+            ..Default::default()
+        };
+        let traced = evaluate_model(&shared_model(), &machine, &reg, Strategy::TensorIr, &opts);
+        let plain = evaluate_model(
+            &shared_model(),
+            &machine,
+            &reg,
+            Strategy::TensorIr,
+            &TuneOptions {
+                trace: None,
+                ..opts.clone()
+            },
+        );
+        // Tracing never perturbs the evaluation.
+        assert_eq!(traced.latency_s, plain.latency_s);
+        assert_eq!(traced.tuning_cost_s, plain.tuning_cost_s);
+        assert!(plain.trace.is_none());
+        let rep = traced.trace.expect("trace report");
+        let mm = rep.phase("graph.layer.mm").expect("mm span");
+        assert_eq!(mm.spans, 2, "one span per mm row");
+        assert_eq!(mm.sim_s, traced.per_layer[0].tuning_cost_s);
+        let relu = rep.phase("graph.layer.relu").expect("relu span");
+        assert_eq!(relu.sim_s, 0.0);
+        assert_eq!(rep.counter("graph.layer_cache_hits"), 1);
+        // The per-layer tunings' own spans share the report.
+        assert!(rep.phase("search.measure").is_some());
+        assert!(tir_trace::is_well_formed_json(&rep.to_json()));
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! `tune-profile` — runs one auto-scheduler tuning job with the
+//! observability layer enabled and writes the merged trace to a JSON
+//! report (`BENCH_trace.json` by default).
+//!
+//! The run is pinned to one worker thread so the serial per-generation
+//! measurement sums recorded in the `search.measure` spans coincide with
+//! the `tuning_cost_s` makespan accounting — the report's per-phase
+//! breakdown then reconciles with the tuner's own cost figure.
+//!
+//! After tuning, the best program is compiled to the bytecode VM and
+//! executed under [`InstrMixProfile`], folding the instruction mix into
+//! the same report as `vm.op.*` counters.
+//!
+//! With `--check` the emitted report is validated in-process (the CI
+//! gate): it must be well-formed JSON, carry every expected phase and
+//! counter, and its `search.*` phase times must sum to `tuning_cost_s`
+//! within 5%. Any violation exits with code 1.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use tir::{DataType, PrimFunc};
+use tir_autoschedule::{tune_workload, Strategy, TuneOptions, TuneResult};
+use tir_exec::{compile, InstrMixProfile, Machine, Tensor};
+use tir_tensorize::builtin_registry;
+use tir_trace::{is_well_formed_json, Collector, TraceReport};
+use tir_workloads::ops;
+
+/// Fuel cap for the post-tuning VM profile run. Large workloads (c2d)
+/// run out of fuel before completing; the partial instruction mix is
+/// still representative and the report records whether the run finished.
+const PROFILE_FUEL: u64 = 20_000_000;
+
+struct Config {
+    workload: String,
+    machine: String,
+    trials: usize,
+    out: String,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tune-profile [--workload gmm|c2d] [--machine gpu|arm] \
+         [--trials N] [--out PATH] [--check]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        workload: "gmm".to_string(),
+        machine: "gpu".to_string(),
+        trials: 32,
+        out: "BENCH_trace.json".to_string(),
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workload" => cfg.workload = args.next().unwrap_or_else(|| usage()),
+            "--machine" => cfg.machine = args.next().unwrap_or_else(|| usage()),
+            "--trials" => {
+                cfg.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => cfg.out = args.next().unwrap_or_else(|| usage()),
+            "--check" => cfg.check = true,
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+/// The tuned workload: dtypes follow the bench suite (low-precision MMA
+/// dtypes on the GPU, quantized dot-product dtypes on ARM).
+fn build_workload(name: &str, machine: &str) -> PrimFunc {
+    let (dt, acc) = match machine {
+        "gpu" => (DataType::float16(), DataType::float32()),
+        "arm" => (DataType::int8(), DataType::int32()),
+        _ => usage(),
+    };
+    match name {
+        "gmm" => ops::gmm(128, 128, 128, dt, acc),
+        "c2d" => ops::c2d(8, 58, 58, 128, 128, 3, 3, 1, dt),
+        _ => usage(),
+    }
+}
+
+fn build_machine(name: &str) -> Machine {
+    match name {
+        "gpu" => Machine::sim_gpu(),
+        "arm" => Machine::sim_arm(),
+        _ => usage(),
+    }
+}
+
+/// Runs the best program through the bytecode VM under an
+/// instruction-mix profiler, folding the mix into the collector as
+/// `vm.op.*` counters. Returns whether the profile run completed within
+/// its fuel budget (`None` when the program does not compile to
+/// bytecode).
+fn profile_best(best: &PrimFunc, collector: &Collector) -> Option<bool> {
+    let prog = compile(best).ok()?;
+    let args: Vec<Tensor> = best
+        .params
+        .iter()
+        .map(|b| Tensor::zeros(b.dtype(), b.shape()))
+        .collect();
+    let mut prof = InstrMixProfile::new();
+    let outcome = prog.run_profiled(args, PROFILE_FUEL, &mut prof);
+    for (mnemonic, count) in prof.mix() {
+        if count > 0 {
+            collector.count(&format!("vm.op.{mnemonic}"), count);
+        }
+    }
+    collector.count("vm.dispatches", prof.total());
+    Some(outcome.is_ok())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The full report: run metadata plus the merged trace, all hand-rolled
+/// (the container has no network access, so no serde).
+fn render_report(
+    cfg: &Config,
+    result: &TuneResult,
+    report: &TraceReport,
+    vm_complete: Option<bool>,
+) -> String {
+    let mut out = String::with_capacity(8192);
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"workload\": \"{}\",\n",
+        json_escape(&cfg.workload)
+    ));
+    out.push_str(&format!(
+        "  \"machine\": \"{}\",\n",
+        json_escape(&cfg.machine)
+    ));
+    out.push_str(&format!("  \"trials\": {},\n", cfg.trials));
+    out.push_str(&format!(
+        "  \"trials_measured\": {},\n",
+        result.trials_measured
+    ));
+    out.push_str(&format!(
+        "  \"best_time_s\": {},\n",
+        json_f64(result.best_time)
+    ));
+    out.push_str(&format!(
+        "  \"tuning_cost_s\": {},\n",
+        json_f64(result.tuning_cost_s)
+    ));
+    out.push_str(&format!(
+        "  \"phase_sum_s\": {},\n",
+        json_f64(report.phase_sim_s("search."))
+    ));
+    out.push_str(&format!(
+        "  \"vm_profile_complete\": {},\n",
+        match vm_complete {
+            Some(true) => "true",
+            Some(false) => "false",
+            None => "null",
+        }
+    ));
+    // Indent the embedded trace one level so the file stays readable.
+    let trace = report.to_json();
+    out.push_str("  \"trace\": ");
+    for (i, line) in trace.lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// The CI gate: structural and accounting invariants of the report.
+fn check_report(text: &str, result: &TuneResult, report: &TraceReport) -> Vec<String> {
+    let mut errors = Vec::new();
+    if !is_well_formed_json(text) {
+        errors.push("report is not well-formed JSON".to_string());
+    }
+    for key in [
+        "\"workload\"",
+        "\"machine\"",
+        "\"trials\"",
+        "\"best_time_s\"",
+        "\"tuning_cost_s\"",
+        "\"phase_sum_s\"",
+        "\"trace\"",
+        "\"phases\"",
+        "\"counters\"",
+        "\"spans\"",
+        "\"streams\"",
+    ] {
+        if !text.contains(key) {
+            errors.push(format!("missing required key {key}"));
+        }
+    }
+    for phase in [
+        "search.sketch_instantiate",
+        "search.evolve",
+        "search.feature_extract",
+        "search.model_rank",
+        "search.measure",
+        "search.refit",
+    ] {
+        if report.phase(phase).is_none() {
+            errors.push(format!("missing phase {phase}"));
+        }
+    }
+    if result.best.is_none() {
+        errors.push("tuning found no valid candidate".to_string());
+    }
+    // At one worker thread the serial measurement sums must reconcile
+    // with the makespan accounting: the acceptance bound is 5%, and the
+    // phase sum may never exceed the accounted cost by more than float
+    // accumulation noise.
+    let phase_sum = report.phase_sim_s("search.");
+    let cost = result.tuning_cost_s;
+    if cost > 0.0 {
+        let rel = (phase_sum - cost).abs() / cost;
+        if rel > 0.05 {
+            errors.push(format!(
+                "search.* phase sum {phase_sum} deviates from tuning_cost_s {cost} by {:.2}%",
+                rel * 100.0
+            ));
+        }
+        if phase_sum > cost * (1.0 + 1e-9) {
+            errors.push(format!(
+                "search.* phase sum {phase_sum} exceeds tuning_cost_s {cost}"
+            ));
+        }
+    } else {
+        errors.push("tuning_cost_s is not positive".to_string());
+    }
+    errors
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let func = build_workload(&cfg.workload, &cfg.machine);
+    let machine = build_machine(&cfg.machine);
+    let registry = builtin_registry();
+
+    let collector = Arc::new(Collector::new());
+    let opts = TuneOptions {
+        trials: cfg.trials,
+        // One worker: serial measurement sums == makespans, so the
+        // trace's per-phase breakdown reconciles with tuning_cost_s.
+        num_threads: 1,
+        trace: Some(collector.clone()),
+        ..TuneOptions::default()
+    };
+
+    let t0 = std::time::Instant::now();
+    let result = tune_workload(&func, &machine, &registry, Strategy::TensorIr, &opts);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let vm_complete = result
+        .best
+        .as_ref()
+        .and_then(|best| profile_best(best, &collector));
+
+    let report = collector.report();
+    let text = render_report(&cfg, &result, &report, vm_complete);
+    if let Err(e) = std::fs::write(&cfg.out, &text) {
+        eprintln!("tune-profile: cannot write {}: {e}", cfg.out);
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "tune-profile: {} on {} ({} trials, {} measured) in {wall_s:.1}s wall",
+        cfg.workload, cfg.machine, cfg.trials, result.trials_measured
+    );
+    println!(
+        "  best_time_s {}  tuning_cost_s {}  search.* phase sum {}",
+        json_f64(result.best_time),
+        json_f64(result.tuning_cost_s),
+        json_f64(report.phase_sim_s("search."))
+    );
+    for p in &report.phases {
+        if p.name.starts_with("search.") || p.name.starts_with("measure.") {
+            println!("  {:<28} {:>12.6}s  items {}", p.name, p.sim_s, p.items);
+        }
+    }
+    println!("  report written to {}", cfg.out);
+
+    if cfg.check {
+        let errors = check_report(&text, &result, &report);
+        if !errors.is_empty() {
+            for e in &errors {
+                eprintln!("tune-profile: CHECK FAILED: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("  check passed: JSON well-formed, phases reconcile with tuning_cost_s");
+    }
+    ExitCode::SUCCESS
+}
