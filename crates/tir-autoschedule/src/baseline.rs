@@ -44,6 +44,19 @@ impl Strategy {
             Strategy::Amos => "AMOS",
         }
     }
+
+    /// Inverse of [`Strategy::label`]: resolves a stored or wire-level
+    /// label back to the strategy. `None` for unknown labels — the
+    /// database loader turns that into a typed corruption error, the
+    /// server into a protocol rejection.
+    pub fn from_label(label: &str) -> Option<Strategy> {
+        match label {
+            "TensorIR" => Some(Strategy::TensorIr),
+            "TVM(Ansor)" => Some(Strategy::Ansor),
+            "AMOS" => Some(Strategy::Amos),
+            _ => None,
+        }
+    }
 }
 
 /// Builds the sketches a strategy searches over for one workload.

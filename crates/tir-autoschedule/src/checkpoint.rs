@@ -347,21 +347,44 @@ pub fn decode(text: &str) -> Option<TuneCheckpoint> {
     t.next().is_none().then_some(ck)
 }
 
-/// Writes a checkpoint atomically (temp file + rename), so a crash
-/// mid-write can never leave a truncated checkpoint behind.
+/// Writes `text` to `path` atomically: the bytes land in a sibling
+/// temp file first (`<path>.<ext>.tmp`), are fsync'd, and only then
+/// renamed over the destination. On POSIX filesystems the rename is
+/// atomic, so readers — and a process killed at any instant — see
+/// either the complete old file or the complete new file, never a
+/// truncated mix. This is the shared persistence discipline of the
+/// checkpoint store and the on-disk [`crate::database::TuningDatabase`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors (temp-file creation, write, fsync, or
+/// rename). The temp file may be left behind on failure; the
+/// destination is never touched until the rename.
+pub fn atomic_write(path: &Path, text: &str) -> std::io::Result<()> {
+    let mut ext = path
+        .extension()
+        .map(|e| e.to_os_string())
+        .unwrap_or_default();
+    ext.push(".tmp");
+    let tmp = path.with_extension(ext);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Writes a checkpoint atomically (temp file + rename via
+/// [`atomic_write`]), so a crash mid-write can never leave a truncated
+/// checkpoint behind.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors; the search treats a failed save as
 /// "resumability lost", never as a tuning failure.
 pub fn save(path: &Path, ck: &TuneCheckpoint) -> std::io::Result<()> {
-    let tmp = path.with_extension("ckpt.tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(encode(ck).as_bytes())?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
+    atomic_write(path, &encode(ck))
 }
 
 /// Loads a checkpoint if `path` holds a valid one matching the resuming

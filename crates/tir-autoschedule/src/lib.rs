@@ -37,14 +37,16 @@ pub mod sketch_cpu;
 pub mod sketch_gpu;
 
 pub use baseline::{build_sketches, oracle_time, tune_workload, tune_workload_with, Strategy};
-pub use checkpoint::TuneCheckpoint;
+pub use checkpoint::{atomic_write, TuneCheckpoint};
 pub use cost_model::CostModel;
-pub use database::{workload_key, TuningDatabase};
+pub use database::{workload_key, DbError, TuningDatabase, TuningRecord};
 pub use measure::{
     measure_with_retries, measure_with_retries_traced, FaultInjector, FaultPlan, MeasureCtx,
     MeasureError, MeasureOutcome, MeasureTrace, Measurer, RetryPolicy, SimMeasurer,
     VerifyingMeasurer,
 };
 pub use parallel::{effective_threads, parallel_map, try_parallel_map};
-pub use search::{tune, tune_multi, tune_multi_with, tune_with, TuneOptions, TuneResult};
+pub use search::{
+    tune, tune_multi, tune_multi_with, tune_with, TuneOptions, TuneResult, WarmStart,
+};
 pub use sketch::{Decision, DecisionKind, SketchRule};

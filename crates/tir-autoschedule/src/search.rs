@@ -142,6 +142,15 @@ pub struct TuneOptions {
     /// the hook the kill-and-resume tests use to interrupt a run at a
     /// generation boundary. `None` (the default) runs to budget.
     pub max_generations: Option<u64>,
+    /// Warm start from a previously tuned record: the search begins with
+    /// this program as the incumbent best instead of nothing, so a
+    /// re-tune with a larger budget can only improve on the stored
+    /// result. The warm start never changes the search *trajectory* —
+    /// proposals, measurements, and the cost model are untouched; it only
+    /// floors `best`/`best_time` (and therefore `history`). This is how
+    /// the tuning database and the serve daemon implement budget-upgrade
+    /// re-tuning without ever regressing a stored record.
+    pub warm_start: Option<WarmStart>,
     /// Observability sink ([`tir_trace::Collector`]). `None` (the
     /// default) records nothing and pays nothing beyond one branch per
     /// generation. When set and enabled, the search emits per-generation
@@ -168,9 +177,20 @@ impl Default for TuneOptions {
             retry: RetryPolicy::default(),
             checkpoint_path: None,
             max_generations: None,
+            warm_start: None,
             trace: None,
         }
     }
+}
+
+/// A previously tuned result used to seed a re-tune (see
+/// [`TuneOptions::warm_start`]).
+#[derive(Clone, Debug)]
+pub struct WarmStart {
+    /// The stored best program.
+    pub best: PrimFunc,
+    /// Its measured time — the incumbent the re-tune must beat.
+    pub best_time: f64,
 }
 
 /// Outcome of a tuning run.
@@ -452,6 +472,16 @@ pub fn tune_with(
         .and_then(|p| checkpoint::load(p, opts.seed, &machine.name, sketch.name()))
         .and_then(|ck| SearchState::from_checkpoint(ck, sketch))
         .unwrap_or_else(SearchState::fresh);
+
+    // Seed the incumbent from a warm start (stored tuning record) when it
+    // beats whatever the state holds. The trajectory below is untouched:
+    // the incumbent only gates the `t < best_time` replacement test.
+    if let Some(w) = &opts.warm_start {
+        if w.best_time < state.result.best_time {
+            state.result.best = Some(w.best.clone());
+            state.result.best_time = w.best_time;
+        }
+    }
 
     while state.budget_used() < opts.trials
         && opts.max_generations.is_none_or(|g| state.generation < g)

@@ -1,0 +1,146 @@
+//! Persistence contract of the on-disk tuning database: a save/load
+//! round trip is bit-identical (counters, records, fingerprints, every
+//! float), and damage to the file is a typed error — never a panic,
+//! never a silently empty database.
+
+use std::path::PathBuf;
+
+use tir::DataType;
+use tir_autoschedule::{DbError, Strategy, TuneOptions, TuningDatabase};
+use tir_exec::Machine;
+use tir_tensorize::builtin_registry;
+use tir_workloads::ops;
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tir-db-test-{name}-{}.db", std::process::id()))
+}
+
+/// A database with two tuned workloads (one GPU f16, one ARM int8) and
+/// non-trivial hit/miss counters.
+fn populated_db() -> TuningDatabase {
+    let registry = builtin_registry();
+    let mut db = TuningDatabase::new();
+    let opts = TuneOptions {
+        trials: 8,
+        num_threads: 1,
+        ..TuneOptions::default()
+    };
+    let gpu = Machine::sim_gpu();
+    let gmm_gpu = ops::gmm(32, 32, 32, DataType::float16(), DataType::float32());
+    db.tune_cached(&gmm_gpu, &gpu, &registry, Strategy::TensorIr, &opts);
+    let arm = Machine::sim_arm();
+    let gmm_arm = ops::gmm(32, 32, 32, DataType::int8(), DataType::int32());
+    db.tune_cached(&gmm_arm, &arm, &registry, Strategy::TensorIr, &opts);
+    // Two extra lookups so hits (2) and misses (2) are both non-zero
+    // and unequal to the record count's default relationship.
+    db.tune_cached(&gmm_gpu, &gpu, &registry, Strategy::TensorIr, &opts);
+    db.tune_cached(&gmm_arm, &arm, &registry, Strategy::TensorIr, &opts);
+    db
+}
+
+#[test]
+fn save_load_round_trip_is_bit_identical() {
+    let path = tmp_path("roundtrip");
+    let db = populated_db();
+    db.save(&path).expect("save");
+    let loaded = TuningDatabase::load(&path).expect("load");
+
+    // Counters survive.
+    assert_eq!(loaded.hits(), db.hits());
+    assert_eq!(loaded.misses(), db.misses());
+    assert_eq!(loaded.len(), db.len());
+
+    // Every record survives bit-for-bit: fingerprint keys, program
+    // text, and the IEEE-754 bits of both floats.
+    for (key, rec) in db.iter() {
+        let got = loaded
+            .peek(&key.0, Strategy::from_label(key.1).expect("label"), &key.2)
+            .unwrap_or_else(|| panic!("record {key:?} lost in round trip"));
+        assert_eq!(got.best.to_string(), rec.best.to_string());
+        assert_eq!(got.best_time.to_bits(), rec.best_time.to_bits());
+        assert_eq!(got.trials, rec.trials);
+        assert_eq!(got.budget, rec.budget);
+        assert_eq!(got.tuning_cost_s.to_bits(), rec.tuning_cost_s.to_bits());
+    }
+
+    // The canonical encodings agree byte-for-byte, which also pins the
+    // fingerprints themselves.
+    assert_eq!(loaded.encode(), db.encode());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_file_is_a_typed_error() {
+    let path = tmp_path("truncated");
+    let db = populated_db();
+    db.save(&path).expect("save");
+    let text = std::fs::read_to_string(&path).expect("read back");
+
+    // Chop the file at several points, including mid-record and just
+    // before the `end` sentinel: every truncation must be detected.
+    for cut in [text.len() / 4, text.len() / 2, text.len() - 4] {
+        let mut broken = text[..cut].to_string();
+        // Keep the cut on a UTF-8 boundary (the format is ASCII except
+        // for program text, so this only matters mid-payload).
+        while !text.is_char_boundary(broken.len()) {
+            broken.pop();
+        }
+        std::fs::write(&path, &broken).expect("write truncated");
+        match TuningDatabase::load(&path) {
+            Err(DbError::Corrupt { .. }) => {}
+            Ok(db) => panic!("truncation at {cut} silently loaded {} records", db.len()),
+            Err(e) => panic!("truncation at {cut} gave the wrong error kind: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_fields_are_typed_errors_with_offsets() {
+    let path = tmp_path("corrupt");
+    let db = populated_db();
+    db.save(&path).expect("save");
+    let text = std::fs::read_to_string(&path).expect("read back");
+
+    // A wrong header, a garbled counter, and a record count that
+    // overstates the payload.
+    let cases = [
+        text.replacen("tir-tuning-database v1", "tir-tuning-database v9", 1),
+        text.replacen("counters", "confetti", 1),
+        text.replacen("records 2", "records 7", 1),
+    ];
+    for (i, broken) in cases.iter().enumerate() {
+        std::fs::write(&path, broken).expect("write corrupted");
+        match TuningDatabase::load(&path) {
+            Err(DbError::Corrupt { reason, .. }) => {
+                assert!(!reason.is_empty(), "case {i}: reason must be populated");
+            }
+            Ok(_) => panic!("case {i}: corruption loaded silently"),
+            Err(e) => panic!("case {i}: wrong error kind: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_file_load_vs_open() {
+    let path = tmp_path("missing");
+    let _ = std::fs::remove_file(&path);
+    // `load` of a missing file is an I/O error...
+    match TuningDatabase::load(&path) {
+        Err(DbError::Io(_)) => {}
+        Err(e) => panic!("load of a missing file gave the wrong error: {e}"),
+        Ok(_) => panic!("load of a missing file succeeded"),
+    }
+    // ...while `open` starts empty (first daemon start), but still
+    // refuses corrupt existing files.
+    let db = TuningDatabase::open(&path).expect("open missing");
+    assert!(db.is_empty());
+    std::fs::write(&path, "not a database\n").expect("write garbage");
+    match TuningDatabase::open(&path) {
+        Err(DbError::Corrupt { .. }) => {}
+        Err(e) => panic!("open of a corrupt file gave the wrong error: {e}"),
+        Ok(_) => panic!("open of a corrupt file succeeded silently"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

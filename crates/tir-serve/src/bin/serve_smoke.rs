@@ -1,0 +1,404 @@
+//! `serve-smoke` — a scripted end-to-end session against an in-process
+//! daemon, producing `BENCH_serve.json`.
+//!
+//! The script exercises every service path and asserts its contract:
+//!
+//! 1. ping, query-miss on a fresh database;
+//! 2. one cold tune (latency measured);
+//! 3. a burst of warm queries (latency distribution measured) — each
+//!    must be bit-identical to the cold tune's answer with
+//!    `trials: 0`, `tuning_cost_s: 0.0`;
+//! 4. N concurrent clients tuning one fresh fingerprint — exactly one
+//!    may report `tuned`; the rest join in flight (`dedup`) or arrive
+//!    after completion (`warm`), all bit-identical;
+//! 5. a budget upgrade — answered warm immediately, re-tuned in the
+//!    background (completion observed via `stats`);
+//! 6. graceful shutdown, then a **restart on the same database file** —
+//!    the previously tuned fingerprint must answer warm from disk,
+//!    bit-identical, with zero trials and zero cost.
+//!
+//! With `--check` the emitted report is additionally validated (the CI
+//! gate): well-formed JSON, every `serve.*` lifecycle phase present,
+//! and the headline counters consistent with the script.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tir::DataType;
+use tir_serve::client::{Client, TuneReply};
+use tir_serve::protocol::Source;
+use tir_serve::server::{ServeConfig, Server};
+use tir_trace::{is_well_formed_json, TraceReport};
+use tir_workloads::ops;
+
+const WARM_QUERIES: usize = 50;
+const DEDUP_CLIENTS: usize = 8;
+
+struct Config {
+    out: String,
+    trials: usize,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: serve-smoke [--out PATH] [--trials N] [--check]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        out: "BENCH_serve.json".to_string(),
+        trials: 12,
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => cfg.out = args.next().unwrap_or_else(|| usage()),
+            "--trials" => {
+                cfg.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--check" => cfg.check = true,
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve-smoke: FAILED: {msg}");
+    std::process::exit(1)
+}
+
+/// Extracts `"key": N` from the server's flat stats JSON.
+fn counter_in(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let Some(at) = json.find(&needle) else {
+        return 0;
+    };
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn assert_warm(reply: &TuneReply, against: &TuneReply, what: &str) {
+    if reply.source != Source::Warm {
+        fail(&format!(
+            "{what}: expected a warm answer, got {:?}",
+            reply.source
+        ));
+    }
+    if reply.trials != 0 || reply.tuning_cost_s != 0.0 {
+        fail(&format!(
+            "{what}: warm answer must cost nothing, got trials {} cost {}",
+            reply.trials, reply.tuning_cost_s
+        ));
+    }
+    if reply.func_text != against.func_text
+        || reply.best_time.to_bits() != against.best_time.to_bits()
+    {
+        fail(&format!(
+            "{what}: warm answer is not bit-identical to the tuned one"
+        ));
+    }
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let sock = dir.join(format!("tir-serve-smoke-{pid}.sock"));
+    let db = dir.join(format!("tir-serve-smoke-{pid}.db"));
+    let _ = std::fs::remove_file(&db); // the session must start cold
+
+    let func = ops::gmm(64, 64, 64, DataType::float16(), DataType::float32());
+    let text = func.to_string();
+    let func2 = ops::gmm(48, 48, 48, DataType::float16(), DataType::float32());
+    let text2 = func2.to_string();
+
+    println!("serve-smoke: starting daemon on {}", sock.display());
+    let server =
+        Server::start(ServeConfig::new(&sock, &db)).unwrap_or_else(|e| fail(&e.to_string()));
+    let mut c = Client::connect(&sock).unwrap_or_else(|e| fail(&e.to_string()));
+
+    // 1. Liveness and a miss on the fresh database.
+    c.ping().unwrap_or_else(|e| fail(&e.to_string()));
+    match c.query("gpu", "tensorir", &text) {
+        Ok(None) => {}
+        Ok(Some(_)) => fail("fresh database answered a query"),
+        Err(e) => fail(&e.to_string()),
+    }
+
+    // 2. Cold tune.
+    let t0 = Instant::now();
+    let cold = c
+        .tune("gpu", "tensorir", cfg.trials, 5, &text)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let cold_latency_s = t0.elapsed().as_secs_f64();
+    if cold.source != Source::Tuned {
+        fail(&format!("cold tune answered {:?}", cold.source));
+    }
+    println!(
+        "serve-smoke: cold tune in {cold_latency_s:.3}s wall ({} trials, best {} s)",
+        cold.trials,
+        json_f64(cold.best_time)
+    );
+
+    // 3. Warm burst: queries and a same-budget tune, all free and
+    // bit-identical.
+    let mut warm_lat = Vec::with_capacity(WARM_QUERIES);
+    for i in 0..WARM_QUERIES {
+        let t = Instant::now();
+        let reply = match c.query("gpu", "tensorir", &text) {
+            Ok(Some(r)) => r,
+            Ok(None) => fail(&format!("warm query {i} missed")),
+            Err(e) => fail(&e.to_string()),
+        };
+        warm_lat.push(t.elapsed().as_secs_f64());
+        assert_warm(&reply, &cold, &format!("warm query {i}"));
+    }
+    warm_lat.sort_by(f64::total_cmp);
+    let warm_tune = c
+        .tune("gpu", "tensorir", cfg.trials, 5, &text)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    assert_warm(&warm_tune, &cold, "same-budget re-tune");
+    println!(
+        "serve-smoke: {WARM_QUERIES} warm queries, latency min/p50/max {}/{}/{} s",
+        json_f64(warm_lat[0]),
+        json_f64(warm_lat[WARM_QUERIES / 2]),
+        json_f64(warm_lat[WARM_QUERIES - 1]),
+    );
+
+    // 4. Concurrent dedup on a fresh fingerprint: exactly one search.
+    let replies: Vec<TuneReply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..DEDUP_CLIENTS)
+            .map(|_| {
+                let sock = &sock;
+                let text2 = &text2;
+                scope.spawn(move || {
+                    let mut c = Client::connect(sock).unwrap_or_else(|e| fail(&e.to_string()));
+                    c.tune("gpu", "tensorir", 10, 5, text2)
+                        .unwrap_or_else(|e| fail(&e.to_string()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let tuned = replies.iter().filter(|r| r.source == Source::Tuned).count();
+    let dedup = replies.iter().filter(|r| r.source == Source::Dedup).count();
+    let warm = replies.iter().filter(|r| r.source == Source::Warm).count();
+    if tuned != 1 {
+        fail(&format!(
+            "{DEDUP_CLIENTS} concurrent clients caused {tuned} searches (expected exactly 1)"
+        ));
+    }
+    for (i, r) in replies.iter().enumerate() {
+        if r.func_text != replies[0].func_text
+            || r.best_time.to_bits() != replies[0].best_time.to_bits()
+        {
+            fail(&format!("concurrent client {i} got a different answer"));
+        }
+    }
+    println!(
+        "serve-smoke: dedup: {DEDUP_CLIENTS} clients -> 1 tuned, {dedup} dedup joins, {warm} warm"
+    );
+
+    // 5. Budget upgrade: warm now, re-tuned in the background.
+    let upgrade = c
+        .tune("gpu", "tensorir", cfg.trials * 2, 5, &text)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    assert_warm(&upgrade, &cold, "budget-upgrade request");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = c.stats().unwrap_or_else(|e| fail(&e.to_string()));
+        if counter_in(&stats, "background_done") >= 1 {
+            break;
+        }
+        if Instant::now() > deadline {
+            fail("background re-tune did not finish within 60s");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The upgraded record (possibly improved, never regressed) is the
+    // reference for the restart check.
+    let upgraded = match c.query("gpu", "tensorir", &text) {
+        Ok(Some(r)) => r,
+        _ => fail("query after background re-tune missed"),
+    };
+    if upgraded.best_time > cold.best_time {
+        fail("background re-tune regressed the stored record");
+    }
+    println!(
+        "serve-smoke: budget upgrade re-tuned in background, best {} s",
+        json_f64(upgraded.best_time)
+    );
+
+    // 6. Shutdown, restart on the same database, warm from disk.
+    let stats = c.stats().unwrap_or_else(|e| fail(&e.to_string()));
+    println!("serve-smoke: stats {stats}");
+    c.shutdown().unwrap_or_else(|e| fail(&e.to_string()));
+    let report = server.join();
+
+    let server2 =
+        Server::start(ServeConfig::new(&sock, &db)).unwrap_or_else(|e| fail(&e.to_string()));
+    let mut c2 = Client::connect(&sock).unwrap_or_else(|e| fail(&e.to_string()));
+    let t = Instant::now();
+    let restart_reply = c2
+        .tune("gpu", "tensorir", cfg.trials, 5, &text)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let restart_latency_s = t.elapsed().as_secs_f64();
+    assert_warm(&restart_reply, &upgraded, "restarted daemon");
+    c2.shutdown().unwrap_or_else(|e| fail(&e.to_string()));
+    server2.join();
+    println!(
+        "serve-smoke: restart served the tuned record warm from disk in {restart_latency_s:.6}s"
+    );
+
+    // Report.
+    let text_out = render_report(
+        &cfg,
+        cold_latency_s,
+        &warm_lat,
+        tuned,
+        dedup,
+        warm,
+        restart_latency_s,
+        &report,
+    );
+    if let Err(e) = std::fs::write(&cfg.out, &text_out) {
+        fail(&format!("cannot write {}: {e}", cfg.out));
+    }
+    println!("serve-smoke: report written to {}", cfg.out);
+
+    let _ = std::fs::remove_file(&db);
+    if cfg.check {
+        let errors = check_report(&text_out, &report);
+        if !errors.is_empty() {
+            for e in &errors {
+                eprintln!("serve-smoke: CHECK FAILED: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("serve-smoke: check passed: JSON well-formed, all lifecycle phases traced");
+    }
+    ExitCode::SUCCESS
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_report(
+    cfg: &Config,
+    cold_latency_s: f64,
+    warm_lat: &[f64],
+    tuned: usize,
+    dedup: usize,
+    warm: usize,
+    restart_latency_s: f64,
+    report: &TraceReport,
+) -> String {
+    let mut out = String::with_capacity(8192);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"trials\": {},\n", cfg.trials));
+    out.push_str(&format!(
+        "  \"cold_latency_s\": {},\n",
+        json_f64(cold_latency_s)
+    ));
+    out.push_str(&format!("  \"warm_queries\": {},\n", warm_lat.len()));
+    out.push_str(&format!(
+        "  \"warm_latency_s_min\": {},\n",
+        json_f64(warm_lat[0])
+    ));
+    out.push_str(&format!(
+        "  \"warm_latency_s_p50\": {},\n",
+        json_f64(warm_lat[warm_lat.len() / 2])
+    ));
+    out.push_str(&format!(
+        "  \"warm_latency_s_max\": {},\n",
+        json_f64(warm_lat[warm_lat.len() - 1])
+    ));
+    out.push_str(&format!("  \"dedup_clients\": {DEDUP_CLIENTS},\n"));
+    out.push_str(&format!("  \"dedup_tuned\": {tuned},\n"));
+    out.push_str(&format!("  \"dedup_joined\": {dedup},\n"));
+    out.push_str(&format!("  \"dedup_warm\": {warm},\n"));
+    out.push_str(&format!(
+        "  \"dedup_searches_saved\": {},\n",
+        DEDUP_CLIENTS - tuned
+    ));
+    out.push_str(&format!(
+        "  \"restart_warm_latency_s\": {},\n",
+        json_f64(restart_latency_s)
+    ));
+    // Indent the embedded trace one level so the file stays readable.
+    let trace = report.to_json();
+    out.push_str("  \"trace\": ");
+    for (i, line) in trace.lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// The CI gate: the report must be well-formed and the trace must carry
+/// every request-lifecycle phase and headline counter.
+fn check_report(text: &str, report: &TraceReport) -> Vec<String> {
+    let mut errors = Vec::new();
+    if !is_well_formed_json(text) {
+        errors.push("report is not well-formed JSON".to_string());
+    }
+    for key in [
+        "\"cold_latency_s\"",
+        "\"warm_latency_s_p50\"",
+        "\"dedup_searches_saved\"",
+        "\"restart_warm_latency_s\"",
+        "\"trace\"",
+    ] {
+        if !text.contains(key) {
+            errors.push(format!("missing required key {key}"));
+        }
+    }
+    for phase in [
+        "serve.admission",
+        "serve.db_lookup",
+        "serve.queue_wait",
+        "serve.tune",
+        "serve.respond",
+    ] {
+        if report.phase(phase).is_none() {
+            errors.push(format!("missing lifecycle phase {phase}"));
+        }
+    }
+    if report.counter("serve.cold_tunes") < 1 {
+        errors.push("no cold tune was traced".to_string());
+    }
+    if report.counter("serve.warm_hits") < WARM_QUERIES as u64 {
+        errors.push("warm hits were not traced".to_string());
+    }
+    if report.counter("serve.background_done") < 1 {
+        errors.push("background re-tune was not traced".to_string());
+    }
+    errors
+}

@@ -1,0 +1,94 @@
+//! `tir-serve` — the tuning daemon's command-line entry point.
+//!
+//! Binds a Unix socket, loads (or creates) the persistent tuning
+//! database, and serves tune/query requests until a client sends
+//! `shutdown`. See `docs/OPERATIONS.md` for the operational guide.
+
+use std::process::ExitCode;
+
+use tir_serve::server::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tir-serve --socket PATH --db PATH [--workers N] [--capacity N] \
+         [--threads N] [--max-payload BYTES] [--seed N] [--trace-out PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut socket = None;
+    let mut db = None;
+    let mut trace_out: Option<String> = None;
+    let mut cfg_workers = None;
+    let mut cfg_capacity = None;
+    let mut cfg_threads = None;
+    let mut cfg_max_payload = None;
+    let mut cfg_seed = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--db" => db = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--workers" => cfg_workers = Some(num(&mut args)),
+            "--capacity" => cfg_capacity = Some(num(&mut args)),
+            "--threads" => cfg_threads = Some(num(&mut args)),
+            "--max-payload" => cfg_max_payload = Some(num(&mut args)),
+            "--seed" => cfg_seed = Some(num(&mut args) as u64),
+            _ => usage(),
+        }
+    }
+    let (Some(socket), Some(db)) = (socket, db) else {
+        usage()
+    };
+
+    let mut cfg = ServeConfig::new(&socket, &db);
+    if let Some(v) = cfg_workers {
+        cfg.workers = v;
+    }
+    if let Some(v) = cfg_capacity {
+        cfg.queue_capacity = v;
+    }
+    if let Some(v) = cfg_threads {
+        cfg.tune_threads = v;
+    }
+    if let Some(v) = cfg_max_payload {
+        cfg.max_payload = v;
+    }
+    if let Some(v) = cfg_seed {
+        cfg.seed = v;
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tir-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("tir-serve: listening on {socket} (db {db})");
+
+    // Blocks until a client sends `shutdown`.
+    let report = server.join();
+    println!(
+        "tir-serve: shut down ({} warm hits, {} cold tunes, {} dedup joins)",
+        report.counter("serve.warm_hits"),
+        report.counter("serve.cold_tunes"),
+        report.counter("serve.dedup_joins"),
+    );
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("tir-serve: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("tir-serve: trace written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,259 @@
+//! A blocking client for the daemon's wire protocol.
+//!
+//! One [`Client`] owns one connection and issues one request at a time;
+//! for concurrent requests, open one client per thread (the daemon
+//! deduplicates identical in-flight tunes server-side, so N clients
+//! tuning the same workload cost one search).
+
+use std::io::{BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{RejectCode, Request, Response, Source};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or was dropped mid-message.
+    Io(std::io::Error),
+    /// The server's bytes were not a well-formed response (version skew
+    /// or a protocol bug).
+    Protocol(String),
+    /// The server refused the request; `code` says why (see the
+    /// troubleshooting table in `docs/OPERATIONS.md`).
+    Rejected {
+        /// Machine-readable rejection reason.
+        code: RejectCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "rejected ({}): {message}", code.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A tuned program as served by the daemon. `best_time` and
+/// `tuning_cost_s` are transported as IEEE-754 bits, so they are
+/// bit-identical to the server's (and the database's) values.
+#[derive(Clone, Debug)]
+pub struct TuneReply {
+    /// Where the answer came from: [`Source::Warm`] (database, zero
+    /// cost), [`Source::Tuned`] (a search ran), or [`Source::Dedup`]
+    /// (joined an identical in-flight search).
+    pub source: Source,
+    /// Simulated execution time of the best program, seconds.
+    pub best_time: f64,
+    /// Trials this request paid for (0 on warm hits).
+    pub trials: usize,
+    /// Tuning cost this request paid for, seconds (0.0 on warm hits).
+    pub tuning_cost_s: f64,
+    /// The best program's text (TVMScript dialect).
+    pub func_text: String,
+}
+
+/// A blocking connection to a `tir-serve` daemon.
+///
+/// # Examples
+///
+/// Start an in-process daemon, probe it, and shut it down:
+///
+/// ```
+/// use tir::DataType;
+/// use tir_serve::client::Client;
+/// use tir_serve::server::{ServeConfig, Server};
+/// use tir_workloads::ops;
+///
+/// let dir = std::env::temp_dir();
+/// let sock = dir.join(format!("tir-serve-doc-{}.sock", std::process::id()));
+/// let db = dir.join(format!("tir-serve-doc-{}.db", std::process::id()));
+/// let server = Server::start(ServeConfig::new(&sock, &db)).unwrap();
+///
+/// let mut client = Client::connect(&sock).unwrap();
+/// client.ping().unwrap();
+///
+/// // Nothing tuned yet: a query is a miss, never an implicit tune.
+/// let gmm = ops::gmm(32, 32, 32, DataType::float16(), DataType::float32());
+/// let reply = client.query("gpu", "tensorir", &gmm.to_string()).unwrap();
+/// assert!(reply.is_none());
+///
+/// client.shutdown().unwrap();
+/// server.join();
+/// # let _ = std::fs::remove_file(&db);
+/// ```
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon listening on `socket_path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the socket does not exist or refuses
+    /// the connection (is the daemon running? see `docs/OPERATIONS.md`).
+    pub fn connect(socket_path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(socket_path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads one response, mapping server
+    /// rejections to [`ClientError::Rejected`].
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        req.write(&mut self.writer)?;
+        self.writer.flush()?;
+        match Response::read(&mut self.reader)? {
+            None => Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            )),
+            Some(Err(msg)) => Err(ClientError::Protocol(msg)),
+            Some(Ok(Response::Rejected { code, message })) => {
+                Err(ClientError::Rejected { code, message })
+            }
+            Some(Ok(resp)) => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on connection failure or a non-`pong` answer.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Tunes `func_text` for `machine` under `strategy` with a budget of
+    /// `trials`, at `priority` (0–9, higher served first). Already-tuned
+    /// workloads answer warm (zero cost) without searching; a larger
+    /// budget than the stored one triggers a background re-tune.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with the server's reason (full queue,
+    /// unknown machine/strategy, unparseable program, …), or a
+    /// connection/protocol error.
+    pub fn tune(
+        &mut self,
+        machine: &str,
+        strategy: &str,
+        trials: usize,
+        priority: u8,
+        func_text: &str,
+    ) -> Result<TuneReply, ClientError> {
+        let req = Request::Tune {
+            machine: machine.to_string(),
+            strategy: strategy.to_string(),
+            trials,
+            priority,
+            func_text: func_text.to_string(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Result {
+                source,
+                best_time,
+                trials,
+                tuning_cost_s,
+                func_text,
+            } => Ok(TuneReply {
+                source,
+                best_time,
+                trials,
+                tuning_cost_s,
+                func_text,
+            }),
+            other => Err(unexpected("result", &other)),
+        }
+    }
+
+    /// Probes the database without ever tuning: `Ok(None)` when the
+    /// workload has no stored record.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] for invalid machine/strategy/program,
+    /// or a connection/protocol error.
+    pub fn query(
+        &mut self,
+        machine: &str,
+        strategy: &str,
+        func_text: &str,
+    ) -> Result<Option<TuneReply>, ClientError> {
+        let req = Request::Query {
+            machine: machine.to_string(),
+            strategy: strategy.to_string(),
+            func_text: func_text.to_string(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Miss => Ok(None),
+            Response::Result {
+                source,
+                best_time,
+                trials,
+                tuning_cost_s,
+                func_text,
+            } => Ok(Some(TuneReply {
+                source,
+                best_time,
+                trials,
+                tuning_cost_s,
+                func_text,
+            })),
+            other => Err(unexpected("result or miss", &other)),
+        }
+    }
+
+    /// Fetches the server's counters as a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on connection or protocol failure.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats { json } => Ok(json),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully: it stops accepting
+    /// work, drains already-queued jobs, persists the database, and
+    /// exits.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on connection or protocol failure.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected("bye", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

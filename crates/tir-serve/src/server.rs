@@ -1,0 +1,899 @@
+//! The tuning daemon: a Unix-socket server multiplexing concurrent
+//! tune/query requests onto a shared persistent [`TuningDatabase`].
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! client ──► admission ──► db lookup ──┬─► warm hit ───────────────► respond
+//!            (validate,                ├─► budget upgrade ─► warm ─► respond
+//!             reject)                  │        └─► background re-tune job
+//!                                      └─► miss ─► in-flight? ─► join (dedup)
+//!                                                     └─► enqueue ─► worker
+//!                                                          tunes, persists,
+//!                                                          publishes ─► respond
+//! ```
+//!
+//! Every phase emits a `serve.*` span into the server's
+//! [`tir_trace::Collector`]; unlike the `search.*` spans (which carry
+//! deterministic simulated seconds), `serve.*` spans carry **wall-clock
+//! seconds** — the daemon's latency is a property of the machine it runs
+//! on, not of the simulation, and the spans exist to attribute it.
+//!
+//! # Concurrency invariants
+//!
+//! * Lock order is `inflight` before `queue`; the database lock is
+//!   never held together with either.
+//! * A worker publishes a finished job in the order: database insert +
+//!   save → remove from `inflight` → set the job's result and notify.
+//!   A request arriving between any two of those steps therefore either
+//!   sees the record in the database (warm hit) or finds the job still
+//!   in flight (dedup join) — it can never re-tune a finished
+//!   fingerprint.
+//! * Workers drain the queue completely before exiting on shutdown, so
+//!   every admitted request is answered.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tir::parser::parse_func;
+use tir::PrimFunc;
+use tir_autoschedule::{
+    tune_workload, workload_key, DbError, Strategy, TuneOptions, TuningDatabase, TuningRecord,
+    WarmStart,
+};
+use tir_exec::Machine;
+use tir_tensorize::builtin_registry;
+use tir_trace::{Collector, Key, TraceReport};
+
+use crate::protocol::{RejectCode, Request, Response, Source};
+
+/// Phase sequence numbers used in span [`Key`]s, so one request's spans
+/// sort in lifecycle order under its request id.
+const PH_ADMISSION: u64 = 0;
+const PH_DB_LOOKUP: u64 = 1;
+const PH_QUEUE_WAIT: u64 = 2;
+const PH_TUNE: u64 = 3;
+const PH_RESPOND: u64 = 4;
+
+/// How often an idle connection thread checks the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// How long a connection may stall in the middle of one message before
+/// the server drops it (protects shutdown from half-written requests).
+const MSG_STALL: Duration = Duration::from_secs(2);
+/// Accept-loop poll interval.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Daemon configuration. Construct with [`ServeConfig::new`] and adjust
+/// fields as needed.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Path of the Unix socket to listen on. A stale socket file at
+    /// this path is removed on startup.
+    pub socket_path: PathBuf,
+    /// Path of the persistent tuning database. Missing is fine (the
+    /// daemon starts empty); an existing-but-corrupt file is a startup
+    /// error, never silent data loss.
+    pub db_path: PathBuf,
+    /// Admission bound: tune requests beyond this many queued jobs are
+    /// rejected with [`RejectCode::QueueFull`].
+    pub queue_capacity: usize,
+    /// Tuning worker threads (each runs one search at a time).
+    pub workers: usize,
+    /// Maximum request payload (program text) in bytes; larger requests
+    /// are rejected with [`RejectCode::PayloadTooLarge`].
+    pub max_payload: usize,
+    /// `num_threads` passed to each search ([`TuneOptions`]); `1` keeps
+    /// individual tunes cheap and lets the worker pool provide the
+    /// parallelism.
+    pub tune_threads: usize,
+    /// Search seed. All tunes served by one daemon use one seed, so
+    /// equal requests produce bit-identical results.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A configuration with the default queue capacity (64), worker
+    /// count (2), payload cap (1 MiB), one search thread, and seed 42.
+    pub fn new(socket_path: impl AsRef<Path>, db_path: impl AsRef<Path>) -> ServeConfig {
+        ServeConfig {
+            socket_path: socket_path.as_ref().to_path_buf(),
+            db_path: db_path.as_ref().to_path_buf(),
+            queue_capacity: 64,
+            workers: 2,
+            max_payload: crate::protocol::DEFAULT_MAX_PAYLOAD,
+            tune_threads: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Why [`Server::start`] failed.
+#[derive(Debug)]
+pub enum StartError {
+    /// The database file exists but cannot be loaded (I/O failure or
+    /// detected corruption). The daemon refuses to start rather than
+    /// silently discard tuned records.
+    Db(DbError),
+    /// Socket setup failed (bind, stale-socket removal, nonblocking
+    /// mode).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Db(e) => write!(f, "cannot open tuning database: {e}"),
+            StartError::Io(e) => write!(f, "cannot set up server socket: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+/// Identifies one tunable unit: `(machine name, strategy label,
+/// workload fingerprint)` — the same triple the database is keyed by.
+type JobKey = (String, &'static str, String);
+
+/// A finished tune's reply data, shared verbatim with every joiner.
+#[derive(Clone)]
+struct Tuned {
+    best_time: f64,
+    trials: usize,
+    tuning_cost_s: f64,
+    func_text: String,
+}
+
+/// One queued tuning job. Requesters block on `done`/`cv`; the worker
+/// that pops the job publishes exactly once.
+struct Job {
+    machine: Machine,
+    strategy: Strategy,
+    fingerprint: String,
+    func: PrimFunc,
+    trials: usize,
+    rid: u64,
+    background: bool,
+    warm: Option<WarmStart>,
+    enqueued_at: Instant,
+    done: Mutex<Option<Result<Tuned, String>>>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn key(&self) -> JobKey {
+        (
+            self.machine.name.clone(),
+            self.strategy.label(),
+            self.fingerprint.clone(),
+        )
+    }
+
+    /// Blocks until the worker publishes this job's result.
+    fn wait(&self) -> Result<Tuned, String> {
+        let mut g = self.done.lock().expect("job lock");
+        while g.is_none() {
+            g = self.cv.wait(g).expect("job lock");
+        }
+        g.clone().expect("checked above")
+    }
+}
+
+/// Priority-queue entry: higher priority first, FIFO within a priority.
+struct QueueEntry {
+    priority: u8,
+    seq: u64,
+    job: Arc<Job>,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for QueueEntry {}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    cfg: ServeConfig,
+    db: Mutex<TuningDatabase>,
+    inflight: Mutex<HashMap<JobKey, Arc<Job>>>,
+    queue: Mutex<BinaryHeap<QueueEntry>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    collector: Collector,
+    trace_stream: u64,
+    rid: AtomicU64,
+    job_seq: AtomicU64,
+}
+
+/// A running daemon. Dropping the handle does **not** stop the daemon;
+/// call [`Server::join`] (after a client sent `shutdown`, or after
+/// [`Server::request_shutdown`]) to stop and collect the trace report.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the daemon: loads (or creates) the database, binds the
+    /// socket, and spawns the worker pool and accept loop.
+    ///
+    /// # Errors
+    ///
+    /// [`StartError::Db`] when the database file exists but cannot be
+    /// loaded; [`StartError::Io`] when socket setup fails.
+    pub fn start(cfg: ServeConfig) -> Result<Server, StartError> {
+        let db = TuningDatabase::open(&cfg.db_path).map_err(StartError::Db)?;
+        match std::fs::remove_file(&cfg.socket_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StartError::Io(e)),
+        }
+        let listener = UnixListener::bind(&cfg.socket_path).map_err(StartError::Io)?;
+        listener.set_nonblocking(true).map_err(StartError::Io)?;
+
+        let collector = Collector::new();
+        let trace_stream = collector.stream("serve");
+        let shared = Arc::new(Shared {
+            cfg,
+            db: Mutex::new(db),
+            inflight: Mutex::new(HashMap::new()),
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            collector,
+            trace_stream,
+            rid: AtomicU64::new(0),
+            job_seq: AtomicU64::new(0),
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let sh = shared.clone();
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        let accept = {
+            let sh = shared.clone();
+            std::thread::spawn(move || accept_loop(&sh, listener))
+        };
+        Ok(Server {
+            shared,
+            accept,
+            workers,
+        })
+    }
+
+    /// The socket path clients should connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.shared.cfg.socket_path
+    }
+
+    /// Requests shutdown without a client connection: stops accepting,
+    /// lets workers drain the queue. Follow with [`Server::join`].
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Blocks until the daemon has shut down (a client sent `shutdown`
+    /// or [`Server::request_shutdown`] was called), persists the final
+    /// database state (including hit/miss counters), removes the socket
+    /// file, and returns the merged trace report.
+    pub fn join(self) -> TraceReport {
+        let _ = self.accept.join();
+        self.shared.queue_cv.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        {
+            let db = self.shared.db.lock().expect("db lock");
+            if let Err(e) = db.save(&self.shared.cfg.db_path) {
+                eprintln!("tir-serve: final database save failed: {e}");
+            }
+        }
+        let _ = std::fs::remove_file(&self.shared.cfg.socket_path);
+        self.shared.collector.report()
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: UnixListener) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let sh = shared.clone();
+                handlers.push(std::thread::spawn(move || {
+                    // An I/O error just drops this one connection.
+                    let _ = handle_conn(&sh, stream);
+                }));
+            }
+            Err(e) if is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
+            Err(e) => {
+                eprintln!("tir-serve: accept failed: {e}");
+                break;
+            }
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: UnixStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Idle wait: poll for the next request or for shutdown.
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        // A message has started; allow a bounded mid-message stall so a
+        // wedged client cannot hang shutdown forever.
+        reader.get_ref().set_read_timeout(Some(MSG_STALL))?;
+        let msg = Request::read(&mut reader, shared.cfg.max_payload)?;
+        reader.get_ref().set_read_timeout(Some(IDLE_POLL))?;
+        let Some(msg) = msg else { return Ok(()) };
+
+        let rid = shared.rid.fetch_add(1, Ordering::Relaxed);
+        let (resp, last) = match msg {
+            Ok(Request::Shutdown) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.queue_cv.notify_all();
+                (Response::Bye, true)
+            }
+            Ok(req) => (handle_request(shared, req, rid), false),
+            // A reject raised while *reading* the message (bad header,
+            // oversized payload) may leave unconsumed payload bytes on
+            // the stream; the only safe resync is to answer and close.
+            // Semantic rejections (unknown machine, full queue, …) are
+            // raised after full consumption and keep the connection.
+            Err((code, message)) => (Response::Rejected { code, message }, true),
+        };
+        if let Response::Rejected { code, .. } = &resp {
+            shared
+                .collector
+                .count(&format!("serve.reject.{}", code.as_str()), 1);
+        }
+        let t = Instant::now();
+        resp.write(&mut writer)?;
+        writer.flush()?;
+        shared.collector.span(
+            "serve.respond",
+            Key::coord(shared.trace_stream, rid, PH_RESPOND),
+            t.elapsed().as_secs_f64(),
+            1,
+        );
+        if last {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, req: Request, rid: u64) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::Bye, // handled by the caller
+        Request::Stats => Response::Stats {
+            json: stats_json(shared),
+        },
+        Request::Query {
+            machine,
+            strategy,
+            func_text,
+        } => handle_query(shared, rid, &machine, &strategy, &func_text),
+        Request::Tune {
+            machine,
+            strategy,
+            trials,
+            priority,
+            func_text,
+        } => handle_tune(
+            shared, rid, &machine, &strategy, trials, priority, &func_text,
+        ),
+    }
+}
+
+fn resolve_machine(name: &str) -> Option<Machine> {
+    match name {
+        "gpu" => Some(Machine::sim_gpu()),
+        "arm" => Some(Machine::sim_arm()),
+        "arm-v86" => Some(Machine::sim_arm_v86()),
+        _ => None,
+    }
+}
+
+fn resolve_strategy(name: &str) -> Option<Strategy> {
+    match name {
+        "tensorir" => Some(Strategy::TensorIr),
+        "ansor" => Some(Strategy::Ansor),
+        "amos" => Some(Strategy::Amos),
+        _ => None,
+    }
+}
+
+/// Validation shared by tune and query: machine, strategy, program.
+/// Emits the `serve.admission` span whether or not admission succeeds.
+fn admit(
+    shared: &Shared,
+    rid: u64,
+    machine: &str,
+    strategy: &str,
+    func_text: &str,
+) -> Result<(Machine, Strategy, PrimFunc, String), Response> {
+    let t = Instant::now();
+    let out = match (resolve_machine(machine), resolve_strategy(strategy)) {
+        (None, _) => Err(Response::Rejected {
+            code: RejectCode::UnknownMachine,
+            message: format!("unknown machine `{machine}` (expected gpu, arm, or arm-v86)"),
+        }),
+        (_, None) => Err(Response::Rejected {
+            code: RejectCode::UnknownStrategy,
+            message: format!("unknown strategy `{strategy}` (expected tensorir, ansor, or amos)"),
+        }),
+        (Some(m), Some(s)) => match parse_func(func_text) {
+            Ok(f) => {
+                let key = workload_key(&f);
+                Ok((m, s, f, key))
+            }
+            Err(e) => Err(Response::Rejected {
+                code: RejectCode::ParseError,
+                message: format!("program does not parse: {e}"),
+            }),
+        },
+    };
+    shared.collector.span(
+        "serve.admission",
+        Key::coord(shared.trace_stream, rid, PH_ADMISSION),
+        t.elapsed().as_secs_f64(),
+        1,
+    );
+    out
+}
+
+fn handle_query(
+    shared: &Arc<Shared>,
+    rid: u64,
+    machine: &str,
+    strategy: &str,
+    func_text: &str,
+) -> Response {
+    let t_req = Instant::now();
+    let (m, s, _func, key) = match admit(shared, rid, machine, strategy, func_text) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let t = Instant::now();
+    let hit = {
+        let db = shared.db.lock().expect("db lock");
+        db.peek(&m.name, s, &key)
+            .map(|rec| (rec.best.to_string(), rec.best_time))
+    };
+    shared.collector.span(
+        "serve.db_lookup",
+        Key::coord(shared.trace_stream, rid, PH_DB_LOOKUP),
+        t.elapsed().as_secs_f64(),
+        1,
+    );
+    match hit {
+        Some((text, best_time)) => {
+            shared.collector.count("serve.warm_hits", 1);
+            shared
+                .collector
+                .observe("serve.latency.warm_s", t_req.elapsed().as_secs_f64());
+            Response::Result {
+                source: Source::Warm,
+                best_time,
+                trials: 0,
+                tuning_cost_s: 0.0,
+                func_text: text,
+            }
+        }
+        None => Response::Miss,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_tune(
+    shared: &Arc<Shared>,
+    rid: u64,
+    machine: &str,
+    strategy: &str,
+    trials: usize,
+    priority: u8,
+    func_text: &str,
+) -> Response {
+    if trials == 0 {
+        return Response::Rejected {
+            code: RejectCode::BadRequest,
+            message: "trials must be at least 1".to_string(),
+        };
+    }
+    let t_req = Instant::now();
+    let (m, s, func, key) = match admit(shared, rid, machine, strategy, func_text) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+
+    // Database lookup (counts a hit or a miss on the shared counters).
+    let t = Instant::now();
+    let hit = {
+        let mut db = shared.db.lock().expect("db lock");
+        db.lookup(&m.name, s, &key)
+            .map(|rec| (rec.budget, rec.best.clone(), rec.best_time))
+    };
+    shared.collector.span(
+        "serve.db_lookup",
+        Key::coord(shared.trace_stream, rid, PH_DB_LOOKUP),
+        t.elapsed().as_secs_f64(),
+        1,
+    );
+
+    if let Some((budget, best, best_time)) = hit {
+        let text = best.to_string();
+        if trials > budget {
+            // Budget upgrade: answer warm now, re-tune in the background
+            // warm-started from the stored best (the record can only
+            // improve, never regress).
+            enqueue_background(
+                shared,
+                &m,
+                s,
+                &key,
+                &func,
+                trials,
+                WarmStart { best, best_time },
+            );
+        }
+        shared.collector.count("serve.warm_hits", 1);
+        shared
+            .collector
+            .observe("serve.latency.warm_s", t_req.elapsed().as_secs_f64());
+        return Response::Result {
+            source: Source::Warm,
+            best_time,
+            trials: 0,
+            tuning_cost_s: 0.0,
+            func_text: text,
+        };
+    }
+
+    // Cold path: join an identical in-flight tune, or enqueue our own.
+    enum Path {
+        Owner(Arc<Job>),
+        Joiner(Arc<Job>),
+        Reject(Response),
+    }
+    let key3: JobKey = (m.name.clone(), s.label(), key.clone());
+    let path = {
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        if let Some(job) = inflight.get(&key3) {
+            Path::Joiner(job.clone())
+        } else {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            if shared.shutdown.load(Ordering::SeqCst) {
+                Path::Reject(Response::Rejected {
+                    code: RejectCode::ShuttingDown,
+                    message: "server is shutting down; tuning work is no longer accepted"
+                        .to_string(),
+                })
+            } else if queue.len() >= shared.cfg.queue_capacity {
+                Path::Reject(Response::Rejected {
+                    code: RejectCode::QueueFull,
+                    message: format!(
+                        "job queue at capacity ({} pending); retry later",
+                        shared.cfg.queue_capacity
+                    ),
+                })
+            } else {
+                let job = Arc::new(Job {
+                    machine: m,
+                    strategy: s,
+                    fingerprint: key,
+                    func,
+                    trials,
+                    rid,
+                    background: false,
+                    warm: None,
+                    enqueued_at: Instant::now(),
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                inflight.insert(key3, job.clone());
+                queue.push(QueueEntry {
+                    priority,
+                    seq: shared.job_seq.fetch_add(1, Ordering::Relaxed),
+                    job: job.clone(),
+                });
+                shared.queue_cv.notify_one();
+                Path::Owner(job)
+            }
+        }
+    };
+
+    match path {
+        Path::Reject(resp) => resp,
+        Path::Owner(job) => match job.wait() {
+            Ok(tuned) => {
+                shared.collector.count("serve.cold_tunes", 1);
+                shared
+                    .collector
+                    .observe("serve.latency.cold_s", t_req.elapsed().as_secs_f64());
+                Response::Result {
+                    source: Source::Tuned,
+                    best_time: tuned.best_time,
+                    trials: tuned.trials,
+                    tuning_cost_s: tuned.tuning_cost_s,
+                    func_text: tuned.func_text,
+                }
+            }
+            Err(message) => Response::Rejected {
+                code: RejectCode::Internal,
+                message,
+            },
+        },
+        Path::Joiner(job) => match job.wait() {
+            Ok(tuned) => {
+                shared.collector.count("serve.dedup_joins", 1);
+                Response::Result {
+                    source: Source::Dedup,
+                    best_time: tuned.best_time,
+                    trials: tuned.trials,
+                    tuning_cost_s: tuned.tuning_cost_s,
+                    func_text: tuned.func_text,
+                }
+            }
+            Err(message) => Response::Rejected {
+                code: RejectCode::Internal,
+                message,
+            },
+        },
+    }
+}
+
+/// Enqueues a background (budget-upgrade) re-tune: lowest priority, no
+/// waiting requester. Skipped when the fingerprint is already in
+/// flight; dropped (and counted) when the queue is full.
+fn enqueue_background(
+    shared: &Arc<Shared>,
+    machine: &Machine,
+    strategy: Strategy,
+    fingerprint: &str,
+    func: &PrimFunc,
+    trials: usize,
+    warm: WarmStart,
+) {
+    let key3: JobKey = (
+        machine.name.clone(),
+        strategy.label(),
+        fingerprint.to_string(),
+    );
+    let mut inflight = shared.inflight.lock().expect("inflight lock");
+    if inflight.contains_key(&key3) {
+        shared.collector.count("serve.background_skipped", 1);
+        return;
+    }
+    let mut queue = shared.queue.lock().expect("queue lock");
+    if shared.shutdown.load(Ordering::SeqCst) || queue.len() >= shared.cfg.queue_capacity {
+        shared.collector.count("serve.background_dropped", 1);
+        return;
+    }
+    let rid = shared.rid.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job {
+        machine: machine.clone(),
+        strategy,
+        fingerprint: fingerprint.to_string(),
+        func: func.clone(),
+        trials,
+        rid,
+        background: true,
+        warm: Some(warm),
+        enqueued_at: Instant::now(),
+        done: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    inflight.insert(key3, job.clone());
+    queue.push(QueueEntry {
+        priority: 0,
+        seq: shared.job_seq.fetch_add(1, Ordering::Relaxed),
+        job,
+    });
+    shared.queue_cv.notify_one();
+    shared.collector.count("serve.background_retunes", 1);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        // Pop the highest-priority job; on shutdown, drain the queue
+        // completely before exiting so no admitted requester is stranded.
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(entry) = queue.pop() {
+                    break Some(entry.job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue lock");
+            }
+        };
+        let Some(job) = job else { return };
+
+        shared.collector.span(
+            "serve.queue_wait",
+            Key::coord(shared.trace_stream, job.rid, PH_QUEUE_WAIT),
+            job.enqueued_at.elapsed().as_secs_f64(),
+            1,
+        );
+
+        let t = Instant::now();
+        let opts = TuneOptions {
+            trials: job.trials,
+            num_threads: shared.cfg.tune_threads,
+            seed: shared.cfg.seed,
+            warm_start: job.warm.clone(),
+            ..TuneOptions::default()
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let registry = builtin_registry();
+            tune_workload(&job.func, &job.machine, &registry, job.strategy, &opts)
+        }));
+        shared.collector.span(
+            "serve.tune",
+            Key::coord(shared.trace_stream, job.rid, PH_TUNE),
+            t.elapsed().as_secs_f64(),
+            job.trials as u64,
+        );
+
+        let done = match outcome {
+            Err(_) => Err("tuning worker panicked; the request was not retried".to_string()),
+            Ok(result) => match result.best {
+                None => Err("search produced no valid program".to_string()),
+                Some(best) => {
+                    let func_text = best.to_string();
+                    // Persist BEFORE removing from inflight (see the
+                    // module docs' publication-order invariant).
+                    {
+                        let mut db = shared.db.lock().expect("db lock");
+                        db.insert(
+                            &job.machine.name,
+                            job.strategy,
+                            job.fingerprint.clone(),
+                            TuningRecord {
+                                best,
+                                best_time: result.best_time,
+                                trials: result.trials_measured,
+                                budget: job.trials,
+                                tuning_cost_s: result.tuning_cost_s,
+                            },
+                        );
+                        if let Err(e) = db.save(&shared.cfg.db_path) {
+                            eprintln!(
+                                "tir-serve: database save failed: {e} (record kept in memory)"
+                            );
+                        }
+                    }
+                    Ok(Tuned {
+                        best_time: result.best_time,
+                        trials: result.trials_measured,
+                        tuning_cost_s: result.tuning_cost_s,
+                        func_text,
+                    })
+                }
+            },
+        };
+        if job.background {
+            shared.collector.count("serve.background_done", 1);
+        }
+        shared
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(&job.key());
+        *job.done.lock().expect("job lock") = Some(done);
+        job.cv.notify_all();
+    }
+}
+
+/// Counters snapshot as a small hand-rolled JSON object.
+fn stats_json(shared: &Shared) -> String {
+    let (records, db_hits, db_misses) = {
+        let db = shared.db.lock().expect("db lock");
+        (db.len(), db.hits(), db.misses())
+    };
+    let queue_depth = shared.queue.lock().expect("queue lock").len();
+    let inflight = shared.inflight.lock().expect("inflight lock").len();
+    let report = shared.collector.report();
+    let rejected: u64 = report
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve.reject."))
+        .map(|(_, v)| v)
+        .sum();
+    format!(
+        "{{\"records\": {records}, \"db_hits\": {db_hits}, \"db_misses\": {db_misses}, \
+         \"queue_depth\": {queue_depth}, \"inflight\": {inflight}, \
+         \"warm_hits\": {}, \"cold_tunes\": {}, \"dedup_joins\": {}, \
+         \"background_retunes\": {}, \"background_done\": {}, \"rejected\": {rejected}}}",
+        report.counter("serve.warm_hits"),
+        report.counter("serve.cold_tunes"),
+        report.counter("serve.dedup_joins"),
+        report.counter("serve.background_retunes"),
+        report.counter("serve.background_done"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(priority: u8, seq: u64) -> QueueEntry {
+        QueueEntry {
+            priority,
+            seq,
+            job: Arc::new(Job {
+                machine: Machine::sim_gpu(),
+                strategy: Strategy::TensorIr,
+                fingerprint: String::new(),
+                func: tir::builder::matmul_func("m", 16, 16, 16, tir::DataType::float32()),
+                trials: 1,
+                rid: seq,
+                background: false,
+                warm: None,
+                enqueued_at: Instant::now(),
+                done: Mutex::new(None),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let mut heap = BinaryHeap::new();
+        for (p, s) in [(1u8, 0u64), (9, 1), (1, 2), (9, 3), (0, 4)] {
+            heap.push(entry(p, s));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.job.rid)).collect();
+        assert_eq!(order, vec![1, 3, 0, 2, 4]);
+    }
+}

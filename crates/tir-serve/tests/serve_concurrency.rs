@@ -1,0 +1,189 @@
+//! Concurrency and crash-recovery contracts of the serve daemon:
+//! N concurrent identical requests cost exactly one search, and a
+//! killed-and-restarted daemon answers from disk, warm and bit-identical.
+
+use std::path::PathBuf;
+
+use tir::DataType;
+use tir_serve::client::{Client, ClientError};
+use tir_serve::protocol::{RejectCode, Source};
+use tir_serve::server::{ServeConfig, Server};
+use tir_workloads::ops;
+
+/// Unique socket/db paths per test so parallel test threads don't
+/// collide.
+fn tmp_paths(name: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let sock = dir.join(format!("tir-serve-test-{name}-{pid}.sock"));
+    let db = dir.join(format!("tir-serve-test-{name}-{pid}.db"));
+    let _ = std::fs::remove_file(&sock);
+    let _ = std::fs::remove_file(&db);
+    (sock, db)
+}
+
+fn gmm_text() -> String {
+    ops::gmm(32, 32, 32, DataType::float16(), DataType::float32()).to_string()
+}
+
+#[test]
+fn concurrent_same_fingerprint_tunes_once() {
+    let (sock, db) = tmp_paths("dedup");
+    let server = Server::start(ServeConfig::new(&sock, &db)).expect("start");
+    let text = gmm_text();
+
+    const CLIENTS: usize = 6;
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let sock = &sock;
+                let text = &text;
+                scope.spawn(move || {
+                    let mut c = Client::connect(sock).expect("connect");
+                    c.tune("gpu", "tensorir", 8, 5, text).expect("tune")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
+    });
+
+    let tuned = replies.iter().filter(|r| r.source == Source::Tuned).count();
+    assert_eq!(
+        tuned, 1,
+        "{CLIENTS} concurrent identical requests must run exactly one search"
+    );
+    for r in &replies {
+        assert_eq!(
+            r.func_text, replies[0].func_text,
+            "answers must be identical"
+        );
+        assert_eq!(
+            r.best_time.to_bits(),
+            replies[0].best_time.to_bits(),
+            "best_time must be bit-identical"
+        );
+    }
+
+    let mut c = Client::connect(&sock).expect("connect");
+    c.shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn restart_serves_warm_from_disk() {
+    let (sock, db) = tmp_paths("restart");
+    let text = gmm_text();
+
+    // First daemon lifetime: tune, then shut down (persisting to disk).
+    let server = Server::start(ServeConfig::new(&sock, &db)).expect("start");
+    let mut c = Client::connect(&sock).expect("connect");
+    let cold = c.tune("gpu", "tensorir", 8, 5, &text).expect("tune");
+    assert_eq!(cold.source, Source::Tuned);
+    c.shutdown().expect("shutdown");
+    server.join();
+    assert!(db.exists(), "database must persist across daemon lifetimes");
+
+    // Second lifetime on the same database: warm, free, bit-identical.
+    let server = Server::start(ServeConfig::new(&sock, &db)).expect("restart");
+    let mut c = Client::connect(&sock).expect("connect");
+    let warm = c.tune("gpu", "tensorir", 8, 5, &text).expect("tune");
+    assert_eq!(warm.source, Source::Warm, "restart must answer from disk");
+    assert_eq!(warm.trials, 0, "warm answer must consume no trials");
+    assert_eq!(warm.tuning_cost_s, 0.0, "warm answer must cost nothing");
+    assert_eq!(
+        warm.func_text, cold.func_text,
+        "program must round-trip the disk"
+    );
+    assert_eq!(
+        warm.best_time.to_bits(),
+        cold.best_time.to_bits(),
+        "best_time must be bit-identical after restart"
+    );
+    let queried = c
+        .query("gpu", "tensorir", &text)
+        .expect("query")
+        .expect("record present");
+    assert_eq!(queried.func_text, cold.func_text);
+    c.shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn invalid_requests_are_rejected_with_reasons() {
+    let (sock, db) = tmp_paths("reject");
+    let mut cfg = ServeConfig::new(&sock, &db);
+    cfg.queue_capacity = 0; // every cold tune must bounce
+    let server = Server::start(cfg).expect("start");
+    let mut c = Client::connect(&sock).expect("connect");
+    let text = gmm_text();
+
+    let code_of = |r: Result<_, ClientError>| match r {
+        Err(ClientError::Rejected { code, .. }) => code,
+        other => panic!("expected a rejection, got {other:?}"),
+    };
+    assert_eq!(
+        code_of(c.tune("tpu", "tensorir", 8, 5, &text)),
+        RejectCode::UnknownMachine
+    );
+    assert_eq!(
+        code_of(c.tune("gpu", "autotvm", 8, 5, &text)),
+        RejectCode::UnknownStrategy
+    );
+    assert_eq!(
+        code_of(c.tune("gpu", "tensorir", 8, 5, "not a program")),
+        RejectCode::ParseError
+    );
+    assert_eq!(
+        code_of(c.tune("gpu", "tensorir", 0, 5, &text)),
+        RejectCode::BadRequest
+    );
+    assert_eq!(
+        code_of(c.tune("gpu", "tensorir", 8, 5, &text)),
+        RejectCode::QueueFull,
+        "capacity-0 queue must reject with a reason, not hang"
+    );
+    // Semantic rejections never poison the connection.
+    c.ping().expect("connection still usable");
+
+    // A protocol-level rejection (raised while reading the message)
+    // answers with its reason and then closes the connection.
+    let mut c2 = Client::connect(&sock).expect("connect");
+    assert_eq!(
+        code_of(c2.tune("gpu", "tensorir", 8, 12, &text)),
+        RejectCode::BadPriority
+    );
+    assert!(
+        c2.ping().is_err(),
+        "connection closes after a protocol-level reject"
+    );
+
+    c.shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn oversized_payload_is_rejected() {
+    let (sock, db) = tmp_paths("payload");
+    let mut cfg = ServeConfig::new(&sock, &db);
+    cfg.max_payload = 64;
+    let server = Server::start(cfg).expect("start");
+    let mut c = Client::connect(&sock).expect("connect");
+    match c.tune("gpu", "tensorir", 8, 5, &gmm_text()) {
+        Err(ClientError::Rejected {
+            code: RejectCode::PayloadTooLarge,
+            ..
+        }) => {}
+        other => panic!("expected payload_too_large, got {other:?}"),
+    }
+    // Oversized payloads are protocol-level: the connection closed.
+    let mut c = Client::connect(&sock).expect("reconnect");
+    c.shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_file(&db);
+}

@@ -1,0 +1,88 @@
+//! `check-links` — fails when a relative markdown link in the
+//! operator-facing docs points at a file that does not exist.
+//!
+//! Scans the fixed documentation set (README, ARCHITECTURE,
+//! EXPERIMENTS, ROADMAP, docs/OPERATIONS) for inline links
+//! `[text](target)`. External links (`http(s)://`, `mailto:`) and
+//! pure in-page anchors (`#...`) are skipped; fragments are stripped
+//! before checking. Any dead target is reported with its file and
+//! exits 1 — the CI gate that keeps the docs navigable as files move.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DOC_FILES: &[&str] = &[
+    "README.md",
+    "ARCHITECTURE.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "DESIGN.md",
+    "docs/OPERATIONS.md",
+];
+
+/// Extracts inline-link targets `](...)` from one markdown document.
+/// Good enough for this repo's docs: no reference-style links, no
+/// parentheses inside targets.
+fn link_targets(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(close) = text[i + 2..].find(')') {
+                targets.push(text[i + 2..i + 2 + close].to_string());
+                i += 2 + close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://") || target.starts_with("https://") || target.starts_with("mailto:")
+}
+
+fn main() -> ExitCode {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut dead: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+
+    for doc in DOC_FILES {
+        let doc_path = root.join(doc);
+        let Ok(text) = std::fs::read_to_string(&doc_path) else {
+            dead.push(format!("{doc}: documentation file itself is missing"));
+            continue;
+        };
+        let doc_dir = doc_path.parent().unwrap_or(Path::new("."));
+        for target in link_targets(&text) {
+            if is_external(&target) || target.starts_with('#') || target.is_empty() {
+                continue;
+            }
+            // Strip an in-file fragment (`FILE.md#section`).
+            let file_part = target.split('#').next().unwrap_or("");
+            if file_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !doc_dir.join(file_part).exists() {
+                dead.push(format!("{doc}: dead link `{target}`"));
+            }
+        }
+    }
+
+    if dead.is_empty() {
+        println!(
+            "check-links: {checked} relative links across {} docs, all alive",
+            DOC_FILES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &dead {
+            eprintln!("check-links: {d}");
+        }
+        eprintln!("check-links: {} dead link(s)", dead.len());
+        ExitCode::FAILURE
+    }
+}
