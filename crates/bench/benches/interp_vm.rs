@@ -1,16 +1,23 @@
-//! Tree-walk interpreter vs bytecode VM: execution throughput per
-//! workload.
+//! Tree-walk interpreter vs bytecode VM vs optimized bytecode VM:
+//! execution throughput per workload.
 //!
-//! Runs each workload to completion on both backends (the VM time
-//! includes bytecode compilation, matching what `Interpreter::run` pays
-//! per call), reports ns per interpreter step (one store/eval), and
-//! emits `BENCH_interp.json` with the per-workload numbers so CI can
-//! track the VM speedup.
+//! Runs each workload to completion on all three backends (VM times
+//! include bytecode compilation — and optimization, for `vm_opt` —
+//! matching what `Interpreter::run` pays per call), reports ns per
+//! interpreter step (one store/eval), and emits `BENCH_interp.json`
+//! with the per-workload numbers plus the dispatched instruction mix
+//! before/after optimization, so CI can track both speedups.
+//!
+//! With `--check` the bench becomes a CI gate: the optimized VM must be
+//! ≥2x over the unoptimized VM and ≥12x over the tree-walker on the
+//! gmm/c2d/c1d workloads, and the emitted JSON must be well-formed.
+//! Exits non-zero on any violation.
 
 use std::time::Instant;
 
 use tir::DataType;
-use tir_exec::{run_with, ExecBackend, Tensor};
+use tir_exec::{compile, compile_optimized, run_with, ExecBackend, InstrMixProfile, Tensor};
+use tir_trace::is_well_formed_json;
 use tir_workloads::ops;
 
 struct Row {
@@ -18,6 +25,11 @@ struct Row {
     steps: u64,
     tw_ns_per_step: f64,
     vm_ns_per_step: f64,
+    opt_ns_per_step: f64,
+    /// Dispatched `(mnemonic, count)` histogram of the unoptimized program.
+    mix_before: Vec<(&'static str, u64)>,
+    /// Same histogram after the optimizer pipeline.
+    mix_after: Vec<(&'static str, u64)>,
 }
 
 /// Median wall-time (ns) of `reps` runs of `f`.
@@ -45,13 +57,29 @@ fn bench_case(name: &'static str, func: &tir::PrimFunc) -> Row {
             }
         })
         .collect();
-    // One verification pass: bit-exact outputs, and the step count that
-    // normalizes the timings.
+    // One verification pass: bit-exact outputs across all three
+    // backends, and the step count that normalizes the timings.
     let tw = run_with(func, args.clone(), ExecBackend::TreeWalk, None).expect("tree-walk");
-    let vm = run_with(func, args.clone(), ExecBackend::Vm, None).expect("vm");
-    assert_eq!(tw.outputs, vm.outputs, "backends diverge on {name}");
-    assert_eq!(tw.steps, vm.steps, "step counts diverge on {name}");
+    let vm = run_with(func, args.clone(), ExecBackend::VmUnopt, None).expect("vm");
+    let opt = run_with(func, args.clone(), ExecBackend::Vm, None).expect("vm_opt");
+    assert_eq!(tw.outputs, vm.outputs, "vm diverges on {name}");
+    assert_eq!(tw.outputs, opt.outputs, "vm_opt diverges on {name}");
+    assert_eq!(tw.steps, vm.steps, "vm step count diverges on {name}");
+    assert_eq!(tw.steps, opt.steps, "vm_opt step count diverges on {name}");
     let steps = tw.steps;
+
+    // Dispatched-instruction mix before/after optimization (one profiled
+    // run each; profiling is monomorphized out of the timed runs below).
+    let mut mix_before = InstrMixProfile::new();
+    compile(func)
+        .expect("compile")
+        .run_profiled(args.clone(), u64::MAX, &mut mix_before)
+        .expect("profiled run");
+    let mut mix_after = InstrMixProfile::new();
+    compile_optimized(func)
+        .expect("compile_optimized")
+        .run_profiled(args.clone(), u64::MAX, &mut mix_after)
+        .expect("profiled opt run");
 
     let reps = 5;
     let tw_ns = median_ns(reps, || {
@@ -59,7 +87,11 @@ fn bench_case(name: &'static str, func: &tir::PrimFunc) -> Row {
         std::hint::black_box(out);
     });
     let vm_ns = median_ns(reps, || {
-        let out = run_with(func, args.clone(), ExecBackend::Vm, None).expect("vm");
+        let out = run_with(func, args.clone(), ExecBackend::VmUnopt, None).expect("vm");
+        std::hint::black_box(out);
+    });
+    let opt_ns = median_ns(reps, || {
+        let out = run_with(func, args.clone(), ExecBackend::Vm, None).expect("vm_opt");
         std::hint::black_box(out);
     });
     Row {
@@ -67,10 +99,19 @@ fn bench_case(name: &'static str, func: &tir::PrimFunc) -> Row {
         steps,
         tw_ns_per_step: tw_ns / steps as f64,
         vm_ns_per_step: vm_ns / steps as f64,
+        opt_ns_per_step: opt_ns / steps as f64,
+        mix_before: mix_before.mix(),
+        mix_after: mix_after.mix(),
     }
 }
 
+fn mix_json(mix: &[(&'static str, u64)]) -> String {
+    let fields: Vec<String> = mix.iter().map(|(m, c)| format!("\"{m}\": {c}")).collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     let f32_ = DataType::float32();
     let f16 = DataType::float16();
     let cases: Vec<(&'static str, tir::PrimFunc)> = vec![
@@ -84,21 +125,23 @@ fn main() {
         ("c1d_64x64_f32", ops::c1d(4, 66, 64, 64, 3, 1, f32_)),
     ];
 
-    println!("Interpreter backends: tree-walk vs bytecode VM (release, per-step cost)");
+    println!("Interpreter backends: tree-walk vs VM vs optimized VM (release, per-step cost)");
     println!(
-        "{:<20} {:>12} {:>16} {:>16} {:>10}",
-        "workload", "steps", "tree-walk ns", "vm ns", "speedup"
+        "{:<20} {:>10} {:>14} {:>10} {:>10} {:>8} {:>8}",
+        "workload", "steps", "tree-walk ns", "vm ns", "vm_opt ns", "vm/opt", "tw/opt"
     );
     let mut rows = Vec::new();
     for (name, func) in &cases {
         let row = bench_case(name, func);
         println!(
-            "{:<20} {:>12} {:>16.1} {:>16.1} {:>9.2}x",
+            "{:<20} {:>10} {:>14.1} {:>10.1} {:>10.1} {:>7.2}x {:>7.2}x",
             row.name,
             row.steps,
             row.tw_ns_per_step,
             row.vm_ns_per_step,
-            row.tw_ns_per_step / row.vm_ns_per_step
+            row.opt_ns_per_step,
+            row.vm_ns_per_step / row.opt_ns_per_step,
+            row.tw_ns_per_step / row.opt_ns_per_step,
         );
         rows.push(row);
     }
@@ -109,12 +152,17 @@ fn main() {
     );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"steps\": {}, \"tree_walk\": {:.2}, \"vm\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"steps\": {}, \"tree_walk\": {:.2}, \"vm\": {:.2}, \"vm_opt\": {:.2}, \"speedup\": {:.2}, \"speedup_opt\": {:.2}, \"opt_over_vm\": {:.2},\n     \"mix_before\": {},\n     \"mix_after\": {}}}{}\n",
             r.name,
             r.steps,
             r.tw_ns_per_step,
             r.vm_ns_per_step,
+            r.opt_ns_per_step,
             r.tw_ns_per_step / r.vm_ns_per_step,
+            r.tw_ns_per_step / r.opt_ns_per_step,
+            r.vm_ns_per_step / r.opt_ns_per_step,
+            mix_json(&r.mix_before),
+            mix_json(&r.mix_after),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -123,4 +171,40 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interp.json");
     std::fs::write(path, &json).expect("write BENCH_interp.json");
     println!("wrote {path}");
+
+    if check {
+        let mut failures = Vec::new();
+        if !is_well_formed_json(&std::fs::read_to_string(path).expect("re-read json")) {
+            failures.push("BENCH_interp.json is not well-formed JSON".to_string());
+        }
+        // The acceptance gate covers the named MAC-shaped workloads;
+        // `dep` rides along in the report unchecked.
+        for r in rows
+            .iter()
+            .filter(|r| ["gmm", "c2d", "c1d"].iter().any(|p| r.name.starts_with(p)))
+        {
+            let over_vm = r.vm_ns_per_step / r.opt_ns_per_step;
+            let over_tw = r.tw_ns_per_step / r.opt_ns_per_step;
+            if over_vm < 2.0 {
+                failures.push(format!(
+                    "{}: vm_opt only {over_vm:.2}x over vm (need >= 2x)",
+                    r.name
+                ));
+            }
+            if over_tw < 12.0 {
+                failures.push(format!(
+                    "{}: vm_opt only {over_tw:.2}x over tree-walk (need >= 12x)",
+                    r.name
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!("CHECK ok: vm_opt >= 2x vm and >= 12x tree-walk on gmm/c2d/c1d");
+        } else {
+            for f in &failures {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -151,6 +151,17 @@ pub struct TuneOptions {
     /// the tuning database and the serve daemon implement budget-upgrade
     /// re-tuning without ever regressing a stored record.
     pub warm_start: Option<WarmStart>,
+    /// Bytecode backend for any VM execution the tuning stack performs
+    /// on tuned programs — the post-tune instruction-mix profile of
+    /// `tune-profile`, and every search the serve daemon runs inherits
+    /// it from `ServeConfig`. The default optimized VM
+    /// ([`tir_exec::ExecBackend::Vm`]) is bit-identical to
+    /// [`tir_exec::ExecBackend::VmUnopt`]; switching backends is the
+    /// production escape hatch for bisecting a suspected bytecode-
+    /// optimizer regression without a rebuild (`--no-opt` on the
+    /// binaries). Never changes search results — candidates are
+    /// measured on the roofline simulator, not the VM.
+    pub exec_backend: tir_exec::ExecBackend,
     /// Observability sink ([`tir_trace::Collector`]). `None` (the
     /// default) records nothing and pays nothing beyond one branch per
     /// generation. When set and enabled, the search emits per-generation
@@ -178,6 +189,7 @@ impl Default for TuneOptions {
             checkpoint_path: None,
             max_generations: None,
             warm_start: None,
+            exec_backend: tir_exec::ExecBackend::default(),
             trace: None,
         }
     }

@@ -56,6 +56,26 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// A `(start, len)` window into one of the [`Program`]'s shared dense
+/// pools. Access sites used to own per-site `Box<[..]>` tables; pooling
+/// them removes a pointer chase (and an allocation) per site on the hot
+/// path and lets the optimizer compare and rewrite index terms in place.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct PoolRange {
+    pub start: u32,
+    pub len: u32,
+}
+
+impl PoolRange {
+    pub(crate) fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+
+    pub(crate) fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Arithmetic flavor of a binary op, resolved from static operand dtypes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum BinKind {
@@ -77,27 +97,109 @@ pub(crate) enum BinKind {
 }
 
 /// One lowered buffer access site: `offset = base + Σ hoist_slots +
-/// Σ round(reg) * stride`.
-#[derive(Clone, Debug)]
+/// Σ round(reg) * stride + Σ round(frame_slot) * stride`.
+///
+/// All variable-length tables live in the [`Program`]'s shared dense
+/// pools; the access itself is a small `Copy` record. Slot terms are
+/// never produced by the compiler — the optimizer's strength-reduction
+/// pass folds `LoadVar`-fed register terms into direct frame reads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) struct Access {
     /// Dense buffer id.
     pub buf: u32,
     /// Compile-time-folded part of the offset (constant index dims).
     pub base: i64,
-    /// Hoist slots whose current values are added to the offset.
-    pub hoists: Box<[u32]>,
-    /// Per remaining dimension: the register holding the index value and
-    /// its row-major stride.
-    pub inline: Box<[(u32, i64)]>,
-    /// Loop ids of every enclosing parallel loop (outermost first) — the
-    /// iteration signature the sanitizer tracks races over.
-    pub race: Box<[u32]>,
+    /// Range in [`Program::hoist_pool`]: hoist slots whose current values
+    /// are added to the offset.
+    pub hoists: PoolRange,
+    /// Range in [`Program::reg_pool`]: `(register, stride)` index terms.
+    pub regs: PoolRange,
+    /// Range in [`Program::slot_pool`]: `(frame slot, stride)` index
+    /// terms read straight from the variable frame.
+    pub slots: PoolRange,
+    /// Range in [`Program::race_pool`]: loop ids of every enclosing
+    /// parallel loop (outermost first) — the iteration signature the
+    /// sanitizer tracks races over.
+    pub race: PoolRange,
 }
+
+/// One fused multiply-accumulate statement:
+/// `acc = load(acc) <k2> (cast_a(load(a)) <k1> cast_b(load(b)))`.
+///
+/// Loads evaluate in the order `acc, a, b` — exactly the order the
+/// unfused `Load; Load; [Cast]; Load; [Cast]; Bin; Bin; Store` sequence
+/// evaluates them, so errors (and sanitizer shadow updates) fire at the
+/// same points. The surrounding `Tick` stays a separate op, so fuel
+/// accounting is untouched.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub(crate) struct MacSpec {
+    /// Accumulator access: loaded, combined, stored back.
+    pub acc: u32,
+    /// First operand access.
+    pub a: u32,
+    /// Quantization applied to the `a` operand after the load, if any.
+    pub a_cast: Option<(DataType, bool)>,
+    /// Second operand access.
+    pub b: u32,
+    /// Quantization applied to the `b` operand after the load, if any.
+    pub b_cast: Option<(DataType, bool)>,
+    /// Inner combine: `t = a <k1> b`.
+    pub k1: BinKind,
+    /// Outer combine: `acc <k2> t`.
+    pub k2: BinKind,
+}
+
+/// The reduction-init guard of a lane-batched loop: the init store fires
+/// for a lane iff every flag slot (the bindings of the block's reduce
+/// iterators) is zero — the bytecode equivalent of
+/// `ResetReduceFlag; UpdateReduceFlag*; JumpIfReduceFlagFalse`.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct LaneGuard {
+    /// Frame slots of the reduce-iterator bindings (the batched loop's
+    /// own variable may or may not be among them).
+    pub flags: Box<[u32]>,
+    /// The init store's access (structurally equal to the body's
+    /// accumulator access).
+    pub access: u32,
+    /// The init store's constant value.
+    pub val: f64,
+}
+
+/// Body of one lane of a lane-batched loop.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub(crate) enum LaneBody {
+    /// A fused multiply-accumulate ([`MacSpec`] id).
+    Mac(u32),
+    /// A constant fill store: `(access, value)`.
+    Fill(u32, f64),
+}
+
+/// One lane-batched innermost loop: the whole `ForSetup`/`ForNext` body
+/// collapsed into a single op that executes up to [`LANE_WIDTH_MAX`]
+/// iterations ("lanes") per dispatch. Per-lane offsets are strength
+/// reduced to `off += stride`; fuel ticks once per lane (plus once per
+/// firing init), exactly as the scalar loop would.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct LaneSpec {
+    /// The batched loop.
+    pub loop_id: u32,
+    /// Frame slot of the loop variable.
+    pub var: u32,
+    /// Guarded reduction-init store, if the block has one.
+    pub guard: Option<LaneGuard>,
+    /// The per-lane statement.
+    pub body: LaneBody,
+    /// Lanes executed per dispatch (clamped to the remaining extent).
+    pub lanes: u32,
+}
+
+/// Upper bound on lanes per [`LaneSpec`] dispatch.
+pub(crate) const LANE_WIDTH_MAX: u32 = 8;
 
 /// One bytecode instruction. Registers, frame slots, loop states, hoist
 /// slots and access sites are all dense `u32` indices into per-program
 /// tables.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub(crate) enum Op {
     /// `regs[dst] = val`
     Const { dst: u32, val: f64 },
@@ -168,11 +270,43 @@ pub(crate) enum Op {
     /// `hoist[slot] = round(regs[src]) * stride` — a loop-invariant index
     /// term recomputed at the binder that owns its outermost variable.
     HoistSet { slot: u32, src: u32, stride: i64 },
+    /// Fused `Load; Cast`: `regs[dst] = quantize(load(access))`.
+    LoadCast {
+        dst: u32,
+        access: u32,
+        dtype: DataType,
+        trunc: bool,
+    },
+    /// Fused `Bin; Store`: `store(access, regs[a] <kind> regs[b])`.
+    BinStore {
+        kind: BinKind,
+        a: u32,
+        b: u32,
+        access: u32,
+    },
+    /// Fused `Const; Store`: `store(access, val)`.
+    StoreConst { access: u32, val: f64 },
+    /// Fused `Load; Bin; Store` accumulate:
+    /// `store(access, load(access) <kind> regs[src])` (or with the
+    /// operands swapped when `acc_left` is false).
+    FusedAcc {
+        kind: BinKind,
+        access: u32,
+        src: u32,
+        acc_left: bool,
+    },
+    /// Fused `Load; Load; [Cast]; Load; [Cast]; Bin; Bin; Store`
+    /// multiply-accumulate ([`MacSpec`] id).
+    FusedMac { spec: u32 },
+    /// A lane-batched innermost loop body ([`LaneSpec`] id): executes up
+    /// to `lanes` iterations per dispatch, then falls through to the
+    /// loop's `ForNext`.
+    MacLanes { spec: u32 },
 }
 
 impl Op {
     /// Number of opcodes (the size of an instruction-mix table).
-    pub(crate) const COUNT: usize = 22;
+    pub(crate) const COUNT: usize = 28;
 
     /// Display names, indexed by [`Op::opcode`].
     pub(crate) const MNEMONICS: [&'static str; Op::COUNT] = [
@@ -198,6 +332,12 @@ impl Op {
         "jump_if_reduce_flag_false",
         "alloc_buf",
         "hoist_set",
+        "load_cast",
+        "bin_store",
+        "store_const",
+        "fused_acc",
+        "fused_mac",
+        "mac_lanes",
     ];
 
     /// Dense opcode index of this instruction (for profiling tables).
@@ -225,6 +365,12 @@ impl Op {
             Op::JumpIfReduceFlagFalse { .. } => 19,
             Op::AllocBuf { .. } => 20,
             Op::HoistSet { .. } => 21,
+            Op::LoadCast { .. } => 22,
+            Op::BinStore { .. } => 23,
+            Op::StoreConst { .. } => 24,
+            Op::FusedAcc { .. } => 25,
+            Op::FusedMac { .. } => 26,
+            Op::MacLanes { .. } => 27,
         }
     }
 }
@@ -245,6 +391,20 @@ pub struct Program {
     /// [`tir::RELAXING_ANNOTATIONS`] annotation, exempting the buffer from
     /// race tracking (mirrors the static analyzer's exemption).
     pub(crate) relaxed: Vec<bool>,
+    /// Shared pool behind [`Access::hoists`].
+    pub(crate) hoist_pool: Vec<u32>,
+    /// Shared pool behind [`Access::regs`].
+    pub(crate) reg_pool: Vec<(u32, i64)>,
+    /// Shared pool behind [`Access::slots`] (filled by the optimizer).
+    pub(crate) slot_pool: Vec<(u32, i64)>,
+    /// Shared pool behind [`Access::race`].
+    pub(crate) race_pool: Vec<u32>,
+    /// Side table for [`Op::FusedMac`] (filled by the optimizer).
+    pub(crate) mac_specs: Vec<MacSpec>,
+    /// Side table for [`Op::MacLanes`] (filled by the optimizer).
+    pub(crate) lane_specs: Vec<LaneSpec>,
+    /// Whether the optimizer pipeline has run over this program.
+    pub(crate) optimized: bool,
     pub(crate) num_regs: usize,
     pub(crate) num_slots: usize,
     pub(crate) num_loops: usize,
@@ -295,6 +455,11 @@ struct Compiler {
     buf_ids: HashMap<Buffer, u32>,
     buffers: Vec<Buffer>,
     slot_of: HashMap<usize, u32>,
+    hoist_pool: Vec<u32>,
+    reg_pool: Vec<(u32, i64)>,
+    race_pool: Vec<u32>,
+    /// Dedup table for race signatures (many accesses share one).
+    race_ranges: HashMap<Vec<u32>, PoolRange>,
     binders: Vec<BinderFrame>,
     /// Hoisted op sequences pending insertion: `(position, ops)`.
     insertions: Vec<(usize, Vec<Op>)>,
@@ -318,6 +483,10 @@ impl Compiler {
             buf_ids: HashMap::new(),
             buffers: Vec::new(),
             slot_of: HashMap::new(),
+            hoist_pool: Vec::new(),
+            reg_pool: Vec::new(),
+            race_pool: Vec::new(),
+            race_ranges: HashMap::new(),
             binders: vec![BinderFrame {
                 vars: Vec::new(),
                 insert_pos: 0,
@@ -603,13 +772,36 @@ impl Compiler {
         if self.relax_depth > 0 {
             self.relaxed_bufs.insert(buf);
         }
+        let hoist_range = PoolRange {
+            start: self.hoist_pool.len() as u32,
+            len: hoists.len() as u32,
+        };
+        self.hoist_pool.extend(hoists);
+        let regs = PoolRange {
+            start: self.reg_pool.len() as u32,
+            len: inline.len() as u32,
+        };
+        self.reg_pool.extend(inline);
+        let race = match self.race_ranges.get(&self.par_loops) {
+            Some(&r) => r,
+            None => {
+                let r = PoolRange {
+                    start: self.race_pool.len() as u32,
+                    len: self.par_loops.len() as u32,
+                };
+                self.race_pool.extend(&self.par_loops);
+                self.race_ranges.insert(self.par_loops.clone(), r);
+                r
+            }
+        };
         let id = self.accesses.len() as u32;
         self.accesses.push(Access {
             buf,
             base,
-            hoists: hoists.into_boxed_slice(),
-            inline: inline.into_boxed_slice(),
-            race: self.par_loops.clone().into_boxed_slice(),
+            hoists: hoist_range,
+            regs,
+            slots: PoolRange::default(),
+            race,
         });
         Ok(id)
     }
@@ -623,7 +815,7 @@ impl Compiler {
             } => {
                 self.ops.push(Op::Tick);
                 let access = self.compile_access(buffer, indices, 0)?;
-                let val_reg = self.accesses[access as usize].inline.len() as u32;
+                let val_reg = self.accesses[access as usize].regs.len;
                 self.compile_expr(value, val_reg)?;
                 self.ops.push(Op::Store {
                     access,
@@ -776,9 +968,61 @@ impl Compiler {
         Ok(())
     }
 
+    /// Deduplicates pending hoist sequences: two hoisted terms with the
+    /// same insertion point, the same stride, and the same computing ops
+    /// produce the same value, so the later one can reuse the earlier
+    /// slot. This both removes redundant per-iteration `HoistSet` work
+    /// and makes structurally-equal accesses (e.g. a store and a load of
+    /// the same element in one statement) reference *equal* hoist slots,
+    /// which the optimizer's fusion matcher relies on.
+    fn dedup_hoists(&mut self) {
+        let mut canon: Vec<(usize, Vec<Op>)> = Vec::new();
+        let mut slot_map: HashMap<u32, u32> = HashMap::new();
+        let mut kept: Vec<(usize, Vec<Op>)> = Vec::new();
+        for (pos, seq) in self.insertions.drain(..) {
+            let Some(&Op::HoistSet { slot, src, stride }) = seq.last() else {
+                kept.push((pos, seq));
+                continue;
+            };
+            let dup = canon.iter().find_map(|(cpos, cseq)| {
+                let Some(&Op::HoistSet {
+                    slot: cslot,
+                    src: csrc,
+                    stride: cstride,
+                }) = cseq.last()
+                else {
+                    return None;
+                };
+                let same = *cpos == pos
+                    && csrc == src
+                    && cstride == stride
+                    && cseq[..cseq.len() - 1] == seq[..seq.len() - 1];
+                same.then_some(cslot)
+            });
+            match dup {
+                Some(cslot) => {
+                    slot_map.insert(slot, cslot);
+                }
+                None => {
+                    canon.push((pos, seq.clone()));
+                    kept.push((pos, seq));
+                }
+            }
+        }
+        self.insertions = kept;
+        if !slot_map.is_empty() {
+            for h in &mut self.hoist_pool {
+                if let Some(&c) = slot_map.get(h) {
+                    *h = c;
+                }
+            }
+        }
+    }
+
     /// Splices pending hoisted sequences into the op stream and remaps
     /// every jump target across the insertions.
     fn finish(mut self, func: &PrimFunc) -> Program {
+        self.dedup_hoists();
         if !self.insertions.is_empty() {
             self.insertions.sort_by_key(|(pos, _)| *pos);
             // Prefix sums: inserted(t) = ops inserted at positions < t. A
@@ -833,10 +1077,139 @@ impl Compiler {
             accesses: self.accesses,
             names: self.names,
             relaxed,
+            hoist_pool: self.hoist_pool,
+            reg_pool: self.reg_pool,
+            slot_pool: Vec::new(),
+            race_pool: self.race_pool,
+            mac_specs: Vec::new(),
+            lane_specs: Vec::new(),
+            optimized: false,
             num_regs: self.num_regs as usize,
             num_slots: self.slot_of.len(),
             num_loops: self.num_loops as usize,
             num_hoists: self.num_hoists as usize,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One instance of every `Op` variant. Adding an enum variant without
+    /// extending this list is caught by `opcode_table_is_consistent`
+    /// (the coverage set will miss an index); extending the enum without
+    /// updating `Op::opcode` is a compile error (non-exhaustive match);
+    /// and forgetting `COUNT`/`MNEMONICS` fails the assertions below.
+    fn one_of_each() -> Vec<Op> {
+        let dt = DataType::float32();
+        vec![
+            Op::Const { dst: 0, val: 0.0 },
+            Op::LoadVar { dst: 0, slot: 0 },
+            Op::SetVar { slot: 0, src: 0 },
+            Op::ThrowUnboundVar { name: 0 },
+            Op::ThrowUnknownIntrinsic { name: 0 },
+            Op::Cast {
+                dst: 0,
+                src: 0,
+                dtype: dt,
+                trunc: false,
+            },
+            Op::Bin {
+                kind: BinKind::Add,
+                dst: 0,
+                a: 0,
+                b: 0,
+            },
+            Op::Cmp {
+                op: CmpOp::Eq,
+                dst: 0,
+                a: 0,
+                b: 0,
+            },
+            Op::Not { dst: 0, src: 0 },
+            Op::Call {
+                dst: 0,
+                f: MathFn::Sqrt,
+                first: 0,
+                n: 1,
+            },
+            Op::Load { dst: 0, access: 0 },
+            Op::Store { access: 0, val: 0 },
+            Op::Tick,
+            Op::Jump { target: 0 },
+            Op::JumpIfZero { reg: 0, target: 0 },
+            Op::ForSetup {
+                loop_id: 0,
+                extent: 0,
+                var: 0,
+                end: 0,
+            },
+            Op::ForNext {
+                loop_id: 0,
+                var: 0,
+                body: 0,
+            },
+            Op::ResetReduceFlag,
+            Op::UpdateReduceFlag { reg: 0 },
+            Op::JumpIfReduceFlagFalse { target: 0 },
+            Op::AllocBuf { buf: 0 },
+            Op::HoistSet {
+                slot: 0,
+                src: 0,
+                stride: 1,
+            },
+            Op::LoadCast {
+                dst: 0,
+                access: 0,
+                dtype: dt,
+                trunc: false,
+            },
+            Op::BinStore {
+                kind: BinKind::Add,
+                a: 0,
+                b: 0,
+                access: 0,
+            },
+            Op::StoreConst {
+                access: 0,
+                val: 0.0,
+            },
+            Op::FusedAcc {
+                kind: BinKind::Add,
+                access: 0,
+                src: 0,
+                acc_left: true,
+            },
+            Op::FusedMac { spec: 0 },
+            Op::MacLanes { spec: 0 },
+        ]
+    }
+
+    /// `Op::COUNT`, `Op::MNEMONICS`, and `Op::opcode` cannot silently
+    /// desync from the enum: every variant maps to a distinct in-range
+    /// opcode, every opcode is hit, and every mnemonic is distinct.
+    #[test]
+    fn opcode_table_is_consistent() {
+        let ops = one_of_each();
+        assert_eq!(
+            ops.len(),
+            Op::COUNT,
+            "one_of_each() must list every Op variant exactly once"
+        );
+        let mut seen = [false; Op::COUNT];
+        for op in &ops {
+            let idx = op.opcode();
+            assert!(idx < Op::COUNT, "opcode {idx} out of range for {op:?}");
+            assert!(!seen[idx], "duplicate opcode {idx} for {op:?}");
+            seen[idx] = true;
+            // Indexing panics if MNEMONICS is shorter than COUNT claims.
+            assert!(!Op::MNEMONICS[idx].is_empty());
+        }
+        assert!(seen.iter().all(|&s| s), "some opcode index is never used");
+        let mut names: Vec<&str> = Op::MNEMONICS.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Op::COUNT, "duplicate mnemonic in the table");
     }
 }

@@ -466,9 +466,14 @@ pub(crate) fn check_arg(buffer: &Buffer, t: &Tensor) -> Result<()> {
 /// tree-walker is the simple reference the VM is checked against.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ExecBackend {
-    /// Compile once to register bytecode, then execute on the VM.
+    /// Compile once to register bytecode, run the optimizer pipeline
+    /// (peephole fusion + lane batching, see [`crate::opt`]), then
+    /// execute on the VM.
     #[default]
     Vm,
+    /// Compile to bytecode but skip the optimizer — the escape hatch for
+    /// bisecting optimizer regressions without a rebuild.
+    VmUnopt,
     /// The original tree-walking evaluator (reference semantics).
     TreeWalk,
 }
@@ -502,11 +507,15 @@ pub fn run_with(
 ) -> Result<RunOutcome> {
     let fuel = fuel.unwrap_or(DEFAULT_FUEL);
     match backend {
-        ExecBackend::Vm => match crate::compile::compile(func) {
+        ExecBackend::Vm => match crate::opt::compile_optimized(func) {
             Ok(prog) => prog.run_with_fuel(args, fuel),
             // Programs the compiler rejects (e.g. a variable bound by two
             // nested binders, where dynamic and lexical scope diverge) run
             // on the reference backend instead.
+            Err(_) => tree_walk_run(func, args, fuel),
+        },
+        ExecBackend::VmUnopt => match crate::compile::compile(func) {
+            Ok(prog) => prog.run_with_fuel(args, fuel),
             Err(_) => tree_walk_run(func, args, fuel),
         },
         ExecBackend::TreeWalk => tree_walk_run(func, args, fuel),
@@ -521,8 +530,13 @@ pub fn run_with(
 /// a [`tir::RELAXING_ANNOTATIONS`] annotation.
 ///
 /// Sanitized execution always uses the bytecode VM (race tracking rides on
-/// its loop metadata); the rare programs the compiler rejects fall back to
-/// the checked tree-walker, which detects bounds violations only.
+/// its loop metadata) and always runs the *unoptimized* bytecode: the
+/// sanitizer's job is maximum shadow-memory fidelity, so fused ops are
+/// decomposed back to one instruction per access (running an optimized
+/// `Program` through `Program::run_sanitized` directly is still fully
+/// checked, with accesses observed in fused order). The rare programs the
+/// compiler rejects fall back to the checked tree-walker, which detects
+/// bounds violations only.
 ///
 /// # Errors
 ///

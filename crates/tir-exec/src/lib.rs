@@ -21,8 +21,10 @@
 
 pub mod compile;
 pub mod cost;
+pub mod disasm;
 pub mod interp;
 pub mod machine;
+pub mod opt;
 pub mod tensor;
 pub mod vm;
 
@@ -36,5 +38,6 @@ pub use interp::{
     Interpreter, RunOutcome,
 };
 pub use machine::{Machine, MachineKind};
+pub use opt::{compile_optimized, optimize, optimize_with, OptOptions};
 pub use tensor::Tensor;
 pub use vm::{InstrMixProfile, NoProfile, VmProfiler};

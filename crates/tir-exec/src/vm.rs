@@ -16,8 +16,9 @@
 //! workload family and hundreds of scheduled variants.
 
 use tir::simplify::{floor_div_i64, floor_mod_i64};
+use tir::DataType;
 
-use crate::compile::{Access, BinKind, Op, Program};
+use crate::compile::{Access, BinKind, LaneBody, LaneSpec, MacSpec, Op, Program};
 use crate::interp::{check_arg, check_arity, ExecError, RunOutcome, DEFAULT_FUEL};
 use crate::tensor::Tensor;
 
@@ -79,17 +80,81 @@ impl VmProfiler for InstrMixProfile {
     }
 }
 
-/// Flat runtime offset of one access site.
+/// Flat runtime offset of one access site. Index tables live in the
+/// program's shared pools; slot terms (produced by the optimizer's
+/// strength reduction) read the variable frame directly, skipping the
+/// `LoadVar` round trip through a register.
 #[inline]
-fn offset(acc: &Access, regs: &[f64], hoists: &[i64]) -> i64 {
+fn offset(prog: &Program, acc: &Access, regs: &[f64], frame: &[f64], hoists: &[i64]) -> i64 {
     let mut off = acc.base;
-    for &h in acc.hoists.iter() {
+    for &h in &prog.hoist_pool[acc.hoists.range()] {
         off += hoists[h as usize];
     }
-    for &(r, stride) in acc.inline.iter() {
+    for &(r, stride) in &prog.reg_pool[acc.regs.range()] {
         off += (regs[r as usize].round() as i64) * stride;
     }
+    for &(s, stride) in &prog.slot_pool[acc.slots.range()] {
+        off += (frame[s as usize].round() as i64) * stride;
+    }
     off
+}
+
+/// Shared arithmetic of [`Op::Bin`] and every fused op — one definition,
+/// so fused execution is bit-identical to the unfused sequence by
+/// construction.
+#[inline]
+pub(crate) fn bin_eval(kind: BinKind, x: f64, y: f64) -> Result<f64> {
+    Ok(match kind {
+        BinKind::Add => x + y,
+        BinKind::Sub => x - y,
+        BinKind::Mul => x * y,
+        BinKind::DivF => x / y,
+        BinKind::DivI => {
+            if y == 0.0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            (x as i64 / y as i64) as f64
+        }
+        BinKind::FloorDivF => {
+            if y == 0.0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            (x / y).floor()
+        }
+        BinKind::FloorDivI => {
+            if y == 0.0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            floor_div_i64(x as i64, y as i64) as f64
+        }
+        BinKind::FloorModF => {
+            if y == 0.0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x - (x / y).floor() * y
+        }
+        BinKind::FloorModI => {
+            if y == 0.0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            floor_mod_i64(x as i64, y as i64) as f64
+        }
+        BinKind::Min => x.min(y),
+        BinKind::Max => x.max(y),
+        BinKind::And => ((x != 0.0) && (y != 0.0)) as i64 as f64,
+        BinKind::Or => ((x != 0.0) || (y != 0.0)) as i64 as f64,
+    })
+}
+
+/// The tree-walker's cast/quantization semantics ([`Op::Cast`],
+/// [`Op::LoadCast`], [`MacSpec`] operand casts).
+#[inline]
+pub(crate) fn cast_val(x: f64, dtype: DataType, trunc: bool) -> f64 {
+    if trunc {
+        crate::tensor::quantize(x.trunc(), dtype)
+    } else {
+        crate::tensor::quantize(x, dtype)
+    }
 }
 
 /// An access's position in the parallel iteration space: for every
@@ -172,6 +237,287 @@ fn race_err(buffer: &str, off: i64, iters: (i64, i64)) -> ExecError {
         show(iters.0),
         show(iters.1)
     ))
+}
+
+fn bounds_err(prog: &Program, buf: usize, off: i64, len: usize) -> ExecError {
+    ExecError::OutOfBounds(format!(
+        "buffer {}: flat offset {off} outside length {len}",
+        prog.buffers[buf].name()
+    ))
+}
+
+/// Sanitizer work for one read: bounds check plus race tracking against
+/// the element's last write.
+fn san_read(
+    prog: &Program,
+    san: &mut Sanitizer,
+    store: &[Tensor],
+    counters: &[i64],
+    acc: &Access,
+    buf: usize,
+    off: i64,
+) -> Result<()> {
+    let len = store[buf].data().len();
+    if off < 0 || off as usize >= len {
+        return Err(bounds_err(prog, buf, off, len));
+    }
+    if !prog.relaxed[buf] {
+        let race = &prog.race_pool[acc.race.range()];
+        let sig = sig_of(race, &san.gens, counters);
+        let cell = &mut san.shadow[buf][off as usize];
+        if let Some(w) = &cell.write {
+            if let Some(iters) = conflicts(w, &sig) {
+                return Err(race_err(prog.buffers[buf].name(), off, iters));
+            }
+        }
+        merge_read(&mut cell.read, &sig);
+    }
+    Ok(())
+}
+
+/// Sanitizer work for one write: bounds check plus race tracking against
+/// the element's last write and merged reads.
+fn san_write(
+    prog: &Program,
+    san: &mut Sanitizer,
+    store: &[Tensor],
+    counters: &[i64],
+    acc: &Access,
+    buf: usize,
+    off: i64,
+) -> Result<()> {
+    let len = store[buf].data().len();
+    if off < 0 || off as usize >= len {
+        return Err(bounds_err(prog, buf, off, len));
+    }
+    if !prog.relaxed[buf] {
+        let race = &prog.race_pool[acc.race.range()];
+        let sig = sig_of(race, &san.gens, counters);
+        let cell = &mut san.shadow[buf][off as usize];
+        for prev in [&cell.write, &cell.read].into_iter().flatten() {
+            if let Some(iters) = conflicts(prev, &sig) {
+                return Err(race_err(prog.buffers[buf].name(), off, iters));
+            }
+        }
+        cell.write = Some(sig);
+    }
+    Ok(())
+}
+
+/// One buffer read at a precomputed offset: aliveness check, sanitizer
+/// work, then the load (the unfused `Op::Load` semantics exactly).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn load_at(
+    prog: &Program,
+    acc: &Access,
+    off: i64,
+    alive: &[bool],
+    san: &mut Option<Sanitizer>,
+    counters: &[i64],
+    store: &[Tensor],
+) -> Result<f64> {
+    let buf = acc.buf as usize;
+    if !alive[buf] {
+        return Err(ExecError::UnboundBuffer(
+            prog.buffers[buf].name().to_string(),
+        ));
+    }
+    if let Some(san) = san {
+        san_read(prog, san, store, counters, acc, buf, off)?;
+    }
+    Ok(store[buf].get_flat(off as usize))
+}
+
+/// One buffer write at a precomputed offset: sanitizer work, first-store
+/// allocation, quantizing store (the unfused `Op::Store` semantics).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn store_at(
+    prog: &Program,
+    acc: &Access,
+    off: i64,
+    val: f64,
+    alive: &mut [bool],
+    san: &mut Option<Sanitizer>,
+    counters: &[i64],
+    store: &mut [Tensor],
+) -> Result<()> {
+    let buf = acc.buf as usize;
+    if let Some(san) = san {
+        san_write(prog, san, store, counters, acc, buf, off)?;
+    }
+    alive[buf] = true;
+    store[buf].set_flat(off as usize, val);
+    Ok(())
+}
+
+/// One fused multiply-accumulate: loads in the unfused order
+/// (`acc, a, b`), casts, combines, stores back.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn exec_mac(
+    prog: &Program,
+    sp: &MacSpec,
+    regs: &[f64],
+    frame: &[f64],
+    hoists: &[i64],
+    alive: &mut [bool],
+    san: &mut Option<Sanitizer>,
+    counters: &[i64],
+    store: &mut [Tensor],
+) -> Result<()> {
+    let acc = &prog.accesses[sp.acc as usize];
+    let a = &prog.accesses[sp.a as usize];
+    let b = &prog.accesses[sp.b as usize];
+    let off_acc = offset(prog, acc, regs, frame, hoists);
+    let x = load_at(prog, acc, off_acc, alive, san, counters, store)?;
+    let mut y = load_at(
+        prog,
+        a,
+        offset(prog, a, regs, frame, hoists),
+        alive,
+        san,
+        counters,
+        store,
+    )?;
+    if let Some((dt, trunc)) = sp.a_cast {
+        y = cast_val(y, dt, trunc);
+    }
+    let mut z = load_at(
+        prog,
+        b,
+        offset(prog, b, regs, frame, hoists),
+        alive,
+        san,
+        counters,
+        store,
+    )?;
+    if let Some((dt, trunc)) = sp.b_cast {
+        z = cast_val(z, dt, trunc);
+    }
+    let v = bin_eval(sp.k2, x, bin_eval(sp.k1, y, z)?)?;
+    store_at(prog, acc, off_acc, v, alive, san, counters, store)
+}
+
+/// Offset of `acc` at the current frame, plus how much it advances per
+/// iteration of the loop variable in `var` (the sum of the strides of
+/// `var`'s slot terms — every other term is invariant in the batched
+/// loop because the lane body contains no register or frame writes).
+fn off_delta(
+    prog: &Program,
+    acc: &Access,
+    var: u32,
+    regs: &[f64],
+    frame: &[f64],
+    hoists: &[i64],
+) -> (i64, i64) {
+    let off = offset(prog, acc, regs, frame, hoists);
+    let delta = prog.slot_pool[acc.slots.range()]
+        .iter()
+        .filter(|&&(s, _)| s == var)
+        .map(|&(_, stride)| stride)
+        .sum();
+    (off, delta)
+}
+
+/// Executes up to `sp.lanes` iterations of a lane-batched innermost loop
+/// in one dispatch. Per-lane semantics — fuel ticks, guarded init fire,
+/// load/store order, quantization, errors, sanitizer shadow updates — are
+/// exactly the scalar loop body's; offsets are strength reduced to
+/// `off += stride` per lane. Leaves `counters` so the following
+/// `ForNext` advances to the first unexecuted iteration.
+#[allow(clippy::too_many_arguments)]
+fn exec_lanes(
+    prog: &Program,
+    sp: &LaneSpec,
+    regs: &[f64],
+    frame: &[f64],
+    hoists: &[i64],
+    alive: &mut [bool],
+    san: &mut Option<Sanitizer>,
+    counters: &mut [i64],
+    extents: &[i64],
+    store: &mut [Tensor],
+    steps: &mut u64,
+    fuel: u64,
+) -> Result<()> {
+    let l = sp.loop_id as usize;
+    let n0 = counters[l];
+    let lanes = (sp.lanes as i64).min(extents[l] - n0);
+    // Flag slots other than the loop variable are invariant across the
+    // batch; fold them once.
+    let (others_zero, var_in_flags) = match &sp.guard {
+        Some(g) => {
+            let mut others = true;
+            let mut var_in = false;
+            for &f in g.flags.iter() {
+                if f == sp.var {
+                    var_in = true;
+                } else if frame[f as usize] != 0.0 {
+                    others = false;
+                }
+            }
+            (others, var_in)
+        }
+        None => (false, false),
+    };
+    let tick = |steps: &mut u64| {
+        *steps += 1;
+        if *steps > fuel {
+            return Err(ExecError::OutOfFuel);
+        }
+        Ok(())
+    };
+    match sp.body {
+        LaneBody::Mac(m) => {
+            let ms = &prog.mac_specs[m as usize];
+            let acc = &prog.accesses[ms.acc as usize];
+            let a = &prog.accesses[ms.a as usize];
+            let b = &prog.accesses[ms.b as usize];
+            let (mut off_acc, d_acc) = off_delta(prog, acc, sp.var, regs, frame, hoists);
+            let (mut off_a, d_a) = off_delta(prog, a, sp.var, regs, frame, hoists);
+            let (mut off_b, d_b) = off_delta(prog, b, sp.var, regs, frame, hoists);
+            for i in 0..lanes {
+                counters[l] = n0 + i;
+                if let Some(g) = &sp.guard {
+                    if others_zero && (!var_in_flags || n0 + i == 0) {
+                        tick(steps)?;
+                        let ga = &prog.accesses[g.access as usize];
+                        store_at(prog, ga, off_acc, g.val, alive, san, counters, store)?;
+                    }
+                }
+                tick(steps)?;
+                let x = load_at(prog, acc, off_acc, alive, san, counters, store)?;
+                let mut y = load_at(prog, a, off_a, alive, san, counters, store)?;
+                if let Some((dt, trunc)) = ms.a_cast {
+                    y = cast_val(y, dt, trunc);
+                }
+                let mut z = load_at(prog, b, off_b, alive, san, counters, store)?;
+                if let Some((dt, trunc)) = ms.b_cast {
+                    z = cast_val(z, dt, trunc);
+                }
+                let v = bin_eval(ms.k2, x, bin_eval(ms.k1, y, z)?)?;
+                store_at(prog, acc, off_acc, v, alive, san, counters, store)?;
+                off_acc += d_acc;
+                off_a += d_a;
+                off_b += d_b;
+            }
+        }
+        LaneBody::Fill(aid, val) => {
+            let acc = &prog.accesses[aid as usize];
+            let (mut off, d) = off_delta(prog, acc, sp.var, regs, frame, hoists);
+            for i in 0..lanes {
+                counters[l] = n0 + i;
+                tick(steps)?;
+                store_at(prog, acc, off, val, alive, san, counters, store)?;
+                off += d;
+            }
+        }
+    }
+    // The loop's ForNext runs next and advances to `n0 + lanes`.
+    counters[l] = n0 + lanes - 1;
+    Ok(())
 }
 
 impl Program {
@@ -291,56 +637,10 @@ impl Program {
                     dtype,
                     trunc,
                 } => {
-                    let x = regs[*src as usize];
-                    regs[*dst as usize] = if *trunc {
-                        crate::tensor::quantize(x.trunc(), *dtype)
-                    } else {
-                        crate::tensor::quantize(x, *dtype)
-                    };
+                    regs[*dst as usize] = cast_val(regs[*src as usize], *dtype, *trunc);
                 }
                 Op::Bin { kind, dst, a, b } => {
-                    let x = regs[*a as usize];
-                    let y = regs[*b as usize];
-                    regs[*dst as usize] = match kind {
-                        BinKind::Add => x + y,
-                        BinKind::Sub => x - y,
-                        BinKind::Mul => x * y,
-                        BinKind::DivF => x / y,
-                        BinKind::DivI => {
-                            if y == 0.0 {
-                                return Err(ExecError::DivisionByZero);
-                            }
-                            (x as i64 / y as i64) as f64
-                        }
-                        BinKind::FloorDivF => {
-                            if y == 0.0 {
-                                return Err(ExecError::DivisionByZero);
-                            }
-                            (x / y).floor()
-                        }
-                        BinKind::FloorDivI => {
-                            if y == 0.0 {
-                                return Err(ExecError::DivisionByZero);
-                            }
-                            floor_div_i64(x as i64, y as i64) as f64
-                        }
-                        BinKind::FloorModF => {
-                            if y == 0.0 {
-                                return Err(ExecError::DivisionByZero);
-                            }
-                            x - (x / y).floor() * y
-                        }
-                        BinKind::FloorModI => {
-                            if y == 0.0 {
-                                return Err(ExecError::DivisionByZero);
-                            }
-                            floor_mod_i64(x as i64, y as i64) as f64
-                        }
-                        BinKind::Min => x.min(y),
-                        BinKind::Max => x.max(y),
-                        BinKind::And => ((x != 0.0) && (y != 0.0)) as i64 as f64,
-                        BinKind::Or => ((x != 0.0) || (y != 0.0)) as i64 as f64,
-                    };
+                    regs[*dst as usize] = bin_eval(*kind, regs[*a as usize], regs[*b as usize])?;
                 }
                 Op::Cmp { op, dst, a, b } => {
                     let x = regs[*a as usize];
@@ -357,49 +657,25 @@ impl Program {
                 }
                 Op::Load { dst, access } => {
                     let acc = &self.accesses[*access as usize];
-                    let buf = acc.buf as usize;
-                    if !alive[buf] {
-                        return Err(ExecError::UnboundBuffer(
-                            self.buffers[buf].name().to_string(),
-                        ));
-                    }
-                    let off = offset(acc, &regs, &hoists);
-                    if let Some(san) = &mut san {
-                        self.bounds_check(buf, off, &store)?;
-                        if !self.relaxed[buf] {
-                            let sig = sig_of(&acc.race, &san.gens, &counters);
-                            let cell = &mut san.shadow[buf][off as usize];
-                            if let Some(w) = &cell.write {
-                                if let Some(iters) = conflicts(w, &sig) {
-                                    return Err(race_err(self.buffers[buf].name(), off, iters));
-                                }
-                            }
-                            merge_read(&mut cell.read, &sig);
-                        }
-                    }
-                    regs[*dst as usize] = store[buf].get_flat(off as usize);
+                    let off = offset(self, acc, &regs, &frame, &hoists);
+                    regs[*dst as usize] =
+                        load_at(self, acc, off, &alive, &mut san, &counters, &store)?;
                 }
                 Op::Store { access, val } => {
                     let acc = &self.accesses[*access as usize];
-                    let buf = acc.buf as usize;
-                    let off = offset(acc, &regs, &hoists);
-                    if let Some(san) = &mut san {
-                        self.bounds_check(buf, off, &store)?;
-                        if !self.relaxed[buf] {
-                            let sig = sig_of(&acc.race, &san.gens, &counters);
-                            let cell = &mut san.shadow[buf][off as usize];
-                            for prev in [&cell.write, &cell.read].into_iter().flatten() {
-                                if let Some(iters) = conflicts(prev, &sig) {
-                                    return Err(race_err(self.buffers[buf].name(), off, iters));
-                                }
-                            }
-                            cell.write = Some(sig);
-                        }
-                    }
+                    let off = offset(self, acc, &regs, &frame, &hoists);
                     // First store allocates (the storage is pre-zeroed, so
                     // marking it live is the whole allocation).
-                    alive[buf] = true;
-                    store[buf].set_flat(off as usize, regs[*val as usize]);
+                    store_at(
+                        self,
+                        acc,
+                        off,
+                        regs[*val as usize],
+                        &mut alive,
+                        &mut san,
+                        &counters,
+                        &mut store,
+                    )?;
                 }
                 Op::Tick => {
                     steps += 1;
@@ -469,6 +745,80 @@ impl Program {
                 Op::HoistSet { slot, src, stride } => {
                     hoists[*slot as usize] = (regs[*src as usize].round() as i64) * stride;
                 }
+                Op::LoadCast {
+                    dst,
+                    access,
+                    dtype,
+                    trunc,
+                } => {
+                    let acc = &self.accesses[*access as usize];
+                    let off = offset(self, acc, &regs, &frame, &hoists);
+                    let v = load_at(self, acc, off, &alive, &mut san, &counters, &store)?;
+                    regs[*dst as usize] = cast_val(v, *dtype, *trunc);
+                }
+                Op::BinStore { kind, a, b, access } => {
+                    let v = bin_eval(*kind, regs[*a as usize], regs[*b as usize])?;
+                    let acc = &self.accesses[*access as usize];
+                    let off = offset(self, acc, &regs, &frame, &hoists);
+                    store_at(
+                        self, acc, off, v, &mut alive, &mut san, &counters, &mut store,
+                    )?;
+                }
+                Op::StoreConst { access, val } => {
+                    let acc = &self.accesses[*access as usize];
+                    let off = offset(self, acc, &regs, &frame, &hoists);
+                    store_at(
+                        self, acc, off, *val, &mut alive, &mut san, &counters, &mut store,
+                    )?;
+                }
+                Op::FusedAcc {
+                    kind,
+                    access,
+                    src,
+                    acc_left,
+                } => {
+                    let acc = &self.accesses[*access as usize];
+                    let off = offset(self, acc, &regs, &frame, &hoists);
+                    let x = load_at(self, acc, off, &alive, &mut san, &counters, &store)?;
+                    let s = regs[*src as usize];
+                    let v = if *acc_left {
+                        bin_eval(*kind, x, s)?
+                    } else {
+                        bin_eval(*kind, s, x)?
+                    };
+                    store_at(
+                        self, acc, off, v, &mut alive, &mut san, &counters, &mut store,
+                    )?;
+                }
+                Op::FusedMac { spec } => {
+                    exec_mac(
+                        self,
+                        &self.mac_specs[*spec as usize],
+                        &regs,
+                        &frame,
+                        &hoists,
+                        &mut alive,
+                        &mut san,
+                        &counters,
+                        &mut store,
+                    )?;
+                }
+                Op::MacLanes { spec } => {
+                    exec_lanes(
+                        self,
+                        &self.lane_specs[*spec as usize],
+                        &regs,
+                        &frame,
+                        &hoists,
+                        &mut alive,
+                        &mut san,
+                        &mut counters,
+                        &extents,
+                        &mut store,
+                        &mut steps,
+                        fuel,
+                    )?;
+                }
             }
             pc += 1;
         }
@@ -478,17 +828,6 @@ impl Program {
             outputs: store,
             steps,
         })
-    }
-
-    fn bounds_check(&self, buf: usize, off: i64, store: &[Tensor]) -> Result<()> {
-        let len = store[buf].data().len();
-        if off < 0 || off as usize >= len {
-            return Err(ExecError::OutOfBounds(format!(
-                "buffer {}: flat offset {off} outside length {len}",
-                self.buffers[buf].name()
-            )));
-        }
-        Ok(())
     }
 }
 

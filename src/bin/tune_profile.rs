@@ -7,9 +7,12 @@
 //! the `tuning_cost_s` makespan accounting — the report's per-phase
 //! breakdown then reconciles with the tuner's own cost figure.
 //!
-//! After tuning, the best program is compiled to the bytecode VM and
-//! executed under [`InstrMixProfile`], folding the instruction mix into
-//! the same report as `vm.op.*` counters.
+//! After tuning, the best program is compiled to the bytecode VM —
+//! through the optimizer pipeline by default, or unoptimized with
+//! `--no-opt` (`TuneOptions::exec_backend`), the escape hatch for
+//! bisecting optimizer regressions — and executed under
+//! [`InstrMixProfile`], folding the instruction mix into the same
+//! report as `vm.op.*` counters.
 //!
 //! With `--check` the emitted report is validated in-process (the CI
 //! gate): it must be well-formed JSON, carry every expected phase and
@@ -21,7 +24,7 @@ use std::sync::Arc;
 
 use tir::{DataType, PrimFunc};
 use tir_autoschedule::{tune_workload, Strategy, TuneOptions, TuneResult};
-use tir_exec::{compile, InstrMixProfile, Machine, Tensor};
+use tir_exec::{compile, compile_optimized, ExecBackend, InstrMixProfile, Machine, Tensor};
 use tir_tensorize::builtin_registry;
 use tir_trace::{is_well_formed_json, Collector, TraceReport};
 use tir_workloads::ops;
@@ -37,12 +40,13 @@ struct Config {
     trials: usize,
     out: String,
     check: bool,
+    no_opt: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tune-profile [--workload gmm|c2d] [--machine gpu|arm] \
-         [--trials N] [--out PATH] [--check]"
+         [--trials N] [--out PATH] [--check] [--no-opt]"
     );
     std::process::exit(2)
 }
@@ -54,6 +58,7 @@ fn parse_args() -> Config {
         trials: 32,
         out: "BENCH_trace.json".to_string(),
         check: false,
+        no_opt: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -68,6 +73,7 @@ fn parse_args() -> Config {
             }
             "--out" => cfg.out = args.next().unwrap_or_else(|| usage()),
             "--check" => cfg.check = true,
+            "--no-opt" => cfg.no_opt = true,
             _ => usage(),
         }
     }
@@ -99,11 +105,16 @@ fn build_machine(name: &str) -> Machine {
 
 /// Runs the best program through the bytecode VM under an
 /// instruction-mix profiler, folding the mix into the collector as
-/// `vm.op.*` counters. Returns whether the profile run completed within
-/// its fuel budget (`None` when the program does not compile to
-/// bytecode).
-fn profile_best(best: &PrimFunc, collector: &Collector) -> Option<bool> {
-    let prog = compile(best).ok()?;
+/// `vm.op.*` counters. The backend picks the compilation pipeline:
+/// [`ExecBackend::Vm`] profiles the optimized bytecode (what production
+/// dispatches), anything else the plain compiler output. Returns whether
+/// the profile run completed within its fuel budget (`None` when the
+/// program does not compile to bytecode).
+fn profile_best(best: &PrimFunc, backend: ExecBackend, collector: &Collector) -> Option<bool> {
+    let prog = match backend {
+        ExecBackend::Vm => compile_optimized(best).ok()?,
+        _ => compile(best).ok()?,
+    };
     let args: Vec<Tensor> = best
         .params
         .iter()
@@ -278,6 +289,11 @@ fn main() -> ExitCode {
         // One worker: serial measurement sums == makespans, so the
         // trace's per-phase breakdown reconciles with tuning_cost_s.
         num_threads: 1,
+        exec_backend: if cfg.no_opt {
+            ExecBackend::VmUnopt
+        } else {
+            ExecBackend::Vm
+        },
         trace: Some(collector.clone()),
         ..TuneOptions::default()
     };
@@ -289,7 +305,7 @@ fn main() -> ExitCode {
     let vm_complete = result
         .best
         .as_ref()
-        .and_then(|best| profile_best(best, &collector));
+        .and_then(|best| profile_best(best, opts.exec_backend, &collector));
 
     let report = collector.report();
     let text = render_report(&cfg, &result, &report, vm_complete);

@@ -1,0 +1,161 @@
+//! Golden-listing tests for the bytecode disassembler and optimizer.
+//!
+//! Each fixture pins the full disassembly of an *optimized* program, so
+//! any change in the optimizer's output — a pass firing differently, a
+//! fusion regressing to scalar ops, an access pool reshuffling — shows
+//! up as a readable text diff instead of a silent perf cliff. The
+//! unoptimized listing of the elementwise fixture is pinned too, as a
+//! guard on the compiler's baseline lowering.
+
+use tir::builder::matmul_func;
+use tir::{Buffer, DataType, Expr, PrimFunc, Stmt, Var};
+use tir_exec::{compile, optimize};
+use tir_schedule::Schedule;
+
+fn listing(f: &PrimFunc, opt: bool) -> String {
+    let prog = compile(f).expect("compiles");
+    let prog = if opt { optimize(prog) } else { prog };
+    format!("{prog}")
+}
+
+#[track_caller]
+fn assert_listing(actual: &str, expected: &str) {
+    let expected = expected.trim_start_matches('\n');
+    assert!(
+        actual == expected,
+        "listing drifted from the golden fixture.\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+/// The canonical matmul: three loops collapse to a guarded `MacLanes`
+/// over one fused multiply-accumulate — ten ops total.
+#[test]
+fn golden_matmul_optimized() {
+    let f = matmul_func("gmm", 4, 4, 4, DataType::float32());
+    assert_listing(
+        &listing(&f, true),
+        r"
+program gmm (10 ops, 6 regs, 6 slots, 3 loops, 0 hoists, optimized)
+   0: const r0 = 4
+   1: for_setup L0 v0 extent=r0 end=10
+   2: const r0 = 4
+   3: for_setup L1 v1 extent=r0 end=9
+   4: const r0 = 4
+   5: for_setup L2 v2 extent=r0 end=8
+   6: mac_lanes L2 v2 x8 mac0 guard[v2] init C[v0*4 + v1*1] = 0
+   7: for_next L2 v2 body=6
+   8: for_next L1 v1 body=4
+   9: for_next L0 v0 body=2
+  mac0: C[v0*4 + v1*1] = C[v0*4 + v1*1] Add (A[v0*4 + v2*1] Mul B[v1*1 + v2*4])
+",
+    );
+}
+
+fn elementwise() -> PrimFunc {
+    // B[i] = A[i] * 2 + 1
+    let a = Buffer::new("A", DataType::float32(), vec![8]);
+    let b = Buffer::new("B", DataType::float32(), vec![8]);
+    let i = Var::int("i");
+    let body = Stmt::store(
+        b.clone(),
+        vec![Expr::from(&i)],
+        a.load(vec![Expr::from(&i)]) * Expr::f32(2.0) + Expr::f32(1.0),
+    )
+    .in_loop(i, 8);
+    PrimFunc::new("ew", vec![a, b], body)
+}
+
+/// An elementwise loop: strength reduction turns the index into a direct
+/// frame read and the final `Bin; Store` fuses, but the loop stays
+/// scalar (its body is not a single fused statement).
+#[test]
+fn golden_elementwise_optimized() {
+    assert_listing(
+        &listing(&elementwise(), true),
+        r"
+program ew (9 ops, 3 regs, 1 slots, 1 loops, 0 hoists, optimized)
+   0: const r0 = 8
+   1: for_setup L0 v0 extent=r0 end=9
+   2: tick
+   3: load r1 = A[v0*1]
+   4: const r2 = 2
+   5: bin r1 = r1 Mul r2
+   6: const r2 = 1
+   7: bin_store B[v0*1] = r1 Add r2
+   8: for_next L0 v0 body=2
+",
+    );
+}
+
+/// The same fixture before optimization — pins the compiler's baseline
+/// lowering: a trivially-true block predicate, duplicate `LoadVar`s,
+/// and separate Bin / Store, all of which the optimizer removes.
+#[test]
+fn golden_elementwise_unoptimized() {
+    assert_listing(
+        &listing(&elementwise(), false),
+        r"
+program ew (14 ops, 3 regs, 1 slots, 1 loops, 0 hoists)
+   0: const r0 = 1
+   1: jump_if_zero r0 -> 14
+   2: const r0 = 8
+   3: for_setup L0 v0 extent=r0 end=14
+   4: tick
+   5: load_var r0 = v0
+   6: load_var r1 = v0
+   7: load r1 = A[r1*1]
+   8: const r2 = 2
+   9: bin r1 = r1 Mul r2
+  10: const r2 = 1
+  11: bin r1 = r1 Add r2
+  12: store B[r0*1] = r1
+  13: for_next L0 v0 body=4
+",
+    );
+}
+
+/// A split matmul: the block-var recomputation (`v4 = v0*4 + v1`) lands
+/// inside the reduction loop, so lane batching is blocked — but MAC
+/// fusion still fires, with the reduce-at-start guard initialising the
+/// accumulator via a fused `StoreConst`.
+#[test]
+fn golden_scheduled_matmul_optimized() {
+    let mut sch = Schedule::new(matmul_func("mm", 8, 8, 8, DataType::float32()));
+    let block = sch.get_block("C").unwrap();
+    let loops = sch.get_loops(&block).unwrap();
+    sch.split(&loops[0], &[2, -1]).unwrap();
+    let actual = listing(sch.func(), true);
+    assert_listing(
+        &actual,
+        r"
+program mm (26 ops, 6 regs, 7 slots, 4 loops, 0 hoists, optimized)
+   0: const r0 = 2
+   1: for_setup L0 v0 extent=r0 end=26
+   2: const r0 = 4
+   3: for_setup L1 v1 extent=r0 end=25
+   4: const r0 = 8
+   5: for_setup L2 v2 extent=r0 end=24
+   6: const r0 = 8
+   7: for_setup L3 v3 extent=r0 end=23
+   8: reset_reduce_flag
+   9: load_var r0 = v0
+  10: const r1 = 4
+  11: bin r0 = r0 Mul r1
+  12: load_var r1 = v1
+  13: bin r0 = r0 Add r1
+  14: set_var v4 = r0
+  15: load_var r0 = v3
+  16: update_reduce_flag r0
+  17: jump_if_reduce_flag_false -> 20
+  18: tick
+  19: store_const C[v4*8 + v2*1] = 0
+  20: tick
+  21: fused_mac mac0
+  22: for_next L3 v3 body=8
+  23: for_next L2 v2 body=6
+  24: for_next L1 v1 body=4
+  25: for_next L0 v0 body=2
+  mac0: C[v4*8 + v2*1] = C[v4*8 + v2*1] Add (A[v4*8 + v3*1] Mul B[v2*1 + v3*8])
+",
+    );
+}

@@ -1,9 +1,10 @@
-//! Differential testing of the two execution backends.
+//! Differential testing of the three execution backends.
 //!
-//! The bytecode VM (`ExecBackend::Vm`) must be observationally identical
-//! to the tree-walking interpreter (`ExecBackend::TreeWalk`): bit-exact
+//! The optimized bytecode VM (`ExecBackend::Vm`), the unoptimized VM
+//! (`ExecBackend::VmUnopt`), and the tree-walking interpreter
+//! (`ExecBackend::TreeWalk`) must be observationally identical: bit-exact
 //! output tensors (`==`, not allclose) and identical step counts on every
-//! run. This suite drives both backends over
+//! run. This suite drives all three backends over
 //!
 //! * small-shape instances of **every** `tir-workloads` operator family
 //!   (gmm, batch_matmul, c1d, c2d, c3d, dep, dil, grp, t2d) across
@@ -22,8 +23,8 @@ use tir_rand::{rngs::StdRng, RngExt, SeedableRng};
 use tir_schedule::Schedule;
 use tir_workloads::{bench_suite, ops};
 
-/// Runs `func` on both backends with identical inputs; asserts bit-exact
-/// outputs and identical step counts.
+/// Runs `func` on all three backends with identical inputs; asserts
+/// bit-exact outputs and identical step counts across every pair.
 fn backends_agree(func: &PrimFunc, seed: u64) {
     let n = func.params.len();
     let args: Vec<Tensor> = func
@@ -40,15 +41,21 @@ fn backends_agree(func: &PrimFunc, seed: u64) {
         .collect();
     let tw = run_with(func, args.clone(), ExecBackend::TreeWalk, None)
         .unwrap_or_else(|e| panic!("tree-walk failed on {}: {e}", func.name));
-    let vm = run_with(func, args, ExecBackend::Vm, None)
-        .unwrap_or_else(|e| panic!("vm failed on {}: {e}", func.name));
-    assert_eq!(
-        tw.steps, vm.steps,
-        "step counts diverge on {}: tree-walk {} vs vm {}",
-        func.name, tw.steps, vm.steps
-    );
-    for (i, (a, b)) in tw.outputs.iter().zip(&vm.outputs).enumerate() {
-        assert_eq!(a, b, "output {i} of {} is not bit-identical", func.name);
+    for backend in [ExecBackend::VmUnopt, ExecBackend::Vm] {
+        let vm = run_with(func, args.clone(), backend, None)
+            .unwrap_or_else(|e| panic!("{backend:?} failed on {}: {e}", func.name));
+        assert_eq!(
+            tw.steps, vm.steps,
+            "step counts diverge on {}: tree-walk {} vs {backend:?} {}",
+            func.name, tw.steps, vm.steps
+        );
+        for (i, (a, b)) in tw.outputs.iter().zip(&vm.outputs).enumerate() {
+            assert_eq!(
+                a, b,
+                "output {i} of {} is not bit-identical on {backend:?}",
+                func.name
+            );
+        }
     }
 }
 
@@ -86,7 +93,7 @@ fn bench_suite_fuel_parity() {
                 .iter()
                 .map(|p| Tensor::zeros(p.dtype(), p.shape()))
                 .collect();
-            for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+            for backend in [ExecBackend::TreeWalk, ExecBackend::VmUnopt, ExecBackend::Vm] {
                 let err = run_with(&case.func, args.clone(), backend, Some(4096))
                     .err()
                     .unwrap_or_else(|| {
