@@ -179,14 +179,15 @@ impl From<std::io::Error> for DbError {
 }
 
 /// Byte-offset cursor over the encoded text; every failure carries the
-/// offset it happened at.
-struct Cursor<'a> {
-    text: &'a str,
-    pos: usize,
+/// offset it happened at. Shared with the journal decoder in
+/// [`crate::journal`], which rebases the offsets into the journal file.
+pub(crate) struct Cursor<'a> {
+    pub(crate) text: &'a str,
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn corrupt(&self, reason: impl Into<String>) -> DbError {
+    pub(crate) fn corrupt(&self, reason: impl Into<String>) -> DbError {
         DbError::Corrupt {
             offset: self.pos,
             reason: reason.into(),
@@ -195,7 +196,7 @@ impl<'a> Cursor<'a> {
 
     /// Consumes up to (and including) the next newline, returning the
     /// line without it.
-    fn line(&mut self) -> Result<&'a str, DbError> {
+    pub(crate) fn line(&mut self) -> Result<&'a str, DbError> {
         let rest = &self.text[self.pos..];
         match rest.find('\n') {
             Some(n) => {
@@ -208,7 +209,7 @@ impl<'a> Cursor<'a> {
     }
 
     /// Consumes exactly `n` bytes followed by a newline.
-    fn blob(&mut self, n: usize) -> Result<&'a str, DbError> {
+    pub(crate) fn blob(&mut self, n: usize) -> Result<&'a str, DbError> {
         let end = self.pos.checked_add(n).filter(|&e| e < self.text.len());
         let Some(end) = end else {
             return Err(self.corrupt(format!("truncated: {n}-byte payload runs past end of file")));
@@ -223,9 +224,85 @@ impl<'a> Cursor<'a> {
         Ok(blob)
     }
 
-    fn at_end(&self) -> bool {
+    pub(crate) fn at_end(&self) -> bool {
         self.pos == self.text.len()
     }
+}
+
+/// Encodes one record in the canonical `record …` block form: a header
+/// line with length prefixes and hex-bit floats, followed by four
+/// byte-length-prefixed blobs. Used verbatim by both the snapshot
+/// ([`TuningDatabase::encode`]) and the write-ahead journal
+/// ([`crate::journal`]) — one codec, two containers.
+pub(crate) fn encode_record(
+    machine: &str,
+    strategy: &str,
+    key: &str,
+    rec: &TuningRecord,
+) -> String {
+    let best = rec.best.to_string();
+    let mut out = format!(
+        "record {} {} {} {} {} {} {} {}\n",
+        machine.len(),
+        strategy.len(),
+        key.len(),
+        best.len(),
+        hex_f64(rec.best_time),
+        rec.trials,
+        rec.budget,
+        hex_f64(rec.tuning_cost_s),
+    );
+    for blob in [machine, strategy, key, best.as_str()] {
+        out.push_str(blob);
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes one `record …` block at the cursor (inverse of
+/// [`encode_record`]). Failures carry the cursor's byte offset.
+pub(crate) fn decode_record(
+    c: &mut Cursor,
+) -> Result<(String, Strategy, String, TuningRecord), DbError> {
+    let header = c.line()?;
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() != 9 || toks[0] != "record" {
+        return Err(c.corrupt("malformed `record` header line"));
+    }
+    let len_of = |i: usize, name: &str| -> Result<usize, DbError> {
+        toks[i]
+            .parse()
+            .map_err(|_| c.corrupt(format!("bad record field `{name}`")))
+    };
+    let machine_len = len_of(1, "machine_len")?;
+    let strategy_len = len_of(2, "strategy_len")?;
+    let key_len = len_of(3, "key_len")?;
+    let best_len = len_of(4, "best_len")?;
+    let best_time = parse_hex_f64(toks[5]).ok_or_else(|| c.corrupt("bad best_time bits"))?;
+    let trials = len_of(6, "trials")?;
+    let budget = len_of(7, "budget")?;
+    let tuning_cost_s =
+        parse_hex_f64(toks[8]).ok_or_else(|| c.corrupt("bad tuning_cost_s bits"))?;
+    let machine = c.blob(machine_len)?.to_string();
+    let strategy_label = c.blob(strategy_len)?;
+    let strategy = Strategy::from_label(strategy_label)
+        .ok_or_else(|| c.corrupt(format!("unknown strategy label `{strategy_label}`")))?;
+    let key = c.blob(key_len)?.to_string();
+    let best_text = c.blob(best_len)?;
+    let best = parse_func(best_text)
+        .map_err(|e| c.corrupt(format!("stored program does not parse: {e}")))?;
+    Ok((
+        machine,
+        strategy,
+        key,
+        TuningRecord {
+            best,
+            best_time,
+            trials,
+            budget,
+            tuning_cost_s,
+        },
+    ))
 }
 
 fn hex_f64(v: f64) -> String {
@@ -383,23 +460,7 @@ impl TuningDatabase {
         out.push_str(&format!("records {}\n", keys.len()));
         for k in keys {
             let (machine, strategy, key) = k;
-            let rec = &self.records[k];
-            let best = rec.best.to_string();
-            out.push_str(&format!(
-                "record {} {} {} {} {} {} {} {}\n",
-                machine.len(),
-                strategy.len(),
-                key.len(),
-                best.len(),
-                hex_f64(rec.best_time),
-                rec.trials,
-                rec.budget,
-                hex_f64(rec.tuning_cost_s),
-            ));
-            for blob in [machine.as_str(), strategy, key.as_str(), best.as_str()] {
-                out.push_str(blob);
-                out.push('\n');
-            }
+            out.push_str(&encode_record(machine, strategy, key, &self.records[k]));
         }
         out.push_str("end\n");
         out
@@ -444,46 +505,8 @@ impl TuningDatabase {
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| c.corrupt("bad record count"))?;
         for _ in 0..n {
-            let header = c.line()?;
-            let toks: Vec<&str> = header.split_whitespace().collect();
-            if toks.len() != 9 || toks[0] != "record" {
-                return Err(c.corrupt("malformed `record` header line"));
-            }
-            let len_of = |i: usize, name: &str| -> Result<usize, DbError> {
-                toks[i]
-                    .parse()
-                    .map_err(|_| c.corrupt(format!("bad record field `{name}`")))
-            };
-            let machine_len = len_of(1, "machine_len")?;
-            let strategy_len = len_of(2, "strategy_len")?;
-            let key_len = len_of(3, "key_len")?;
-            let best_len = len_of(4, "best_len")?;
-            let best_time =
-                parse_hex_f64(toks[5]).ok_or_else(|| c.corrupt("bad best_time bits"))?;
-            let trials = len_of(6, "trials")?;
-            let budget = len_of(7, "budget")?;
-            let tuning_cost_s =
-                parse_hex_f64(toks[8]).ok_or_else(|| c.corrupt("bad tuning_cost_s bits"))?;
-            let machine = c.blob(machine_len)?.to_string();
-            let strategy_label = c.blob(strategy_len)?;
-            let strategy = Strategy::from_label(strategy_label)
-                .ok_or_else(|| c.corrupt(format!("unknown strategy label `{strategy_label}`")))?;
-            let key = c.blob(key_len)?.to_string();
-            let best_text = c.blob(best_len)?;
-            let best = parse_func(best_text)
-                .map_err(|e| c.corrupt(format!("stored program does not parse: {e}")))?;
-            db.insert(
-                &machine,
-                strategy,
-                key,
-                TuningRecord {
-                    best,
-                    best_time,
-                    trials,
-                    budget,
-                    tuning_cost_s,
-                },
-            );
+            let (machine, strategy, key, record) = decode_record(&mut c)?;
+            db.insert(&machine, strategy, key, record);
         }
         if c.line()? != "end" {
             return Err(c.corrupt("missing `end` sentinel (truncated file?)"));

@@ -15,6 +15,9 @@
 //!   retry/backoff/outlier-rejection harness;
 //! * [`checkpoint`] — generation-granularity checkpoint/resume of tuning
 //!   runs, bit-identical to uninterrupted runs;
+//! * [`journal`] / [`fault_io`] — the crash-consistent write-ahead journal
+//!   behind the tuning database, and the fault-injectable I/O layer that
+//!   lets a deterministic chaos harness prove its recovery guarantees;
 //! * [`cost_model`] — a from-scratch gradient-boosted-tree cost model
 //!   trained online from simulator measurements;
 //! * [`feature`] — program feature extraction;
@@ -28,7 +31,9 @@ pub mod baseline;
 pub mod checkpoint;
 pub mod cost_model;
 pub mod database;
+pub mod fault_io;
 pub mod feature;
+pub mod journal;
 pub mod measure;
 pub mod parallel;
 pub mod search;
@@ -40,6 +45,8 @@ pub use baseline::{build_sketches, oracle_time, tune_workload, tune_workload_wit
 pub use checkpoint::{atomic_write, TuneCheckpoint};
 pub use cost_model::CostModel;
 pub use database::{workload_key, DbError, TuningDatabase, TuningRecord};
+pub use fault_io::{DiskIo, FaultIo, FaultSpec, IoProfile, JournalIo};
+pub use journal::{journal_path_for, JournaledDb, PublishOutcome, RecoveryReport};
 pub use measure::{
     measure_with_retries, measure_with_retries_traced, FaultInjector, FaultPlan, MeasureCtx,
     MeasureError, MeasureOutcome, MeasureTrace, Measurer, RetryPolicy, SimMeasurer,

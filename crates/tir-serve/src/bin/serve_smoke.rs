@@ -15,16 +15,23 @@
 //!    background (completion observed via `stats`);
 //! 6. graceful shutdown, then a **restart on the same database file** —
 //!    the previously tuned fingerprint must answer warm from disk,
-//!    bit-identical, with zero trials and zero cost.
+//!    bit-identical, with zero trials and zero cost;
+//! 7. a publish-latency microbenchmark on a 1000-record database:
+//!    the journal's O(1) append vs the pre-journal full-snapshot
+//!    rewrite, p50 of each.
 //!
 //! With `--check` the emitted report is additionally validated (the CI
 //! gate): well-formed JSON, every `serve.*` lifecycle phase present,
-//! and the headline counters consistent with the script.
+//! the headline counters consistent with the script, and the journal
+//! publish at least 10x faster than the rewrite publish.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use tir::DataType;
+use tir_autoschedule::{
+    journal_path_for, DiskIo, JournaledDb, Strategy, TuningDatabase, TuningRecord,
+};
 use tir_serve::client::{Client, TuneReply};
 use tir_serve::protocol::Source;
 use tir_serve::server::{ServeConfig, Server};
@@ -33,6 +40,14 @@ use tir_workloads::ops;
 
 const WARM_QUERIES: usize = 50;
 const DEDUP_CLIENTS: usize = 8;
+/// Size of the pre-seeded database the publish microbenchmark runs on.
+const PUBLISH_DB_RECORDS: usize = 1000;
+/// Publishes timed per flavor in the microbenchmark.
+const PUBLISH_SAMPLES: usize = 32;
+/// `--check` gate: a journal append on a [`PUBLISH_DB_RECORDS`]-record
+/// database must beat the pre-journal full rewrite by at least this
+/// factor (the rewrite is O(records), the append O(1)).
+const PUBLISH_SPEEDUP_GATE: f64 = 10.0;
 
 struct Config {
     out: String,
@@ -276,6 +291,16 @@ fn main() -> ExitCode {
         "serve-smoke: restart served the tuned record warm from disk in {restart_latency_s:.6}s"
     );
 
+    // 7. Publish-latency microbenchmark: O(1) journal append vs the
+    // pre-journal full-snapshot rewrite, both on a 1k-record database.
+    let (journal_p50_s, rewrite_p50_s, publish_speedup) = publish_latency_bench();
+    println!(
+        "serve-smoke: publish on {PUBLISH_DB_RECORDS} records: journal append p50 {}s, \
+         full rewrite p50 {}s ({publish_speedup:.1}x)",
+        json_f64(journal_p50_s),
+        json_f64(rewrite_p50_s),
+    );
+
     // Report.
     let text_out = render_report(
         &cfg,
@@ -285,6 +310,7 @@ fn main() -> ExitCode {
         dedup,
         warm,
         restart_latency_s,
+        (journal_p50_s, rewrite_p50_s, publish_speedup),
         &report,
     );
     if let Err(e) = std::fs::write(&cfg.out, &text_out) {
@@ -294,7 +320,7 @@ fn main() -> ExitCode {
 
     let _ = std::fs::remove_file(&db);
     if cfg.check {
-        let errors = check_report(&text_out, &report);
+        let errors = check_report(&text_out, publish_speedup, &report);
         if !errors.is_empty() {
             for e in &errors {
                 eprintln!("serve-smoke: CHECK FAILED: {e}");
@@ -306,6 +332,82 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Times [`PUBLISH_SAMPLES`] publishes against a pre-seeded
+/// [`PUBLISH_DB_RECORDS`]-record database, once through the journal
+/// (O(1) append + fsync) and once through the pre-journal path (full
+/// snapshot rewrite per publish). Returns `(journal_p50_s,
+/// rewrite_p50_s, speedup)`.
+fn publish_latency_bench() -> (f64, f64, f64) {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let snap = dir.join(format!("tir-smoke-publish-{pid}.db"));
+    let journal = journal_path_for(&snap);
+    let rewrite = dir.join(format!("tir-smoke-rewrite-{pid}.db"));
+    for p in [&snap, &journal, &rewrite] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    let record = TuningRecord {
+        best: ops::gmm(32, 32, 32, DataType::float16(), DataType::float32()),
+        best_time: 1.25e-4,
+        trials: 16,
+        budget: 16,
+        tuning_cost_s: 0.25,
+    };
+    let mut seed = TuningDatabase::new();
+    for i in 0..PUBLISH_DB_RECORDS {
+        seed.insert(
+            "gpu",
+            Strategy::TensorIr,
+            format!("bench-{i:04}"),
+            record.clone(),
+        );
+    }
+    seed.save(&snap)
+        .unwrap_or_else(|e| fail(&format!("seeding the bench database: {e}")));
+
+    // Journal flavor: publish is an O(1) append + fsync regardless of
+    // database size. Compaction is pushed out of the way so the timer
+    // sees pure appends.
+    let (mut jdb, _) = JournaledDb::open(Box::new(DiskIo), &snap)
+        .unwrap_or_else(|e| fail(&format!("opening the bench database: {e}")));
+    jdb.compact_threshold = usize::MAX;
+    let mut journal_lat = Vec::with_capacity(PUBLISH_SAMPLES);
+    for s in 0..PUBLISH_SAMPLES {
+        let key = format!("bench-extra-{s:04}");
+        let rec = record.clone();
+        let t = Instant::now();
+        jdb.publish("gpu", Strategy::TensorIr, key, rec)
+            .unwrap_or_else(|e| fail(&format!("journal publish: {e}")));
+        journal_lat.push(t.elapsed().as_secs_f64());
+    }
+
+    // Rewrite flavor: what every publish cost before the journal —
+    // re-encode and atomically rewrite the whole snapshot.
+    let mut rewrite_lat = Vec::with_capacity(PUBLISH_SAMPLES);
+    for s in 0..PUBLISH_SAMPLES {
+        seed.insert(
+            "gpu",
+            Strategy::TensorIr,
+            format!("bench-extra-{s:04}"),
+            record.clone(),
+        );
+        let t = Instant::now();
+        seed.save(&rewrite)
+            .unwrap_or_else(|e| fail(&format!("rewrite publish: {e}")));
+        rewrite_lat.push(t.elapsed().as_secs_f64());
+    }
+
+    for p in [&snap, &journal, &rewrite] {
+        let _ = std::fs::remove_file(p);
+    }
+    journal_lat.sort_by(f64::total_cmp);
+    rewrite_lat.sort_by(f64::total_cmp);
+    let journal_p50 = journal_lat[PUBLISH_SAMPLES / 2];
+    let rewrite_p50 = rewrite_lat[PUBLISH_SAMPLES / 2];
+    (journal_p50, rewrite_p50, rewrite_p50 / journal_p50)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_report(
     cfg: &Config,
@@ -315,6 +417,7 @@ fn render_report(
     dedup: usize,
     warm: usize,
     restart_latency_s: f64,
+    publish: (f64, f64, f64),
     report: &TraceReport,
 ) -> String {
     let mut out = String::with_capacity(8192);
@@ -349,6 +452,20 @@ fn render_report(
         "  \"restart_warm_latency_s\": {},\n",
         json_f64(restart_latency_s)
     ));
+    let (journal_p50_s, rewrite_p50_s, speedup) = publish;
+    out.push_str(&format!(
+        "  \"publish_db_records\": {PUBLISH_DB_RECORDS},\n"
+    ));
+    out.push_str(&format!("  \"publish_samples\": {PUBLISH_SAMPLES},\n"));
+    out.push_str(&format!(
+        "  \"publish_journal_p50_s\": {},\n",
+        json_f64(journal_p50_s)
+    ));
+    out.push_str(&format!(
+        "  \"publish_rewrite_p50_s\": {},\n",
+        json_f64(rewrite_p50_s)
+    ));
+    out.push_str(&format!("  \"publish_speedup\": {},\n", json_f64(speedup)));
     // Indent the embedded trace one level so the file stays readable.
     let trace = report.to_json();
     out.push_str("  \"trace\": ");
@@ -362,9 +479,10 @@ fn render_report(
     out
 }
 
-/// The CI gate: the report must be well-formed and the trace must carry
-/// every request-lifecycle phase and headline counter.
-fn check_report(text: &str, report: &TraceReport) -> Vec<String> {
+/// The CI gate: the report must be well-formed, the trace must carry
+/// every request-lifecycle phase and headline counter, and a journal
+/// publish must beat the full-rewrite publish by the gate factor.
+fn check_report(text: &str, publish_speedup: f64, report: &TraceReport) -> Vec<String> {
     let mut errors = Vec::new();
     if !is_well_formed_json(text) {
         errors.push("report is not well-formed JSON".to_string());
@@ -374,6 +492,9 @@ fn check_report(text: &str, report: &TraceReport) -> Vec<String> {
         "\"warm_latency_s_p50\"",
         "\"dedup_searches_saved\"",
         "\"restart_warm_latency_s\"",
+        "\"publish_journal_p50_s\"",
+        "\"publish_rewrite_p50_s\"",
+        "\"publish_speedup\"",
         "\"trace\"",
     ] {
         if !text.contains(key) {
@@ -399,6 +520,12 @@ fn check_report(text: &str, report: &TraceReport) -> Vec<String> {
     }
     if report.counter("serve.background_done") < 1 {
         errors.push("background re-tune was not traced".to_string());
+    }
+    if publish_speedup < PUBLISH_SPEEDUP_GATE {
+        errors.push(format!(
+            "journal publish is only {publish_speedup:.1}x faster than the full rewrite \
+             on {PUBLISH_DB_RECORDS} records (gate: {PUBLISH_SPEEDUP_GATE}x)"
+        ));
     }
     errors
 }

@@ -2,11 +2,48 @@
 //!
 //! Binds a Unix socket, loads (or creates) the persistent tuning
 //! database, and serves tune/query requests until a client sends
-//! `shutdown`. See `docs/OPERATIONS.md` for the operational guide.
+//! `shutdown` — or until the process receives SIGTERM/SIGINT, which an
+//! orchestrator (systemd, Kubernetes, ctrl-C) uses to stop it: the
+//! daemon drains its queue, compacts the database, and exits cleanly,
+//! so the next start serves everything warm. See `docs/OPERATIONS.md`
+//! for the operational guide.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use tir_serve::server::{ServeConfig, Server};
+
+/// Set by the signal handler; polled by `main`.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// POSIX signal numbers (no `libc` crate in the tree; these values are
+/// fixed by the Linux/BSD ABIs this daemon targets).
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)` from the platform C library. `handler` is either a
+    /// function pointer or the special constants 0/1 (DFL/IGN).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// The actual handler: async-signal-safe by construction — it only
+/// stores to an atomic. Draining and persisting happen on the main
+/// thread, which polls [`SIGNALED`].
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // SAFETY: `on_signal` is async-signal-safe (a single atomic store),
+    // and `signal(2)` with a valid function pointer is well-defined for
+    // SIGINT/SIGTERM.
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -71,6 +108,7 @@ fn main() -> ExitCode {
         cfg.exec_backend = tir_exec::ExecBackend::VmUnopt;
     }
 
+    install_signal_handlers();
     let server = match Server::start(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -80,7 +118,15 @@ fn main() -> ExitCode {
     };
     println!("tir-serve: listening on {socket} (db {db})");
 
-    // Blocks until a client sends `shutdown`.
+    // Wait for either a client `shutdown` or a termination signal; both
+    // end in the same graceful drain-and-persist path.
+    while !server.is_shutting_down() && !SIGNALED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if SIGNALED.load(Ordering::SeqCst) {
+        eprintln!("tir-serve: termination signal received; draining and persisting");
+        server.request_shutdown();
+    }
     let report = server.join();
     println!(
         "tir-serve: shut down ({} warm hits, {} cold tunes, {} dedup joins)",

@@ -4,21 +4,48 @@
 //! for concurrent requests, open one client per thread (the daemon
 //! deduplicates identical in-flight tunes server-side, so N clients
 //! tuning the same workload cost one search).
+//!
+//! # Robustness
+//!
+//! The client mirrors the measurement harness's `measure_with_retries`
+//! semantics on the wire:
+//!
+//! * **Reconnect with capped backoff** — when the connection drops (the
+//!   daemon restarted, a stale socket), the client transparently
+//!   redials and replays the request, up to
+//!   [`ReconnectPolicy::max_retries`] times with doubling, capped
+//!   backoff. Replay is safe because every request is idempotent: a
+//!   re-sent tune lands warm or joins the in-flight search.
+//! * **Per-request deadline** — [`Client::set_deadline`] bounds every
+//!   socket read while awaiting a response; a server that stalls longer
+//!   than the deadline yields a typed [`ClientError::Timeout`], which
+//!   is *not* retried (the caller decides whether the work is still
+//!   worth waiting for).
 
 use std::io::{BufReader, Write};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use crate::protocol::{RejectCode, Request, Response, Source};
 
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
-    /// The connection failed or was dropped mid-message.
+    /// The connection failed or was dropped mid-message (after
+    /// exhausting [`ReconnectPolicy::max_retries`] redials).
     Io(std::io::Error),
     /// The server's bytes were not a well-formed response (version skew
     /// or a protocol bug).
     Protocol(String),
+    /// The server did not answer within the configured
+    /// [`Client::set_deadline`]. The connection is dropped (a late
+    /// answer must not be misread as the reply to the *next* request);
+    /// the next call redials.
+    Timeout {
+        /// The deadline that expired.
+        after: Duration,
+    },
     /// The server refused the request; `code` says why (see the
     /// troubleshooting table in `docs/OPERATIONS.md`).
     Rejected {
@@ -34,9 +61,47 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Timeout { after } => {
+                write!(f, "no response within {:.3}s", after.as_secs_f64())
+            }
             ClientError::Rejected { code, message } => {
                 write!(f, "rejected ({}): {message}", code.as_str())
             }
+        }
+    }
+}
+
+/// Redial policy for dropped connections, mirroring the measurement
+/// harness's `RetryPolicy` (doubling backoff with a cap).
+#[derive(Clone, Debug)]
+pub struct ReconnectPolicy {
+    /// Redials attempted per request after the first failure; `0`
+    /// disables reconnection.
+    pub max_retries: u32,
+    /// Delay before the first redial; doubles per retry.
+    pub backoff_base: Duration,
+    /// Cap on a single backoff delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// No reconnection: the first connection failure surfaces as
+    /// [`ClientError::Io`]. Useful in tests that assert on connection
+    /// lifecycle, and for callers that manage redialing themselves.
+    pub fn none() -> ReconnectPolicy {
+        ReconnectPolicy {
+            max_retries: 0,
+            ..ReconnectPolicy::default()
         }
     }
 }
@@ -98,41 +163,134 @@ pub struct TuneReply {
 /// # let _ = std::fs::remove_file(&db);
 /// ```
 pub struct Client {
+    socket_path: PathBuf,
+    conn: Option<Conn>,
+    policy: ReconnectPolicy,
+    deadline: Option<Duration>,
+}
+
+/// One live dialed connection.
+struct Conn {
     reader: BufReader<UnixStream>,
     writer: UnixStream,
 }
 
+impl Conn {
+    fn dial(socket_path: &Path) -> std::io::Result<Conn> {
+        let stream = UnixStream::connect(socket_path)?;
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 impl Client {
-    /// Connects to the daemon listening on `socket_path`.
+    /// Connects to the daemon listening on `socket_path`, with the
+    /// default [`ReconnectPolicy`] and no deadline.
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] when the socket does not exist or refuses
     /// the connection (is the daemon running? see `docs/OPERATIONS.md`).
     pub fn connect(socket_path: impl AsRef<Path>) -> Result<Client, ClientError> {
-        let stream = UnixStream::connect(socket_path)?;
-        let writer = stream.try_clone()?;
+        Client::connect_with(socket_path, ReconnectPolicy::default())
+    }
+
+    /// Connects with an explicit redial policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the initial dial fails (the policy
+    /// governs *re*connection of an established client, not the first
+    /// dial — failing fast here keeps "daemon not running" obvious).
+    pub fn connect_with(
+        socket_path: impl AsRef<Path>,
+        policy: ReconnectPolicy,
+    ) -> Result<Client, ClientError> {
+        let socket_path = socket_path.as_ref().to_path_buf();
+        let conn = Conn::dial(&socket_path)?;
         Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
+            socket_path,
+            conn: Some(conn),
+            policy,
+            deadline: None,
         })
     }
 
-    /// Sends one request and reads one response, mapping server
+    /// Bounds every subsequent request: if the server stalls longer
+    /// than `deadline` while this client awaits its response, the call
+    /// fails with [`ClientError::Timeout`]. `None` (the default) waits
+    /// indefinitely — cold tunes legitimately take a while.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// Sends one request and reads one response, redialing dropped
+    /// connections per the [`ReconnectPolicy`] and mapping server
     /// rejections to [`ClientError::Rejected`].
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
-        req.write(&mut self.writer)?;
-        self.writer.flush()?;
-        match Response::read(&mut self.reader)? {
-            None => Err(ClientError::Protocol(
-                "server closed the connection".to_string(),
-            )),
-            Some(Err(msg)) => Err(ClientError::Protocol(msg)),
-            Some(Ok(Response::Rejected { code, message })) => {
-                Err(ClientError::Rejected { code, message })
+        let mut backoff = self.policy.backoff_base;
+        let mut retries = 0u32;
+        loop {
+            match self.try_roundtrip(req) {
+                // Only connection-level failures are worth a redial;
+                // timeouts, rejections, and protocol skew are not cured
+                // by reconnecting (and a timed-out tune may still be
+                // running server-side — the caller decides).
+                Err(ClientError::Io(_)) if retries < self.policy.max_retries => {
+                    retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.policy.backoff_cap);
+                }
+                other => return other,
             }
-            Some(Ok(resp)) => Ok(resp),
         }
+    }
+
+    /// One attempt: dial if disconnected, write, await the response.
+    /// Any failure other than a semantic rejection leaves the stream in
+    /// an unknown state, so the connection is dropped (the next attempt
+    /// redials).
+    fn try_roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let out = (|| {
+            if self.conn.is_none() {
+                self.conn = Some(Conn::dial(&self.socket_path)?);
+            }
+            let conn = self.conn.as_mut().expect("dialed above");
+            req.write(&mut conn.writer)?;
+            conn.writer.flush()?;
+            conn.reader.get_ref().set_read_timeout(self.deadline)?;
+            match Response::read(&mut conn.reader) {
+                Err(e) => match self.deadline {
+                    Some(after) if is_timeout(&e) => Err(ClientError::Timeout { after }),
+                    _ => Err(ClientError::Io(e)),
+                },
+                // EOF mid-request means the daemon went away: an I/O
+                // condition (retryable), not protocol skew.
+                Ok(None) => Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))),
+                Ok(Some(Err(msg))) => Err(ClientError::Protocol(msg)),
+                Ok(Some(Ok(Response::Rejected { code, message }))) => {
+                    Err(ClientError::Rejected { code, message })
+                }
+                Ok(Some(Ok(resp))) => Ok(resp),
+            }
+        })();
+        if !matches!(&out, Ok(_) | Err(ClientError::Rejected { .. })) {
+            self.conn = None;
+        }
+        out
     }
 
     /// Liveness probe.

@@ -20,10 +20,15 @@
 //!   `serve-smoke` benchmark, the integration tests, and operators'
 //!   scripts.
 //!
-//! The database file on disk uses the same atomic-write,
-//! corruption-detecting text format as the tuner's checkpoints: a killed
-//! and restarted daemon answers every previously tuned fingerprint from
-//! disk, warm, with zero additional trials.
+//! The database is a [`tir_autoschedule::JournaledDb`]: each publish
+//! appends one checksummed, fsynced entry to a write-ahead journal
+//! (O(1) in the database size) and a compaction folds the journal into
+//! the atomic-write snapshot on shutdown. A request is acknowledged
+//! only after its record is fsynced, so a killed and restarted daemon —
+//! even one killed mid-append — answers every previously acknowledged
+//! fingerprint from disk, warm, bit-identically, with zero additional
+//! trials. The chaos harness (`tests/serve_chaos.rs`) enforces exactly
+//! that at every injected crash point.
 //!
 //! Operational documentation — running the daemon, the database file's
 //! guarantees, metrics interpretation, and a troubleshooting table for
@@ -36,6 +41,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, TuneReply};
+pub use client::{Client, ClientError, ReconnectPolicy, TuneReply};
 pub use protocol::{RejectCode, Request, Response, Source};
 pub use server::{ServeConfig, Server, StartError};

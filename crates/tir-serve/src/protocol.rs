@@ -78,7 +78,7 @@
 //! assert_eq!(back, req);
 //! ```
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 /// Default cap on payload size (program text), in bytes. Requests whose
 /// payload exceeds the server's configured cap are rejected with
@@ -274,9 +274,21 @@ fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
 }
 
 /// Reads a `len`-byte payload plus its terminating newline.
+///
+/// The buffer grows with the bytes that actually arrive — the claimed
+/// length is never trusted up front, so a frame promising 2^40 bytes
+/// and then hanging up costs memory proportional to what the peer
+/// really sent, not what the header advertised.
 fn read_blob(r: &mut impl BufRead, len: usize) -> io::Result<Result<String, Reject>> {
-    let mut buf = vec![0u8; len + 1];
-    r.read_exact(&mut buf)?;
+    let total = (len as u64).saturating_add(1); // payload + newline
+    let mut buf = Vec::new();
+    r.by_ref().take(total).read_to_end(&mut buf)?;
+    if buf.len() as u64 != total {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-payload",
+        ));
+    }
     if buf.pop() != Some(b'\n') {
         return Ok(Err((
             RejectCode::BadRequest,
@@ -669,5 +681,24 @@ mod tests {
     fn eof_is_none() {
         assert!(Request::read(&mut "".as_bytes(), 10).unwrap().is_none());
         assert!(Response::read(&mut "".as_bytes()).unwrap().is_none());
+    }
+
+    #[test]
+    fn advertised_payload_length_is_not_trusted() {
+        // A header claiming a terabyte payload followed by three real
+        // bytes must fail as a truncated message, not allocate a
+        // terabyte (fuzz-found abort).
+        let tb = 1u64 << 40;
+        for input in [
+            format!("stats {tb}\nhi\n"),
+            format!("err queue_full {tb}\nhi\n"),
+            format!("result warm {:016x} 0 {:016x} {tb}\nhi\n", 0u64, 0u64),
+        ] {
+            let err = Response::read(&mut input.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "`{input}`");
+        }
+        // The degenerate length that would overflow `len + 1`.
+        let max = format!("stats {}\nhi\n", usize::MAX);
+        assert!(Response::read(&mut max.as_bytes()).is_err());
     }
 }

@@ -1,5 +1,6 @@
 //! The tuning daemon: a Unix-socket server multiplexing concurrent
-//! tune/query requests onto a shared persistent [`TuningDatabase`].
+//! tune/query requests onto a shared persistent, journaled tuning
+//! database ([`JournaledDb`]).
 //!
 //! # Request lifecycle
 //!
@@ -9,7 +10,7 @@
 //!             reject)                  │        └─► background re-tune job
 //!                                      └─► miss ─► in-flight? ─► join (dedup)
 //!                                                     └─► enqueue ─► worker
-//!                                                          tunes, persists,
+//!                                                          tunes, journals,
 //!                                                          publishes ─► respond
 //! ```
 //!
@@ -24,13 +25,27 @@
 //! * Lock order is `inflight` before `queue`; the database lock is
 //!   never held together with either.
 //! * A worker publishes a finished job in the order: database insert +
-//!   save → remove from `inflight` → set the job's result and notify.
-//!   A request arriving between any two of those steps therefore either
-//!   sees the record in the database (warm hit) or finds the job still
-//!   in flight (dedup join) — it can never re-tune a finished
-//!   fingerprint.
+//!   journal append + fsync → remove from `inflight` → set the job's
+//!   result and notify. A request arriving between any two of those
+//!   steps therefore either sees the record in the database (warm hit)
+//!   or finds the job still in flight (dedup join) — it can never
+//!   re-tune a finished fingerprint.
 //! * Workers drain the queue completely before exiting on shutdown, so
 //!   every admitted request is answered.
+//!
+//! # Durability invariant
+//!
+//! The database is a [`JournaledDb`]: each publish appends one fsynced
+//! entry to a write-ahead journal (O(1) in the database size), and the
+//! requester is notified only **after** that append+fsync returned. So
+//! *acknowledged ⇒ durable*: a crash at any instant loses at most tunes
+//! that no client was told succeeded. A publish whose journal append
+//! fails transiently is retried ([`ServeConfig::save_retries`] attempts
+//! with doubling backoff); if all attempts fail, the record is kept in
+//! memory, the failure is counted on `serve.db_save_failures`, and the
+//! stats response reports `db_degraded: 1` until a later compaction
+//! folds the memory state into the snapshot — degradation is never
+//! silent. See `docs/OPERATIONS.md` for the recovery runbook.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{BufRead, BufReader, Write};
@@ -45,8 +60,8 @@ use std::time::{Duration, Instant};
 use tir::parser::parse_func;
 use tir::PrimFunc;
 use tir_autoschedule::{
-    tune_workload, workload_key, DbError, Strategy, TuneOptions, TuningDatabase, TuningRecord,
-    WarmStart,
+    tune_workload, workload_key, DbError, FaultIo, IoProfile, JournaledDb, Strategy, TuneOptions,
+    TuningRecord, WarmStart,
 };
 use tir_exec::Machine;
 use tir_tensorize::builtin_registry;
@@ -103,6 +118,16 @@ pub struct ServeConfig {
     /// optimizer regression can be bisected in production without a
     /// rebuild. Never changes tuning results.
     pub exec_backend: tir_exec::ExecBackend,
+    /// Storage backend for the journaled database: [`IoProfile::Disk`]
+    /// in production, [`IoProfile::Fault`] under the chaos harness.
+    pub io_profile: IoProfile,
+    /// Journal size (bytes) past which a publish folds the journal into
+    /// the snapshot inline ([`JournaledDb::compact_threshold`]).
+    pub journal_compact_bytes: usize,
+    /// Attempts for one publish's journal append before the daemon
+    /// gives up, keeps the record memory-only, and reports itself
+    /// degraded. Backoff doubles between attempts from 10 ms.
+    pub save_retries: usize,
 }
 
 impl ServeConfig {
@@ -118,6 +143,9 @@ impl ServeConfig {
             tune_threads: 1,
             seed: 42,
             exec_backend: tir_exec::ExecBackend::default(),
+            io_profile: IoProfile::Disk,
+            journal_compact_bytes: JournaledDb::DEFAULT_COMPACT_THRESHOLD,
+            save_retries: 3,
         }
     }
 }
@@ -225,7 +253,7 @@ impl Eq for QueueEntry {}
 /// State shared by the accept loop, connection threads, and workers.
 struct Shared {
     cfg: ServeConfig,
-    db: Mutex<TuningDatabase>,
+    db: Mutex<JournaledDb>,
     inflight: Mutex<HashMap<JobKey, Arc<Job>>>,
     queue: Mutex<BinaryHeap<QueueEntry>>,
     queue_cv: Condvar,
@@ -254,7 +282,9 @@ impl Server {
     /// [`StartError::Db`] when the database file exists but cannot be
     /// loaded; [`StartError::Io`] when socket setup fails.
     pub fn start(cfg: ServeConfig) -> Result<Server, StartError> {
-        let db = TuningDatabase::open(&cfg.db_path).map_err(StartError::Db)?;
+        let (mut db, recovery) =
+            JournaledDb::open(cfg.io_profile.build(), &cfg.db_path).map_err(StartError::Db)?;
+        db.compact_threshold = cfg.journal_compact_bytes;
         match std::fs::remove_file(&cfg.socket_path) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -265,6 +295,17 @@ impl Server {
 
         let collector = Collector::new();
         let trace_stream = collector.stream("serve");
+        collector.count("serve.journal_replayed", recovery.journal_replayed as u64);
+        collector.count(
+            "serve.journal_salvaged_bytes",
+            recovery.salvaged_bytes as u64,
+        );
+        if recovery.salvaged() {
+            eprintln!(
+                "tir-serve: recovered from a torn journal tail ({} bytes truncated, {} entries replayed)",
+                recovery.salvaged_bytes, recovery.journal_replayed
+            );
+        }
         let shared = Arc::new(Shared {
             cfg,
             db: Mutex::new(db),
@@ -307,6 +348,14 @@ impl Server {
         self.shared.queue_cv.notify_all();
     }
 
+    /// Whether shutdown has been requested (by a client's `shutdown`,
+    /// by [`Server::request_shutdown`], or internally after a fatal
+    /// storage failure). Lets an embedding binary poll for signal-driven
+    /// shutdown instead of blocking in [`Server::join`].
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
     /// Blocks until the daemon has shut down (a client sent `shutdown`
     /// or [`Server::request_shutdown`] was called), persists the final
     /// database state (including hit/miss counters), removes the socket
@@ -318,9 +367,11 @@ impl Server {
             let _ = w.join();
         }
         {
-            let db = self.shared.db.lock().expect("db lock");
-            if let Err(e) = db.save(&self.shared.cfg.db_path) {
-                eprintln!("tir-serve: final database save failed: {e}");
+            // Fold the journal (and any degraded memory-only records)
+            // into the snapshot; also persists the hit/miss counters.
+            let mut db = self.shared.db.lock().expect("db lock");
+            if let Err(e) = db.compact() {
+                eprintln!("tir-serve: final database compaction failed: {e}");
             }
         }
         let _ = std::fs::remove_file(&self.shared.cfg.socket_path);
@@ -513,7 +564,8 @@ fn handle_query(
     let t = Instant::now();
     let hit = {
         let db = shared.db.lock().expect("db lock");
-        db.peek(&m.name, s, &key)
+        db.db()
+            .peek(&m.name, s, &key)
             .map(|rec| (rec.best.to_string(), rec.best_time))
     };
     shared.collector.span(
@@ -566,7 +618,8 @@ fn handle_tune(
     let t = Instant::now();
     let hit = {
         let mut db = shared.db.lock().expect("db lock");
-        db.lookup(&m.name, s, &key)
+        db.db_mut()
+            .lookup(&m.name, s, &key)
             .map(|rec| (rec.budget, rec.best.clone(), rec.best_time))
     };
     shared.collector.span(
@@ -801,33 +854,25 @@ fn worker_loop(shared: &Arc<Shared>) {
                 Some(best) => {
                     let func_text = best.to_string();
                     // Persist BEFORE removing from inflight (see the
-                    // module docs' publication-order invariant).
-                    {
-                        let mut db = shared.db.lock().expect("db lock");
-                        db.insert(
-                            &job.machine.name,
-                            job.strategy,
-                            job.fingerprint.clone(),
-                            TuningRecord {
-                                best,
-                                best_time: result.best_time,
-                                trials: result.trials_measured,
-                                budget: job.trials,
-                                tuning_cost_s: result.tuning_cost_s,
-                            },
-                        );
-                        if let Err(e) = db.save(&shared.cfg.db_path) {
-                            eprintln!(
-                                "tir-serve: database save failed: {e} (record kept in memory)"
-                            );
-                        }
-                    }
-                    Ok(Tuned {
+                    // module docs' publication-order invariant), and
+                    // BEFORE notifying the requester (the durability
+                    // invariant: acknowledged ⇒ journaled + fsynced).
+                    let record = TuningRecord {
+                        best,
                         best_time: result.best_time,
                         trials: result.trials_measured,
+                        budget: job.trials,
                         tuning_cost_s: result.tuning_cost_s,
-                        func_text,
-                    })
+                    };
+                    match publish_with_retries(shared, &job, record) {
+                        Ok(()) => Ok(Tuned {
+                            best_time: result.best_time,
+                            trials: result.trials_measured,
+                            tuning_cost_s: result.tuning_cost_s,
+                            func_text,
+                        }),
+                        Err(message) => Err(message),
+                    }
                 }
             },
         };
@@ -844,11 +889,78 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Base backoff between publish retry attempts; doubles per attempt.
+const SAVE_RETRY_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Publishes one finished tune durably, with bounded retries.
+///
+/// * Success: the record is journaled + fsynced; the caller may
+///   acknowledge the requester.
+/// * Transient storage failure: retried up to
+///   [`ServeConfig::save_retries`] times with doubling backoff, each
+///   failure counted on `serve.db_save_failures`. If every attempt
+///   fails the record stays in memory (still served warm by this
+///   process), the daemon reports `db_degraded` in its stats, and the
+///   requester is still answered — the tuning result itself is valid.
+///   The next successful publish or the shutdown compaction folds the
+///   record to disk.
+/// * Simulated crash (chaos harness only — [`FaultIo`] never lets a
+///   "dead" process touch storage again): the daemon treats itself as
+///   crashed, fails the request, and initiates shutdown, so no client
+///   ever gets an acknowledgement a real power loss would not have
+///   produced.
+fn publish_with_retries(
+    shared: &Arc<Shared>,
+    job: &Job,
+    record: TuningRecord,
+) -> Result<(), String> {
+    let mut db = shared.db.lock().expect("db lock");
+    let attempts = shared.cfg.save_retries.max(1);
+    let mut backoff = SAVE_RETRY_BACKOFF;
+    for attempt in 1..=attempts {
+        match db.publish(
+            &job.machine.name,
+            job.strategy,
+            job.fingerprint.clone(),
+            record.clone(),
+        ) {
+            Ok(_) => return Ok(()),
+            Err(e) => {
+                shared.collector.count("serve.db_save_failures", 1);
+                if let DbError::Io(io) = &e {
+                    if FaultIo::is_crash_error(io) {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        shared.queue_cv.notify_all();
+                        return Err(format!("database crashed during publish: {e}"));
+                    }
+                }
+                if attempt == attempts {
+                    eprintln!(
+                        "tir-serve: database publish failed after {attempts} attempts: {e} \
+                         (record kept in memory; db degraded until the next compaction)"
+                    );
+                    return Ok(());
+                }
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+        }
+    }
+    unreachable!("loop returns on success, crash, or final attempt")
+}
+
 /// Counters snapshot as a small hand-rolled JSON object.
 fn stats_json(shared: &Shared) -> String {
-    let (records, db_hits, db_misses) = {
+    let (records, db_hits, db_misses, journal_bytes, compactions, degraded) = {
         let db = shared.db.lock().expect("db lock");
-        (db.len(), db.hits(), db.misses())
+        (
+            db.db().len(),
+            db.db().hits(),
+            db.db().misses(),
+            db.journal_bytes(),
+            db.compactions(),
+            db.unjournaled() > 0,
+        )
     };
     let queue_depth = shared.queue.lock().expect("queue lock").len();
     let inflight = shared.inflight.lock().expect("inflight lock").len();
@@ -863,12 +975,16 @@ fn stats_json(shared: &Shared) -> String {
         "{{\"records\": {records}, \"db_hits\": {db_hits}, \"db_misses\": {db_misses}, \
          \"queue_depth\": {queue_depth}, \"inflight\": {inflight}, \
          \"warm_hits\": {}, \"cold_tunes\": {}, \"dedup_joins\": {}, \
-         \"background_retunes\": {}, \"background_done\": {}, \"rejected\": {rejected}}}",
+         \"background_retunes\": {}, \"background_done\": {}, \"rejected\": {rejected}, \
+         \"journal_bytes\": {journal_bytes}, \"compactions\": {compactions}, \
+         \"db_degraded\": {}, \"db_save_failures\": {}}}",
         report.counter("serve.warm_hits"),
         report.counter("serve.cold_tunes"),
         report.counter("serve.dedup_joins"),
         report.counter("serve.background_retunes"),
         report.counter("serve.background_done"),
+        degraded as u8,
+        report.counter("serve.db_save_failures"),
     )
 }
 

@@ -5,7 +5,7 @@
 use std::path::PathBuf;
 
 use tir::DataType;
-use tir_serve::client::{Client, ClientError};
+use tir_serve::client::{Client, ClientError, ReconnectPolicy};
 use tir_serve::protocol::{RejectCode, Source};
 use tir_serve::server::{ServeConfig, Server};
 use tir_workloads::ops;
@@ -151,8 +151,9 @@ fn invalid_requests_are_rejected_with_reasons() {
     c.ping().expect("connection still usable");
 
     // A protocol-level rejection (raised while reading the message)
-    // answers with its reason and then closes the connection.
-    let mut c2 = Client::connect(&sock).expect("connect");
+    // answers with its reason and then closes the connection. Disable
+    // the client's auto-redial so the close is observable.
+    let mut c2 = Client::connect_with(&sock, ReconnectPolicy::none()).expect("connect");
     assert_eq!(
         code_of(c2.tune("gpu", "tensorir", 8, 12, &text)),
         RejectCode::BadPriority
