@@ -165,9 +165,9 @@ fn main() {
     let mut second_cost = 0.0;
     for pass in 0..2 {
         let mut seen = std::collections::HashSet::new();
-        for layer in &model.layers {
-            let Some(func) = &layer.func else { continue };
-            if !seen.insert(layer.name.clone()) {
+        for node in &model.nodes {
+            let Some(func) = &node.func else { continue };
+            if !seen.insert(node.name.clone()) {
                 continue;
             }
             let r = db.tune_cached(func, &machine, &intrins, Strategy::TensorIr, &opts);

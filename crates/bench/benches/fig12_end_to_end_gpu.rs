@@ -25,9 +25,12 @@ fn main() {
     for model in gpu_models() {
         let pt = Framework::PyTorch.model_latency(&model, &machine);
         let trt = Framework::TensorRt.model_latency(&model, &machine);
-        let tvm = evaluate_model(&model, &machine, &intrins, Strategy::Ansor, &opts);
-        let amos = evaluate_model(&model, &machine, &intrins, Strategy::Amos, &opts);
-        let tir = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts);
+        let tvm = evaluate_model(&model, &machine, &intrins, Strategy::Ansor, &opts)
+            .expect("valid model");
+        let amos =
+            evaluate_model(&model, &machine, &intrins, Strategy::Amos, &opts).expect("valid model");
+        let tir = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts)
+            .expect("valid model");
         rows.push(vec![
             model.name.clone(),
             pt.map(fmt_ms).unwrap_or_else(|| "n/a".into()),

@@ -22,8 +22,10 @@ fn main() {
     let mut rows = Vec::new();
     for model in arm_models() {
         let pt = Framework::PyTorchQnnpack.model_latency(&model, &machine);
-        let tvm = evaluate_model(&model, &machine, &intrins, Strategy::Ansor, &opts);
-        let tir = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts);
+        let tvm = evaluate_model(&model, &machine, &intrins, Strategy::Ansor, &opts)
+            .expect("valid model");
+        let tir = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts)
+            .expect("valid model");
         rows.push(vec![
             model.name.clone(),
             pt.map(fmt_ms).unwrap_or_else(|| "n/a".into()),

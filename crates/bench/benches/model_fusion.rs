@@ -1,0 +1,165 @@
+//! Fused vs unfused end-to-end execution over the model dataflow graphs.
+//!
+//! Runs ResNet-50 and BERT-large (float16, SimGPU) through
+//! [`tir_graph::evaluate_model`] (greedy fusion on) and
+//! [`tir_graph::evaluate_model_unfused`] (every node its own kernel) with
+//! the same TensorIR strategy and trial budget, prints the comparison
+//! table, and emits `BENCH_fusion.json`.
+//!
+//! With `--check` the bench becomes a CI gate: fusion must never be
+//! slower than the unfused baseline on any model, and must win by at
+//! least 1.2x on at least one — the graph-level payoff that motivates
+//! composing epilogues into anchor kernels at all.
+
+use tensorir_bench::{fmt_ms, print_table, registry, E2E_TRIALS};
+use tir::DataType;
+use tir_autoschedule::{Strategy, TuneOptions};
+use tir_exec::Machine;
+use tir_graph::{bert_large, evaluate_model, evaluate_model_unfused, resnet50};
+use tir_trace::is_well_formed_json;
+
+struct Row {
+    name: String,
+    fused_s: f64,
+    unfused_s: f64,
+    groups: usize,
+    nodes: usize,
+    fused_ops: usize,
+    saved_launch_s: f64,
+    saved_traffic_s: f64,
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let machine = Machine::sim_gpu();
+    let intrins = registry();
+    let opts = TuneOptions {
+        trials: E2E_TRIALS,
+        ..Default::default()
+    };
+    println!(
+        "Graph-level operator fusion: fused vs unfused end-to-end ({})",
+        machine.name
+    );
+
+    let mut rows = Vec::new();
+    for model in [
+        resnet50(DataType::float16()),
+        bert_large(DataType::float16()),
+    ] {
+        let fused = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts)
+            .expect("valid model");
+        let unfused = evaluate_model_unfused(&model, &machine, &intrins, Strategy::TensorIr, &opts)
+            .expect("valid model");
+        rows.push(Row {
+            name: model.name.clone(),
+            fused_s: fused.latency_s,
+            unfused_s: unfused.latency_s,
+            groups: fused.per_group.len(),
+            nodes: model.nodes.len(),
+            fused_ops: fused.per_group.iter().map(|g| g.fused_ops).sum(),
+            saved_launch_s: fused.saved_launch_s(),
+            saved_traffic_s: fused.saved_traffic_s(),
+        });
+    }
+
+    print_table(
+        "Fused vs unfused end-to-end latency (ms), float16, batch 1",
+        &[
+            "model",
+            "unfused",
+            "fused",
+            "speedup",
+            "kernels",
+            "fused ops",
+            "saved launch",
+            "saved traffic",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    fmt_ms(r.unfused_s),
+                    fmt_ms(r.fused_s),
+                    format!("{:.2}x", r.unfused_s / r.fused_s),
+                    format!("{}/{}", r.groups, r.nodes),
+                    r.fused_ops.to_string(),
+                    fmt_ms(r.saved_launch_s),
+                    fmt_ms(r.saved_traffic_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("(kernels = fusion groups / graph nodes; saved columns are the launch and");
+    println!(" DRAM-traffic time the fused kernels eliminated, per inference.)");
+
+    // Hand-rolled JSON (the workspace has no serde dependency).
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"model_fusion\",\n  \"unit\": \"ms\",\n  \"models\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"unfused_ms\": {:.4}, \"fused_ms\": {:.4}, \"speedup\": {:.3}, \"groups\": {}, \"nodes\": {}, \"fused_ops\": {}, \"saved_launch_ms\": {:.4}, \"saved_traffic_ms\": {:.4}}}{}\n",
+            r.name,
+            r.unfused_s * 1e3,
+            r.fused_s * 1e3,
+            r.unfused_s / r.fused_s,
+            r.groups,
+            r.nodes,
+            r.fused_ops,
+            r.saved_launch_s * 1e3,
+            r.saved_traffic_s * 1e3,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fusion.json");
+    std::fs::write(path, &json).expect("write BENCH_fusion.json");
+    println!("wrote {path}");
+
+    if check {
+        let mut failures = Vec::new();
+        if !is_well_formed_json(&std::fs::read_to_string(path).expect("re-read json")) {
+            failures.push("BENCH_fusion.json is not well-formed JSON".to_string());
+        }
+        for r in &rows {
+            if r.fused_s > r.unfused_s {
+                failures.push(format!(
+                    "{}: fused {} slower than unfused {}",
+                    r.name,
+                    fmt_ms(r.fused_s),
+                    fmt_ms(r.unfused_s)
+                ));
+            }
+            if r.fused_ops == 0 {
+                failures.push(format!("{}: fusion pass fused nothing", r.name));
+            }
+            if r.saved_launch_s <= 0.0 {
+                failures.push(format!("{}: no launch savings attributed", r.name));
+            }
+            if r.saved_traffic_s <= 0.0 {
+                failures.push(format!("{}: no traffic savings attributed", r.name));
+            }
+        }
+        let best = rows
+            .iter()
+            .map(|r| r.unfused_s / r.fused_s)
+            .fold(0.0, f64::max);
+        if best < 1.2 {
+            failures.push(format!(
+                "best fusion speedup {best:.2}x below the 1.2x acceptance bar"
+            ));
+        }
+        if failures.is_empty() {
+            println!(
+                "CHECK ok: fusion never slower, best speedup {best:.2}x >= 1.2x, savings attributed"
+            );
+        } else {
+            for f in &failures {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -123,8 +123,10 @@ fn main() {
     println!("Table 1 reproduction: tuning time ({})", machine.name);
     let mut rows = Vec::new();
     for model in gpu_models() {
-        let tvm = evaluate_model(&model, &machine, &intrins, Strategy::Ansor, &tvm_opts);
-        let tir = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &tir_opts);
+        let tvm = evaluate_model(&model, &machine, &intrins, Strategy::Ansor, &tvm_opts)
+            .expect("valid model");
+        let tir = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &tir_opts)
+            .expect("valid model");
         rows.push(vec![
             model.name.clone(),
             format!("{:.1}", tvm.tuning_cost_s / 60.0),

@@ -1,0 +1,42 @@
+//! Smoke: a composed kernel with `Custom("fused")` intermediates tunes
+//! end-to-end, stays bit-exact, and passes the static verifier.
+
+use tir::DataType;
+use tir_autoschedule::{tune_workload, Strategy, TuneOptions};
+use tir_exec::machine::Machine;
+use tir_exec::{estimate_breakdown, summarize};
+use tir_tensorize::builtin_registry;
+use tir_workloads::{fuse_epilogue, gmm, Epilogue};
+
+#[test]
+fn fused_scope_composition_tunes_end_to_end() {
+    let dt = DataType::float16();
+    let anchor = gmm(64, 64, 64, dt, dt);
+    let fused = fuse_epilogue(
+        &anchor,
+        &[Epilogue::BiasAdd, Epilogue::Relu],
+        "gmm_bias_relu",
+    );
+    let machine = Machine::sim_gpu();
+    let reg = builtin_registry();
+    let opts = TuneOptions {
+        trials: 16,
+        ..Default::default()
+    };
+    let r = tune_workload(&fused, &machine, &reg, Strategy::TensorIr, &opts);
+    let best = r.best.expect("tensorized fused candidate");
+    tir_analysis::verify_scheduled(&best).expect("fused best passes the static verifier");
+    tir_exec::assert_same_semantics(&fused, &best, 1, 0.0);
+    let bd = estimate_breakdown(&summarize(&best), &machine);
+    println!("fused best {:?} total {}", bd, bd.total());
+    // Compare against anchor alone:
+    let ra = tune_workload(&anchor, &machine, &reg, Strategy::TensorIr, &opts);
+    println!(
+        "anchor best_time {} fused best_time {}",
+        ra.best_time, r.best_time
+    );
+    assert!(
+        r.best_time < ra.best_time + 4e-6,
+        "fused must not pay a second launch"
+    );
+}

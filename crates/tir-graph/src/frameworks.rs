@@ -3,15 +3,17 @@
 //! Each framework is modeled as a roofline oracle: its kernels reach a
 //! fixed fraction of the best applicable machine peak for each operator
 //! family (a dedicated engineering team's hand-tuned kernel), and its
-//! runtime either fuses elementwise work into neighbours or pays separate
-//! bandwidth-bound kernel launches. Support gaps are explicit: CUTLASS has
+//! runtime either fuses elementwise work into neighbours — zeroing the
+//! elementwise node's DRAM traffic and launch, exactly like our own
+//! fusion pass — or pays a separate bandwidth-bound kernel launch per
+//! elementwise node. Support gaps are explicit: CUTLASS has
 //! no DEP/GRP/T2D kernels, TensorRT does not run ViT, and QNNPACK has no
 //! `sdot` path (all from §5 of the paper).
 
 use tir::DataType;
 use tir_exec::machine::{Machine, MachineKind};
 
-use crate::layer::{Layer, LayerKind, ModelSpec};
+use crate::layer::{LayerKind, ModelSpec, OpNode};
 
 /// The comparison systems of Figures 11/12/13/14.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -72,7 +74,7 @@ impl Framework {
             (Framework::PyTorchQnnpack, LayerKind::Conv2d) => 0.55,
             (Framework::PyTorchQnnpack, LayerKind::BatchMatmul) => 0.50,
             (Framework::PyTorchQnnpack, LayerKind::Depthwise) => 0.45,
-            (_, LayerKind::Memory) => 1.0,
+            (_, LayerKind::Memory | LayerKind::Elementwise) => 1.0,
         })
     }
 
@@ -99,26 +101,22 @@ impl Framework {
         !(self == Framework::TensorRt && model.name.starts_with("ViT"))
     }
 
-    /// Kernel time for one layer instance, `None` if unsupported.
-    pub fn layer_time(self, layer: &Layer, machine: &Machine, dtype: DataType) -> Option<f64> {
-        let eff = self.efficiency(layer.kind)?;
-        if layer.kind == LayerKind::Memory {
-            let bytes = if self.fuses_elementwise() {
-                // Fused into the producing kernel: no extra pass.
-                0.0
-            } else {
-                layer.min_bytes
-            };
-            let t = bytes / (machine.global_bw_gbps * 1e9);
-            let overhead = if self.fuses_elementwise() {
-                0.0
-            } else {
-                machine.launch_overhead_us * 1e-6
-            };
-            return Some(t + overhead);
+    /// Kernel time for one node instance, `None` if unsupported.
+    pub fn layer_time(self, node: &OpNode, machine: &Machine, dtype: DataType) -> Option<f64> {
+        let eff = self.efficiency(node.kind)?;
+        if matches!(node.kind, LayerKind::Memory | LayerKind::Elementwise) {
+            // Fusing runtimes fold elementwise nodes into the producing
+            // kernel: zero extra traffic, zero extra launch. (Opaque
+            // memory nodes — softmax, layernorm — fuse too in these
+            // runtimes' fused attention/normalization kernels.)
+            if self.fuses_elementwise() {
+                return Some(0.0);
+            }
+            let t = node.min_bytes / (machine.global_bw_gbps * 1e9);
+            return Some(t + machine.launch_overhead_us * 1e-6);
         }
-        let compute = layer.macs / (self.peak(machine, dtype) * eff);
-        let memory = layer.min_bytes / (machine.global_bw_gbps * 1e9);
+        let compute = node.macs / (self.peak(machine, dtype) * eff);
+        let memory = node.min_bytes / (machine.global_bw_gbps * 1e9);
         Some(compute.max(memory) + machine.launch_overhead_us * 1e-6)
     }
 
@@ -128,9 +126,9 @@ impl Framework {
             return None;
         }
         let mut total = 0.0;
-        for l in &model.layers {
-            let t = self.layer_time(l, machine, model.dtype)?;
-            total += t * l.count as f64;
+        for n in &model.nodes {
+            let t = self.layer_time(n, machine, model.dtype)?;
+            total += t * n.count as f64;
         }
         Some(total)
     }
@@ -161,12 +159,13 @@ mod tests {
     #[test]
     fn cutlass_lacks_depthwise() {
         let machine = Machine::sim_gpu();
-        let l = Layer::compute(
+        let l = OpNode::compute(
             "dw",
             LayerKind::Depthwise,
             tir_workloads::dep(1, 16, 16, 32, 3, 3, 1, DataType::float16()),
             1e6,
             1,
+            vec![],
         );
         assert!(Framework::Cutlass
             .layer_time(&l, &machine, DataType::float16())

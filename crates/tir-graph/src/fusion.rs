@@ -1,0 +1,297 @@
+//! Greedy graph-level operator fusion.
+//!
+//! Walks the model dataflow graph and folds chains of elementwise
+//! consumers into their producing anchor op (conv / matmul / batched
+//! matmul / depthwise — the kinds [`can_anchor`] admits). A chain extends
+//! past a node only while that node has exactly one consumer, the
+//! consumer is elementwise, follows the producer as its *primary* input,
+//! and repeats the same number of times — so every fused intermediate is
+//! genuinely private to the fused kernel and the collapsed repeat
+//! structure stays coherent. Secondary inputs (residual tensors) become
+//! extra parameters of the fused kernel.
+//!
+//! The composed kernel comes from [`tir_workloads::fuse_epilogue`]: the
+//! anchor's output and chain intermediates live in the on-chip
+//! [`tir_workloads::FUSED_SCOPE`], so the kernel pays one launch and no
+//! DRAM round-trips for fused values. The per-group `saved_*` fields
+//! quantify exactly what fusion eliminated versus running every node
+//! standalone.
+
+use tir::PrimFunc;
+use tir_workloads::fuse_epilogue;
+
+use crate::layer::{LayerKind, ModelSpec, NodeId};
+
+/// One unit of end-to-end execution after fusion: an anchor with its
+/// fused elementwise chain, or a single unfused node.
+#[derive(Clone, Debug)]
+pub struct FusionGroup {
+    /// The group's lead node.
+    pub anchor: NodeId,
+    /// Elementwise chain members fused into the anchor, in dataflow order
+    /// (empty for unfused groups).
+    pub fused: Vec<NodeId>,
+    /// Kernel name: the anchor's name plus one suffix per fused op.
+    pub name: String,
+    /// The kernel to tune: the fused composition when `fused` is
+    /// non-empty, the anchor's own workload otherwise; `None` for
+    /// memory-bound / standalone-elementwise groups (modeled at the
+    /// bandwidth roofline).
+    pub func: Option<PrimFunc>,
+    /// Operator family of the anchor.
+    pub kind: LayerKind,
+    /// Occurrences in the network (equal across all members).
+    pub count: i64,
+    /// Multiply-accumulates per instance.
+    pub macs: f64,
+    /// DRAM traffic per instance of this group's kernel, bytes.
+    pub min_bytes: f64,
+    /// Kernel launches eliminated per instance (= number of fused ops).
+    pub saved_launches: usize,
+    /// DRAM bytes eliminated per instance: traffic the chain would move
+    /// unfused, minus what the fused kernel moves.
+    pub saved_bytes: f64,
+}
+
+/// Whether a node kind can anchor a fused elementwise chain.
+pub fn can_anchor(kind: LayerKind) -> bool {
+    matches!(
+        kind,
+        LayerKind::Conv2d | LayerKind::Depthwise | LayerKind::Dense | LayerKind::BatchMatmul
+    )
+}
+
+fn singleton(model: &ModelSpec, id: NodeId) -> FusionGroup {
+    let node = &model.nodes[id];
+    FusionGroup {
+        anchor: id,
+        fused: Vec::new(),
+        name: node.name.clone(),
+        func: node.func.clone(),
+        kind: node.kind,
+        count: node.count,
+        macs: node.macs,
+        min_bytes: node.min_bytes,
+        saved_launches: 0,
+        saved_bytes: 0.0,
+    }
+}
+
+/// Every node as its own group: the unfused baseline.
+pub fn singleton_groups(model: &ModelSpec) -> Vec<FusionGroup> {
+    (0..model.nodes.len())
+        .map(|id| singleton(model, id))
+        .collect()
+}
+
+/// Runs greedy fusion over the graph and returns the execution groups in
+/// node order. Nodes that anchor nothing (and elementwise/memory nodes
+/// not absorbed into a chain) come back as singleton groups.
+pub fn fuse_graph(model: &ModelSpec) -> Vec<FusionGroup> {
+    let consumers = model.consumers();
+    let mut absorbed = vec![false; model.nodes.len()];
+    let mut chains: Vec<Option<Vec<NodeId>>> = vec![None; model.nodes.len()];
+
+    for (id, node) in model.nodes.iter().enumerate() {
+        if !can_anchor(node.kind) || node.func.is_none() {
+            continue;
+        }
+        let mut chain = Vec::new();
+        let mut tail = id;
+        // The tail's output must be private to the chain for the tail to
+        // stay on-chip: exactly one consumer, reading it as its primary
+        // input.
+        while let [next] = consumers[tail][..] {
+            let cand = &model.nodes[next];
+            if cand.kind != LayerKind::Elementwise
+                || cand.eltwise.is_none()
+                || cand.inputs.first() != Some(&tail)
+                || cand.count != node.count
+                || cand.elems != node.elems
+            {
+                break;
+            }
+            chain.push(next);
+            tail = next;
+        }
+        for &m in &chain {
+            absorbed[m] = true;
+        }
+        chains[id] = Some(chain);
+    }
+
+    let mut groups = Vec::new();
+    for (id, node) in model.nodes.iter().enumerate() {
+        if absorbed[id] {
+            continue;
+        }
+        let Some(chain) = &chains[id] else {
+            groups.push(singleton(model, id));
+            continue;
+        };
+        if chain.is_empty() {
+            groups.push(singleton(model, id));
+            continue;
+        }
+        let anchor_func = node.func.as_ref().expect("anchors carry workloads");
+        let steps: Vec<_> = chain
+            .iter()
+            .map(|&m| {
+                model.nodes[m]
+                    .eltwise
+                    .expect("chain members are elementwise")
+                    .epilogue()
+            })
+            .collect();
+        let mut name = node.name.clone();
+        for step in &steps {
+            name.push('_');
+            name.push_str(step.label());
+        }
+        let func = fuse_epilogue(anchor_func, &steps, &name);
+        let fused_bytes: f64 = func.params.iter().map(|p| p.size_bytes() as f64).sum();
+        let unfused_bytes: f64 =
+            node.min_bytes + chain.iter().map(|&m| model.nodes[m].min_bytes).sum::<f64>();
+        groups.push(FusionGroup {
+            anchor: id,
+            fused: chain.clone(),
+            name,
+            func: Some(func),
+            kind: node.kind,
+            count: node.count,
+            macs: node.macs,
+            min_bytes: fused_bytes,
+            saved_launches: chain.len(),
+            saved_bytes: (unfused_bytes - fused_bytes).max(0.0),
+        });
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{EltwiseOp, OpNode};
+    use tir::DataType;
+
+    fn mm_node(name: &str, dim: i64, count: i64, inputs: Vec<NodeId>) -> OpNode {
+        let dt = DataType::float16();
+        OpNode::compute(
+            name,
+            LayerKind::Dense,
+            tir_workloads::gmm(dim, dim, dim, dt, dt),
+            (dim * dim * dim) as f64,
+            count,
+            inputs,
+        )
+    }
+
+    fn spec(nodes: Vec<OpNode>) -> ModelSpec {
+        ModelSpec {
+            name: "t".into(),
+            dtype: DataType::float16(),
+            nodes,
+        }
+    }
+
+    #[test]
+    fn chain_of_two_epilogues_fuses_into_the_anchor() {
+        let dt = DataType::float16();
+        let m = spec(vec![
+            mm_node("mm", 16, 2, vec![]),
+            OpNode::elementwise("bias", EltwiseOp::BiasAdd, 16 * 16, dt, 2, vec![0]),
+            OpNode::elementwise("relu", EltwiseOp::Relu, 16 * 16, dt, 2, vec![1]),
+        ]);
+        let groups = fuse_graph(&m);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.name, "mm_bias_relu");
+        assert_eq!(g.fused, vec![1, 2]);
+        assert_eq!(g.saved_launches, 2);
+        assert!(g.saved_bytes > 0.0, "fusion eliminates DRAM traffic");
+        let f = g.func.as_ref().expect("composed kernel");
+        tir_analysis::assert_valid(f);
+        // A, B, Bias, D.
+        assert_eq!(f.params.len(), 4);
+        // Exactly the intermediate round-trips disappear: bias-add would
+        // read+write 16x16, relu would read+write 16x16; the fused kernel
+        // keeps one extra read of the bias vector.
+        let elem_bytes = (16 * 16 * dt.bytes()) as f64;
+        assert_eq!(g.saved_bytes, 4.0 * elem_bytes - 16.0 * dt.bytes() as f64);
+    }
+
+    #[test]
+    fn multi_consumer_intermediates_stop_the_chain() {
+        let dt = DataType::float16();
+        // mm -> relu, but mm's output also feeds a second matmul: the relu
+        // must not be fused (mm's output is not private to the chain).
+        let m = spec(vec![
+            mm_node("mm", 16, 1, vec![]),
+            OpNode::elementwise("relu", EltwiseOp::Relu, 16 * 16, dt, 1, vec![0]),
+            mm_node("mm2", 16, 1, vec![0]),
+        ]);
+        let groups = fuse_graph(&m);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.fused.is_empty()));
+    }
+
+    #[test]
+    fn count_mismatch_stops_the_chain() {
+        let dt = DataType::float16();
+        let m = spec(vec![
+            mm_node("mm", 16, 4, vec![]),
+            OpNode::elementwise("add", EltwiseOp::Add, 16 * 16, dt, 3, vec![0]),
+        ]);
+        let groups = fuse_graph(&m);
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].fused.is_empty());
+    }
+
+    #[test]
+    fn memory_nodes_never_anchor_or_fuse() {
+        let dt = DataType::float16();
+        let m = spec(vec![
+            OpNode::memory("softmax", 4096.0, 1, vec![]),
+            OpNode::elementwise("relu", EltwiseOp::Relu, 16 * 16, dt, 1, vec![0]),
+        ]);
+        let groups = fuse_graph(&m);
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].func.is_none());
+        assert_eq!(groups[1].kind, LayerKind::Elementwise);
+    }
+
+    #[test]
+    fn residual_producer_is_not_absorbed() {
+        let dt = DataType::float16();
+        // proj feeds the add as a *secondary* input; the chain fuses
+        // mm -> add -> relu and proj stays standalone.
+        let m = spec(vec![
+            mm_node("proj", 16, 1, vec![]),
+            mm_node("mm", 16, 1, vec![]),
+            OpNode::elementwise("addres", EltwiseOp::Add, 16 * 16, dt, 1, vec![1, 0]),
+            OpNode::elementwise("relu", EltwiseOp::Relu, 16 * 16, dt, 1, vec![2]),
+        ]);
+        let groups = fuse_graph(&m);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].name, "proj");
+        assert_eq!(groups[1].name, "mm_add_relu");
+        assert_eq!(groups[1].fused, vec![2, 3]);
+        let f = groups[1].func.as_ref().expect("composed");
+        // A, B, R (residual), D.
+        assert_eq!(f.params.len(), 4);
+    }
+
+    #[test]
+    fn singleton_groups_cover_every_node_unfused() {
+        let dt = DataType::float16();
+        let m = spec(vec![
+            mm_node("mm", 16, 1, vec![]),
+            OpNode::elementwise("relu", EltwiseOp::Relu, 16 * 16, dt, 1, vec![0]),
+        ]);
+        let groups = singleton_groups(&m);
+        assert_eq!(groups.len(), 2);
+        assert!(groups
+            .iter()
+            .all(|g| g.fused.is_empty() && g.saved_launches == 0));
+    }
+}

@@ -1,16 +1,28 @@
-//! Model layers: the unit of end-to-end execution.
+//! The model dataflow graph: operator nodes with explicit tensor edges.
 //!
-//! A network is a sequence of [`Layer`]s. Tensor-compute layers carry a
-//! TensorIR workload that the auto-scheduler tunes; memory-bound layers
-//! (elementwise arithmetic, normalization, residual adds) are modeled at
-//! the bandwidth roofline, which is how every system in the comparison
-//! executes them (frameworks run them as bandwidth-bound kernels; compilers
-//! fuse them into neighbours — the `fused` flag halves their traffic).
+//! A network is a graph of [`OpNode`]s. Tensor-compute nodes (conv,
+//! matmul, …) carry a TensorIR workload that the auto-scheduler tunes.
+//! Elementwise nodes (activations, residual adds, bias adds) carry an
+//! [`EltwiseOp`]; the fusion pass (`crate::fusion`) folds them into their
+//! producing anchor kernel, where their intermediates live in on-chip
+//! [`tir_workloads::FUSED_SCOPE`] storage — no separate kernel launch and
+//! no DRAM round-trip. Elementwise nodes that stay unfused, and opaque
+//! memory-bound nodes (softmax, layernorm), run as standalone
+//! bandwidth-roofline kernels and pay one launch each — the cost fusion
+//! exists to eliminate.
+//!
+//! Edges are producer indices: `inputs[0]` is the node's primary data
+//! input (the fusion chain follows it); additional entries are secondary
+//! inputs such as the residual operand of an [`EltwiseOp::Add`].
 
 use tir::{DataType, PrimFunc};
+use tir_workloads::Epilogue;
 
-/// The operator family of a layer (drives vendor-library efficiency and
-/// support lookups).
+/// Index of a node within [`ModelSpec::nodes`].
+pub type NodeId = usize;
+
+/// The operator family of a node (drives fusion legality and
+/// vendor-library efficiency/support lookups).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum LayerKind {
     /// Standard 2-D convolution (includes 1x1 / pointwise).
@@ -21,80 +33,185 @@ pub enum LayerKind {
     Dense,
     /// Batched matmul (attention).
     BatchMatmul,
-    /// Bandwidth-bound elementwise/normalization work.
+    /// A fusible elementwise op (activation, residual add, bias add).
+    Elementwise,
+    /// Opaque bandwidth-bound work (softmax, normalization): modeled at
+    /// the bandwidth roofline, never fused.
     Memory,
 }
 
-/// One layer of a model.
-#[derive(Clone, Debug)]
-pub struct Layer {
-    /// Unique name (layers with equal names are tuned once).
-    pub name: String,
-    /// Operator family.
-    pub kind: LayerKind,
-    /// The tunable workload; `None` for memory-bound layers.
-    pub func: Option<PrimFunc>,
-    /// Multiply-accumulates per instance.
-    pub macs: f64,
-    /// Compulsory traffic per instance (inputs + outputs + weights), bytes.
-    pub min_bytes: f64,
-    /// How many times the layer occurs in the network.
-    pub count: i64,
+/// The concrete elementwise operation of a [`LayerKind::Elementwise`]
+/// node. Maps 1:1 onto the [`Epilogue`] steps the fused-kernel composer
+/// understands.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EltwiseOp {
+    /// `max(x, 0)`.
+    Relu,
+    /// `x + residual` — the residual tensor is `inputs[1]`'s output.
+    Add,
+    /// `x + bias[channel]` over the last axis.
+    BiasAdd,
+    /// Gaussian error linear unit (float dtypes only).
+    Gelu,
 }
 
-impl Layer {
-    /// A memory-bound layer moving `bytes` per instance.
-    pub fn memory(name: impl Into<String>, bytes: f64, count: i64) -> Layer {
-        Layer {
-            name: name.into(),
-            kind: LayerKind::Memory,
-            func: None,
-            macs: 0.0,
-            min_bytes: bytes,
-            count,
+impl EltwiseOp {
+    /// The epilogue step this op lowers to when fused.
+    pub fn epilogue(self) -> Epilogue {
+        match self {
+            EltwiseOp::Relu => Epilogue::Relu,
+            EltwiseOp::Add => Epilogue::AddInput,
+            EltwiseOp::BiasAdd => Epilogue::BiasAdd,
+            EltwiseOp::Gelu => Epilogue::Gelu,
         }
     }
 
-    /// A tensor-compute layer from a workload function.
+    /// Short name used in fused-kernel names.
+    pub fn label(self) -> &'static str {
+        self.epilogue().label()
+    }
+
+    /// Tensor passes over the output-sized operand when run standalone:
+    /// reads of elementwise inputs plus the write (the 1-D bias vector is
+    /// negligible and not counted).
+    fn passes(self) -> f64 {
+        match self {
+            EltwiseOp::Add => 3.0,
+            EltwiseOp::Relu | EltwiseOp::BiasAdd | EltwiseOp::Gelu => 2.0,
+        }
+    }
+}
+
+/// One operator node of a model graph.
+#[derive(Clone, Debug)]
+pub struct OpNode {
+    /// Node name, unique within the model.
+    pub name: String,
+    /// Operator family.
+    pub kind: LayerKind,
+    /// The tunable workload; `None` for elementwise and memory nodes.
+    pub func: Option<PrimFunc>,
+    /// The elementwise op; `Some` exactly for [`LayerKind::Elementwise`].
+    pub eltwise: Option<EltwiseOp>,
+    /// Multiply-accumulates per instance.
+    pub macs: f64,
+    /// Compulsory DRAM traffic per instance when run standalone (inputs +
+    /// outputs + weights), bytes. Fusion eliminates the intermediate
+    /// portion of this.
+    pub min_bytes: f64,
+    /// How many times the node occurs in the network (repeated blocks are
+    /// collapsed: edges between equal-count nodes are within-repeat
+    /// dataflow).
+    pub count: i64,
+    /// Output tensor element count.
+    pub elems: i64,
+    /// Producer nodes: `inputs[0]` is the primary data input.
+    pub inputs: Vec<NodeId>,
+}
+
+impl OpNode {
+    /// A tensor-compute node from a workload function. The output element
+    /// count and traffic are derived from the function signature (the
+    /// output is the last parameter, as all `tir-workloads` generators
+    /// emit).
     pub fn compute(
         name: impl Into<String>,
         kind: LayerKind,
         func: PrimFunc,
         macs: f64,
         count: i64,
-    ) -> Layer {
+        inputs: Vec<NodeId>,
+    ) -> OpNode {
         let min_bytes: f64 = func.params.iter().map(|p| p.size_bytes() as f64).sum();
-        Layer {
+        let elems = func
+            .params
+            .last()
+            .map_or(0, |p| p.shape().iter().product::<i64>());
+        OpNode {
             name: name.into(),
             kind,
             func: Some(func),
+            eltwise: None,
             macs,
             min_bytes,
             count,
+            elems,
+            inputs,
+        }
+    }
+
+    /// An elementwise node over `elems` output elements of `dtype` (the
+    /// dtype the operand tensors carry — the anchor's accumulator type
+    /// for quantized models).
+    pub fn elementwise(
+        name: impl Into<String>,
+        op: EltwiseOp,
+        elems: i64,
+        dtype: DataType,
+        count: i64,
+        inputs: Vec<NodeId>,
+    ) -> OpNode {
+        OpNode {
+            name: name.into(),
+            kind: LayerKind::Elementwise,
+            func: None,
+            eltwise: Some(op),
+            macs: 0.0,
+            min_bytes: op.passes() * elems as f64 * dtype.bytes() as f64,
+            count,
+            elems,
+            inputs,
+        }
+    }
+
+    /// An opaque memory-bound node moving `bytes` per instance.
+    pub fn memory(name: impl Into<String>, bytes: f64, count: i64, inputs: Vec<NodeId>) -> OpNode {
+        OpNode {
+            name: name.into(),
+            kind: LayerKind::Memory,
+            func: None,
+            eltwise: None,
+            macs: 0.0,
+            min_bytes: bytes,
+            count,
+            elems: 0,
+            inputs,
         }
     }
 }
 
-/// A whole model: a named list of layers.
+/// A whole model: a named dataflow graph of operator nodes.
 #[derive(Clone, Debug)]
 pub struct ModelSpec {
     /// Model name as shown in the figures.
     pub name: String,
-    /// Data type of the tensor-compute layers.
+    /// Data type of the tensor-compute nodes.
     pub dtype: DataType,
-    /// The layers.
-    pub layers: Vec<Layer>,
+    /// The nodes, in topological order (producers before consumers).
+    pub nodes: Vec<OpNode>,
 }
 
 impl ModelSpec {
     /// Total MACs of one inference.
     pub fn total_macs(&self) -> f64 {
-        self.layers.iter().map(|l| l.macs * l.count as f64).sum()
+        self.nodes.iter().map(|n| n.macs * n.count as f64).sum()
     }
 
-    /// Number of distinct tunable layers.
+    /// Number of distinct tunable nodes.
     pub fn distinct_tunable(&self) -> usize {
-        self.layers.iter().filter(|l| l.func.is_some()).count()
+        self.nodes.iter().filter(|n| n.func.is_some()).count()
+    }
+
+    /// Consumer adjacency: `consumers()[p]` lists every node that reads
+    /// `p`'s output (in any input position).
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for &p in &node.inputs {
+                out[p].push(id);
+            }
+        }
+        out
     }
 }
 
@@ -103,26 +220,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn compute_layer_derives_bytes() {
+    fn compute_node_derives_bytes_and_elems() {
         let f = tir_workloads::gmm(64, 64, 64, DataType::float16(), DataType::float16());
-        let l = Layer::compute("mm", LayerKind::Dense, f, 64.0 * 64.0 * 64.0, 2);
+        let n = OpNode::compute("mm", LayerKind::Dense, f, 64.0 * 64.0 * 64.0, 2, vec![]);
         // 3 buffers of 64x64 f16.
-        assert_eq!(l.min_bytes, 3.0 * 64.0 * 64.0 * 2.0);
-        assert_eq!(l.count, 2);
+        assert_eq!(n.min_bytes, 3.0 * 64.0 * 64.0 * 2.0);
+        assert_eq!(n.elems, 64 * 64);
+        assert_eq!(n.count, 2);
     }
 
     #[test]
-    fn model_totals() {
+    fn elementwise_traffic_counts_passes() {
+        let dt = DataType::float16();
+        let relu = OpNode::elementwise("r", EltwiseOp::Relu, 1024, dt, 1, vec![0]);
+        assert_eq!(relu.min_bytes, 2.0 * 1024.0 * 2.0);
+        let add = OpNode::elementwise("a", EltwiseOp::Add, 1024, dt, 1, vec![0, 1]);
+        assert_eq!(add.min_bytes, 3.0 * 1024.0 * 2.0);
+        assert_eq!(add.kind, LayerKind::Elementwise);
+    }
+
+    #[test]
+    fn model_totals_and_consumers() {
         let f = tir_workloads::gmm(8, 8, 8, DataType::float32(), DataType::float32());
         let m = ModelSpec {
             name: "toy".into(),
             dtype: DataType::float32(),
-            layers: vec![
-                Layer::compute("mm", LayerKind::Dense, f, 512.0, 3),
-                Layer::memory("relu", 1024.0, 3),
+            nodes: vec![
+                OpNode::compute("mm", LayerKind::Dense, f, 512.0, 3, vec![]),
+                OpNode::elementwise("relu", EltwiseOp::Relu, 64, DataType::float32(), 3, vec![0]),
+                OpNode::memory("softmax", 1024.0, 3, vec![1]),
             ],
         };
         assert_eq!(m.total_macs(), 1536.0);
         assert_eq!(m.distinct_tunable(), 1);
+        let cons = m.consumers();
+        assert_eq!(cons[0], vec![1]);
+        assert_eq!(cons[1], vec![2]);
+        assert!(cons[2].is_empty());
     }
 }

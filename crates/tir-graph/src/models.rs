@@ -1,15 +1,21 @@
-//! The four evaluation networks (§5.2 / §5.4), layer by layer with their
-//! real shapes: ResNet-50, MobileNetV2, BERT-large and ViT-Base/16.
+//! The four evaluation networks (§5.2 / §5.4) as dataflow graphs, node by
+//! node with their real shapes: ResNet-50, MobileNetV2, BERT-large and
+//! ViT-Base/16.
 //!
 //! All models run at batch 1 (the paper's deployment setting).
 //! Convolutions are instantiated in pre-padded ("valid") form: the
-//! generator receives `h + 2*pad` as the input height. Identical layers
-//! are deduplicated by name so each distinct shape is tuned once.
+//! generator receives `h + 2*pad` as the input height. Repeated blocks
+//! are collapsed into one node with a `count`; edges between equal-count
+//! nodes are within-repeat dataflow, which is exactly the granularity the
+//! fusion pass needs. Activations, bias adds and residual adds are
+//! explicit [`EltwiseOp`] nodes wired to their producers, so
+//! `crate::fusion::fuse_graph` folds them into the anchor kernels;
+//! softmax and layernorm stay opaque [`OpNode::memory`] lumps.
 
 use tir::DataType;
 use tir_workloads as ops;
 
-use crate::layer::{Layer, LayerKind, ModelSpec};
+use crate::layer::{EltwiseOp, LayerKind, ModelSpec, NodeId, OpNode};
 
 fn acc_of(dtype: DataType) -> DataType {
     if dtype == DataType::int8() {
@@ -19,87 +25,172 @@ fn acc_of(dtype: DataType) -> DataType {
     }
 }
 
-/// A conv2d layer (NHWC, square kernel) with implicit padding.
-#[allow(clippy::too_many_arguments)]
-fn conv(
-    name: String,
-    h: i64,
-    ci: i64,
-    co: i64,
-    k: i64,
-    stride: i64,
-    count: i64,
+/// Incremental graph builder: `push` returns the node's id for wiring.
+struct Graph {
     dtype: DataType,
-) -> Layer {
-    let pad = (k - 1) / 2;
-    let hin = h + 2 * pad;
-    let hout = (hin - k) / stride + 1;
-    let func = ops::c2d(1, hin, hin, ci, co, k, k, stride, dtype);
-    let macs = (hout * hout * co * k * k * ci) as f64;
-    Layer::compute(name, LayerKind::Conv2d, func, macs, count)
+    nodes: Vec<OpNode>,
 }
 
-fn dwconv(name: String, h: i64, c: i64, k: i64, stride: i64, count: i64, dtype: DataType) -> Layer {
-    let pad = (k - 1) / 2;
-    let hin = h + 2 * pad;
-    let hout = (hin - k) / stride + 1;
-    let func = ops::dep(1, hin, hin, c, k, k, stride, dtype);
-    let macs = (hout * hout * c * k * k) as f64;
-    Layer::compute(name, LayerKind::Depthwise, func, macs, count)
-}
+impl Graph {
+    fn new(dtype: DataType) -> Graph {
+        Graph {
+            dtype,
+            nodes: Vec::new(),
+        }
+    }
 
-fn dense(name: String, m: i64, n: i64, k: i64, count: i64, dtype: DataType) -> Layer {
-    let func = ops::gmm(m, n, k, dtype, acc_of(dtype));
-    Layer::compute(name, LayerKind::Dense, func, (m * n * k) as f64, count)
-}
+    fn push(&mut self, node: OpNode) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
 
-fn bmm(name: String, b: i64, m: i64, n: i64, k: i64, count: i64, dtype: DataType) -> Layer {
-    let func = ops::batch_matmul(b, m, n, k, dtype, acc_of(dtype));
-    Layer::compute(
-        name,
-        LayerKind::BatchMatmul,
-        func,
-        (b * m * n * k) as f64,
-        count,
-    )
-}
+    /// A conv2d node (NHWC, square kernel) with implicit padding.
+    #[allow(clippy::too_many_arguments)]
+    fn conv(
+        &mut self,
+        name: String,
+        h: i64,
+        ci: i64,
+        co: i64,
+        k: i64,
+        stride: i64,
+        count: i64,
+        inputs: Vec<NodeId>,
+    ) -> NodeId {
+        let pad = (k - 1) / 2;
+        let hin = h + 2 * pad;
+        let hout = (hin - k) / stride + 1;
+        let func = ops::c2d(1, hin, hin, ci, co, k, k, stride, self.dtype);
+        let macs = (hout * hout * co * k * k * ci) as f64;
+        self.push(OpNode::compute(
+            name,
+            LayerKind::Conv2d,
+            func,
+            macs,
+            count,
+            inputs,
+        ))
+    }
 
-fn elem(name: String, elems: i64, dtype: DataType, count: i64) -> Layer {
-    // Read + write once.
-    Layer::memory(name, 2.0 * elems as f64 * dtype.bytes() as f64, count)
+    #[allow(clippy::too_many_arguments)]
+    fn dwconv(
+        &mut self,
+        name: String,
+        h: i64,
+        c: i64,
+        k: i64,
+        stride: i64,
+        count: i64,
+        inputs: Vec<NodeId>,
+    ) -> NodeId {
+        let pad = (k - 1) / 2;
+        let hin = h + 2 * pad;
+        let hout = (hin - k) / stride + 1;
+        let func = ops::dep(1, hin, hin, c, k, k, stride, self.dtype);
+        let macs = (hout * hout * c * k * k) as f64;
+        self.push(OpNode::compute(
+            name,
+            LayerKind::Depthwise,
+            func,
+            macs,
+            count,
+            inputs,
+        ))
+    }
+
+    fn dense(
+        &mut self,
+        name: String,
+        m: i64,
+        n: i64,
+        k: i64,
+        count: i64,
+        inputs: Vec<NodeId>,
+    ) -> NodeId {
+        let func = ops::gmm(m, n, k, self.dtype, acc_of(self.dtype));
+        self.push(OpNode::compute(
+            name,
+            LayerKind::Dense,
+            func,
+            (m * n * k) as f64,
+            count,
+            inputs,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bmm(
+        &mut self,
+        name: String,
+        b: i64,
+        m: i64,
+        n: i64,
+        k: i64,
+        count: i64,
+        inputs: Vec<NodeId>,
+    ) -> NodeId {
+        let func = ops::batch_matmul(b, m, n, k, self.dtype, acc_of(self.dtype));
+        self.push(OpNode::compute(
+            name,
+            LayerKind::BatchMatmul,
+            func,
+            (b * m * n * k) as f64,
+            count,
+            inputs,
+        ))
+    }
+
+    /// An elementwise node over the primary producer's output tensor
+    /// (element count is inherited from `inputs[0]`); operand tensors
+    /// carry the accumulator dtype (int32 for int8 models).
+    fn elt(&mut self, name: String, op: EltwiseOp, count: i64, inputs: Vec<NodeId>) -> NodeId {
+        let elems = self.nodes[inputs[0]].elems;
+        self.push(OpNode::elementwise(
+            name,
+            op,
+            elems,
+            acc_of(self.dtype),
+            count,
+            inputs,
+        ))
+    }
+
+    /// An opaque memory-bound node reading and writing `elems` elements.
+    fn memory(&mut self, name: String, elems: i64, count: i64, inputs: Vec<NodeId>) -> NodeId {
+        let bytes = 2.0 * elems as f64 * self.dtype.bytes() as f64;
+        self.push(OpNode::memory(name, bytes, count, inputs))
+    }
+
+    fn finish(self, name: &str) -> ModelSpec {
+        ModelSpec {
+            name: name.into(),
+            dtype: self.dtype,
+            nodes: self.nodes,
+        }
+    }
 }
 
 /// ResNet-50 at 224x224, batch 1.
 pub fn resnet50(dtype: DataType) -> ModelSpec {
-    let mut layers = Vec::new();
-    layers.push(conv("r50_conv1".into(), 112, 3, 64, 7, 2, 1, dtype));
+    let mut g = Graph::new(dtype);
+    let c1 = g.conv("r50_conv1".into(), 112, 3, 64, 7, 2, 1, vec![]);
+    let mut prev = g.elt("r50_conv1_relu".into(), EltwiseOp::Relu, 1, vec![c1]);
     // Bottleneck stages: (spatial, width, blocks).
     let stages: [(i64, i64, i64); 4] = [(56, 64, 3), (28, 128, 4), (14, 256, 6), (7, 512, 3)];
     let mut cin = 64;
     for (si, (h, w, blocks)) in stages.iter().enumerate() {
         let out = w * 4;
-        // First block: projection shortcut + possible stride-2 3x3.
-        layers.push(conv(
-            format!("r50_s{si}_proj"),
-            *h,
-            cin,
-            out,
+        // First block: projection shortcut (feeds the residual add as a
+        // secondary input) + the block-0 1x1 reduce.
+        let proj = g.conv(format!("r50_s{si}_proj"), *h, cin, out, 1, 1, 1, vec![prev]);
+        let b0c1 = g.conv(format!("r50_s{si}_b0_c1"), *h, cin, *w, 1, 1, 1, vec![prev]);
+        let b0c1r = g.elt(
+            format!("r50_s{si}_b0_c1_relu"),
+            EltwiseOp::Relu,
             1,
-            1,
-            1,
-            dtype,
-        ));
-        layers.push(conv(
-            format!("r50_s{si}_b0_c1"),
-            *h,
-            cin,
-            *w,
-            1,
-            1,
-            1,
-            dtype,
-        ));
-        layers.push(conv(
+            vec![b0c1],
+        );
+        let c2 = g.conv(
             format!("r50_s{si}_c2"),
             *h,
             *w,
@@ -107,9 +198,15 @@ pub fn resnet50(dtype: DataType) -> ModelSpec {
             3,
             1,
             *blocks,
-            dtype,
-        ));
-        layers.push(conv(
+            vec![b0c1r],
+        );
+        let c2r = g.elt(
+            format!("r50_s{si}_c2_relu"),
+            EltwiseOp::Relu,
+            *blocks,
+            vec![c2],
+        );
+        let c3 = g.conv(
             format!("r50_s{si}_c3"),
             *h,
             *w,
@@ -117,10 +214,22 @@ pub fn resnet50(dtype: DataType) -> ModelSpec {
             1,
             1,
             *blocks,
-            dtype,
-        ));
+            vec![c2r],
+        );
+        let c3a = g.elt(
+            format!("r50_s{si}_c3_add"),
+            EltwiseOp::Add,
+            *blocks,
+            vec![c3, proj],
+        );
+        let c3r = g.elt(
+            format!("r50_s{si}_c3_relu"),
+            EltwiseOp::Relu,
+            *blocks,
+            vec![c3a],
+        );
         if *blocks > 1 {
-            layers.push(conv(
+            let cb1 = g.conv(
                 format!("r50_s{si}_c1"),
                 *h,
                 out,
@@ -128,30 +237,27 @@ pub fn resnet50(dtype: DataType) -> ModelSpec {
                 1,
                 1,
                 *blocks - 1,
-                dtype,
-            ));
+                vec![c3r],
+            );
+            g.elt(
+                format!("r50_s{si}_c1_relu"),
+                EltwiseOp::Relu,
+                *blocks - 1,
+                vec![cb1],
+            );
         }
-        // Residual adds + activations.
-        layers.push(elem(
-            format!("r50_s{si}_eltwise"),
-            h * h * out,
-            dtype,
-            3 * blocks,
-        ));
+        prev = c3r;
         cin = out;
     }
-    layers.push(dense("r50_fc".into(), 1, 1000, 2048, 1, dtype));
-    ModelSpec {
-        name: "ResNet-50".into(),
-        dtype,
-        layers,
-    }
+    g.dense("r50_fc".into(), 1, 1000, 2048, 1, vec![prev]);
+    g.finish("ResNet-50")
 }
 
 /// MobileNetV2 at 224x224, batch 1.
 pub fn mobilenet_v2(dtype: DataType) -> ModelSpec {
-    let mut layers = Vec::new();
-    layers.push(conv("mb2_conv1".into(), 112, 3, 32, 3, 2, 1, dtype));
+    let mut g = Graph::new(dtype);
+    let c1 = g.conv("mb2_conv1".into(), 112, 3, 32, 3, 2, 1, vec![]);
+    let mut prev = g.elt("mb2_conv1_relu".into(), EltwiseOp::Relu, 1, vec![c1]);
     // Inverted residual table: (expand t, out c, repeats n, stride s, in h).
     let blocks: [(i64, i64, i64, i64, i64); 7] = [
         (1, 16, 1, 1, 112),
@@ -164,130 +270,290 @@ pub fn mobilenet_v2(dtype: DataType) -> ModelSpec {
     ];
     let mut cin = 32;
     for (bi, (t, c, n, s, h)) in blocks.iter().enumerate() {
+        // Repeat 0: stride `s`, channel change, no residual.
         let hidden = cin * t;
         let h_out = h / s;
-        if *t != 1 {
-            layers.push(conv(
+        let src = if *t != 1 {
+            let ex = g.conv(
                 format!("mb2_b{bi}_expand"),
                 *h,
                 cin,
                 hidden,
                 1,
                 1,
-                *n,
-                dtype,
-            ));
-        }
-        layers.push(dwconv(
-            format!("mb2_b{bi}_dw"),
-            h_out,
-            hidden,
-            3,
-            *s,
-            *n,
-            dtype,
-        ));
-        layers.push(conv(
+                1,
+                vec![prev],
+            );
+            g.elt(
+                format!("mb2_b{bi}_expand_relu"),
+                EltwiseOp::Relu,
+                1,
+                vec![ex],
+            )
+        } else {
+            prev
+        };
+        let dw = g.dwconv(format!("mb2_b{bi}_dw"), *h, hidden, 3, *s, 1, vec![src]);
+        let dwr = g.elt(format!("mb2_b{bi}_dw_relu"), EltwiseOp::Relu, 1, vec![dw]);
+        // The linear projection: no activation (the MobileNetV2 design).
+        let mut pr = g.conv(
             format!("mb2_b{bi}_project"),
             h_out,
             hidden,
             *c,
             1,
             1,
-            *n,
-            dtype,
-        ));
-        layers.push(elem(
-            format!("mb2_b{bi}_eltwise"),
-            h_out * h_out * c,
-            dtype,
-            2 * n,
-        ));
+            1,
+            vec![dwr],
+        );
+        // Repeats 1..n: stride 1 at the block's output resolution, with a
+        // residual skip — the add fuses into the projection conv.
+        if *n > 1 {
+            let rh = c * t;
+            let rex = g.conv(
+                format!("mb2_b{bi}_r_expand"),
+                h_out,
+                *c,
+                rh,
+                1,
+                1,
+                *n - 1,
+                vec![pr],
+            );
+            let rexr = g.elt(
+                format!("mb2_b{bi}_r_expand_relu"),
+                EltwiseOp::Relu,
+                *n - 1,
+                vec![rex],
+            );
+            let rdw = g.dwconv(
+                format!("mb2_b{bi}_r_dw"),
+                h_out,
+                rh,
+                3,
+                1,
+                *n - 1,
+                vec![rexr],
+            );
+            let rdwr = g.elt(
+                format!("mb2_b{bi}_r_dw_relu"),
+                EltwiseOp::Relu,
+                *n - 1,
+                vec![rdw],
+            );
+            let rpr = g.conv(
+                format!("mb2_b{bi}_r_project"),
+                h_out,
+                rh,
+                *c,
+                1,
+                1,
+                *n - 1,
+                vec![rdwr],
+            );
+            pr = g.elt(
+                format!("mb2_b{bi}_r_add"),
+                EltwiseOp::Add,
+                *n - 1,
+                vec![rpr, pr],
+            );
+        }
+        prev = pr;
         cin = *c;
     }
-    layers.push(conv("mb2_head".into(), 7, 320, 1280, 1, 1, 1, dtype));
-    layers.push(dense("mb2_fc".into(), 1, 1000, 1280, 1, dtype));
-    ModelSpec {
-        name: "MobileNetV2".into(),
-        dtype,
-        layers,
-    }
+    let head = g.conv("mb2_head".into(), 7, 320, 1280, 1, 1, 1, vec![prev]);
+    let headr = g.elt("mb2_head_relu".into(), EltwiseOp::Relu, 1, vec![head]);
+    g.dense("mb2_fc".into(), 1, 1000, 1280, 1, vec![headr]);
+    g.finish("MobileNetV2")
 }
 
 /// BERT-large at sequence length 128, batch 1.
 pub fn bert_large(dtype: DataType) -> ModelSpec {
     let (layers_n, hidden, heads, seq, ffn) = (24i64, 1024i64, 16i64, 128i64, 4096i64);
     let head_dim = hidden / heads;
-    let layers = vec![
-        dense("bert_qkv".into(), seq, 3 * hidden, hidden, layers_n, dtype),
-        bmm(
-            "bert_scores".into(),
-            heads,
-            seq,
-            seq,
-            head_dim,
-            layers_n,
-            dtype,
-        ),
-        bmm(
-            "bert_context".into(),
-            heads,
-            seq,
-            head_dim,
-            seq,
-            layers_n,
-            dtype,
-        ),
-        dense("bert_attn_out".into(), seq, hidden, hidden, layers_n, dtype),
-        dense("bert_ffn1".into(), seq, ffn, hidden, layers_n, dtype),
-        dense("bert_ffn2".into(), seq, hidden, ffn, layers_n, dtype),
-        // Softmax, layernorms, residuals.
-        elem("bert_eltwise".into(), seq * hidden, dtype, 6 * layers_n),
-        elem("bert_softmax".into(), heads * seq * seq, dtype, layers_n),
-    ];
-    ModelSpec {
-        name: "BERT-large".into(),
-        dtype,
-        layers,
-    }
+    let mut g = Graph::new(dtype);
+    let embed = g.memory("bert_embed".into(), seq * hidden, 1, vec![]);
+    let qkv = g.dense(
+        "bert_qkv".into(),
+        seq,
+        3 * hidden,
+        hidden,
+        layers_n,
+        vec![embed],
+    );
+    let qkvb = g.elt(
+        "bert_qkv_bias".into(),
+        EltwiseOp::BiasAdd,
+        layers_n,
+        vec![qkv],
+    );
+    let scores = g.bmm(
+        "bert_scores".into(),
+        heads,
+        seq,
+        seq,
+        head_dim,
+        layers_n,
+        vec![qkvb],
+    );
+    let softmax = g.memory(
+        "bert_softmax".into(),
+        heads * seq * seq,
+        layers_n,
+        vec![scores],
+    );
+    let context = g.bmm(
+        "bert_context".into(),
+        heads,
+        seq,
+        head_dim,
+        seq,
+        layers_n,
+        vec![softmax, qkvb],
+    );
+    let attn = g.dense(
+        "bert_attn_out".into(),
+        seq,
+        hidden,
+        hidden,
+        layers_n,
+        vec![context],
+    );
+    let attnb = g.elt(
+        "bert_attn_bias".into(),
+        EltwiseOp::BiasAdd,
+        layers_n,
+        vec![attn],
+    );
+    let attna = g.elt(
+        "bert_attn_add".into(),
+        EltwiseOp::Add,
+        layers_n,
+        vec![attnb, embed],
+    );
+    let ln1 = g.memory("bert_ln1".into(), seq * hidden, layers_n, vec![attna]);
+    let ffn1 = g.dense("bert_ffn1".into(), seq, ffn, hidden, layers_n, vec![ln1]);
+    let f1b = g.elt(
+        "bert_ffn1_bias".into(),
+        EltwiseOp::BiasAdd,
+        layers_n,
+        vec![ffn1],
+    );
+    let f1g = g.elt("bert_gelu".into(), EltwiseOp::Gelu, layers_n, vec![f1b]);
+    let ffn2 = g.dense("bert_ffn2".into(), seq, hidden, ffn, layers_n, vec![f1g]);
+    let f2b = g.elt(
+        "bert_ffn2_bias".into(),
+        EltwiseOp::BiasAdd,
+        layers_n,
+        vec![ffn2],
+    );
+    let f2a = g.elt(
+        "bert_ffn2_add".into(),
+        EltwiseOp::Add,
+        layers_n,
+        vec![f2b, ln1],
+    );
+    g.memory("bert_ln2".into(), seq * hidden, layers_n, vec![f2a]);
+    g.finish("BERT-large")
 }
 
 /// ViT-Base/16 at 224x224, batch 1 (sequence 196 + class token ~ 196).
 pub fn vit_base(dtype: DataType) -> ModelSpec {
     let (layers_n, hidden, heads, seq, mlp) = (12i64, 768i64, 12i64, 196i64, 3072i64);
     let head_dim = hidden / heads;
-    let layers = vec![
-        // Patch embedding: a 16x16/16 conv = a 196 x 768 x 768 matmul.
-        dense("vit_patch_embed".into(), seq, hidden, 16 * 16 * 3, 1, dtype),
-        dense("vit_qkv".into(), seq, 3 * hidden, hidden, layers_n, dtype),
-        bmm(
-            "vit_scores".into(),
-            heads,
-            seq,
-            seq,
-            head_dim,
-            layers_n,
-            dtype,
-        ),
-        bmm(
-            "vit_context".into(),
-            heads,
-            seq,
-            head_dim,
-            seq,
-            layers_n,
-            dtype,
-        ),
-        dense("vit_attn_out".into(), seq, hidden, hidden, layers_n, dtype),
-        dense("vit_mlp1".into(), seq, mlp, hidden, layers_n, dtype),
-        dense("vit_mlp2".into(), seq, hidden, mlp, layers_n, dtype),
-        elem("vit_eltwise".into(), seq * hidden, dtype, 6 * layers_n),
-    ];
-    ModelSpec {
-        name: "ViT-Base/16".into(),
-        dtype,
-        layers,
-    }
+    let mut g = Graph::new(dtype);
+    // Patch embedding: a 16x16/16 conv = a 196 x 768 x 768 matmul.
+    let pe = g.dense(
+        "vit_patch_embed".into(),
+        seq,
+        hidden,
+        16 * 16 * 3,
+        1,
+        vec![],
+    );
+    let peb = g.elt("vit_patch_bias".into(), EltwiseOp::BiasAdd, 1, vec![pe]);
+    let qkv = g.dense(
+        "vit_qkv".into(),
+        seq,
+        3 * hidden,
+        hidden,
+        layers_n,
+        vec![peb],
+    );
+    let qkvb = g.elt(
+        "vit_qkv_bias".into(),
+        EltwiseOp::BiasAdd,
+        layers_n,
+        vec![qkv],
+    );
+    let scores = g.bmm(
+        "vit_scores".into(),
+        heads,
+        seq,
+        seq,
+        head_dim,
+        layers_n,
+        vec![qkvb],
+    );
+    let softmax = g.memory(
+        "vit_softmax".into(),
+        heads * seq * seq,
+        layers_n,
+        vec![scores],
+    );
+    let context = g.bmm(
+        "vit_context".into(),
+        heads,
+        seq,
+        head_dim,
+        seq,
+        layers_n,
+        vec![softmax, qkvb],
+    );
+    let attn = g.dense(
+        "vit_attn_out".into(),
+        seq,
+        hidden,
+        hidden,
+        layers_n,
+        vec![context],
+    );
+    let attnb = g.elt(
+        "vit_attn_bias".into(),
+        EltwiseOp::BiasAdd,
+        layers_n,
+        vec![attn],
+    );
+    let attna = g.elt(
+        "vit_attn_add".into(),
+        EltwiseOp::Add,
+        layers_n,
+        vec![attnb, peb],
+    );
+    let ln1 = g.memory("vit_ln1".into(), seq * hidden, layers_n, vec![attna]);
+    let mlp1 = g.dense("vit_mlp1".into(), seq, mlp, hidden, layers_n, vec![ln1]);
+    let m1b = g.elt(
+        "vit_mlp1_bias".into(),
+        EltwiseOp::BiasAdd,
+        layers_n,
+        vec![mlp1],
+    );
+    let m1g = g.elt("vit_gelu".into(), EltwiseOp::Gelu, layers_n, vec![m1b]);
+    let mlp2 = g.dense("vit_mlp2".into(), seq, hidden, mlp, layers_n, vec![m1g]);
+    let m2b = g.elt(
+        "vit_mlp2_bias".into(),
+        EltwiseOp::BiasAdd,
+        layers_n,
+        vec![mlp2],
+    );
+    let m2a = g.elt(
+        "vit_mlp2_add".into(),
+        EltwiseOp::Add,
+        layers_n,
+        vec![m2b, ln1],
+    );
+    g.memory("vit_ln2".into(), seq * hidden, layers_n, vec![m2a]);
+    g.finish("ViT-Base/16")
 }
 
 /// The four GPU evaluation models (float16, Fig. 12 / Table 1).
@@ -305,6 +571,7 @@ pub fn arm_models() -> Vec<ModelSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fusion::fuse_graph;
 
     #[test]
     fn resnet50_macs_in_expected_range() {
@@ -334,15 +601,60 @@ mod tests {
     }
 
     #[test]
-    fn all_models_have_tunable_layers_and_valid_funcs() {
+    fn all_models_have_tunable_nodes_valid_funcs_and_wired_edges() {
         for m in gpu_models() {
             assert!(m.distinct_tunable() >= 5, "{}", m.name);
-            for l in &m.layers {
-                if let Some(f) = &l.func {
+            for n in &m.nodes {
+                if let Some(f) = &n.func {
                     tir_analysis::assert_valid(f);
-                    assert!(l.macs > 0.0, "{}", l.name);
+                    assert!(n.macs > 0.0, "{}", n.name);
                 }
             }
+            // Every node except the sources is wired to a producer.
+            let wired = m.nodes.iter().filter(|n| !n.inputs.is_empty()).count();
+            assert!(
+                wired >= m.nodes.len() - 2,
+                "{}: graph must have edges",
+                m.name
+            );
+            for n in &m.nodes {
+                for &p in &n.inputs {
+                    assert!(p < m.nodes.len(), "{}: dangling edge", n.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_absorbs_every_resnet_and_bert_elementwise_node() {
+        for m in [
+            resnet50(DataType::float16()),
+            bert_large(DataType::float16()),
+        ] {
+            let groups = fuse_graph(&m);
+            assert!(
+                groups.len() < m.nodes.len(),
+                "{}: fusion must shrink the graph",
+                m.name
+            );
+            for g in &groups {
+                assert_ne!(
+                    g.kind,
+                    crate::layer::LayerKind::Elementwise,
+                    "{}: node {} left standalone",
+                    m.name,
+                    g.name
+                );
+                if let Some(f) = &g.func {
+                    tir_analysis::assert_valid(f);
+                }
+            }
+            let fused_ops: usize = groups.iter().map(|g| g.saved_launches).sum();
+            assert!(
+                fused_ops >= 5,
+                "{}: expected real fusion, got {fused_ops}",
+                m.name
+            );
         }
     }
 
@@ -350,9 +662,9 @@ mod tests {
     fn arm_models_are_int8() {
         for m in arm_models() {
             assert_eq!(m.dtype, DataType::int8());
-            for l in &m.layers {
-                if let Some(f) = &l.func {
-                    assert_eq!(f.params[0].dtype(), DataType::int8(), "{}", l.name);
+            for n in &m.nodes {
+                if let Some(f) = &n.func {
+                    assert_eq!(f.params[0].dtype(), DataType::int8(), "{}", n.name);
                 }
             }
         }

@@ -5,12 +5,17 @@
 //! convolution, plus (batched) matrix multiply — each as a TensorIR
 //! [`tir::PrimFunc`] whose main compute block is named `"C"`.
 //!
-//! [`suite`] lists the concrete benchmark shapes used by the figures.
+//! [`suite`] lists the concrete benchmark shapes used by the figures, and
+//! [`fuse`] composes an anchor operator with elementwise epilogue chains
+//! into one fused `PrimFunc` (the code-generation half of graph-level
+//! operator fusion).
 
 #![warn(missing_docs)]
 
+pub mod fuse;
 pub mod ops;
 pub mod suite;
 
+pub use fuse::{compose_unfused, fuse_epilogue, Epilogue, FUSED_SCOPE};
 pub use ops::{batch_matmul, c1d, c2d, c3d, dep, dil, gmm, grp, t2d};
 pub use suite::{bench_suite, BenchCase, OpKind};

@@ -1,5 +1,6 @@
-//! End-to-end model compilation: tune every distinct layer of BERT-large
-//! on the simulated GPU and compare against the framework baselines.
+//! End-to-end model compilation: fuse the BERT-large dataflow graph, tune
+//! every distinct fused kernel on the simulated GPU, and compare against
+//! the framework baselines.
 //!
 //! Run with: `cargo run --release --example end_to_end`
 
@@ -13,10 +14,10 @@ fn main() {
     let intrins = builtin_registry();
     let model = bert_large(tir::DataType::float16());
     println!(
-        "{}: {:.1} GMACs across {} layers ({} distinct tunable)",
+        "{}: {:.1} GMACs across {} graph nodes ({} distinct tunable)",
         model.name,
         model.total_macs() / 1e9,
-        model.layers.len(),
+        model.nodes.len(),
         model.distinct_tunable()
     );
 
@@ -24,22 +25,31 @@ fn main() {
         trials: 16,
         ..Default::default()
     };
-    let result = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts);
-    println!("\nper-layer breakdown (TensorIR):");
-    for l in &result.per_layer {
+    let result = evaluate_model(&model, &machine, &intrins, Strategy::TensorIr, &opts)
+        .expect("well-formed model");
+    println!("\nper-kernel breakdown after fusion (TensorIR):");
+    for g in &result.per_group {
+        let fused = if g.fused_ops > 0 {
+            format!(" [+{} fused]", g.fused_ops)
+        } else {
+            String::new()
+        };
         println!(
-            "  {:<16} {:>9.3} ms x{:<3} (tuned in {:>6.1} s, {} trials)",
-            l.name,
-            l.time_s * 1e3,
-            l.count,
-            l.tuning_cost_s,
-            l.trials
+            "  {:<28} {:>9.3} ms x{:<3} (tuned in {:>6.1} s, {} trials){}",
+            g.name,
+            g.time_s * 1e3,
+            g.count,
+            g.tuning_cost_s,
+            g.trials,
+            fused
         );
     }
     println!(
-        "\nTensorIR end-to-end: {:.3} ms (tuning cost {:.1} min)",
+        "\nTensorIR end-to-end: {:.3} ms (tuning cost {:.1} min; fusion saved {:.3} ms launch + {:.3} ms traffic)",
         result.latency_s * 1e3,
-        result.tuning_cost_s / 60.0
+        result.tuning_cost_s / 60.0,
+        result.saved_launch_s() * 1e3,
+        result.saved_traffic_s() * 1e3
     );
     for fw in [Framework::PyTorch, Framework::TensorRt] {
         match fw.model_latency(&model, &machine) {
